@@ -1,0 +1,224 @@
+//! A tiny satisfiability checker for conjunctions of (dis)equalities.
+//!
+//! The far-commutativity/-absorption fixpoint (see [`crate::far`]) needs to
+//! decide satisfiability of small conjunctions of equality literals over the
+//! arguments of up to three event *slots* plus constants. This is the
+//! classic union-find fragment: equalities merge classes, disequalities and
+//! distinct constants refute.
+
+use std::collections::HashMap;
+
+use c4_store::Value;
+
+use crate::spec::{ArgTerm, SpecFormula};
+
+/// Identifies one of the event slots of a consistency query.
+pub type Slot = usize;
+
+/// A term over slots: an argument or return position of a slot, or a
+/// constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SlotTerm {
+    /// Argument `i` of the event in the given slot.
+    Arg(Slot, usize),
+    /// Return value of the event in the given slot.
+    Ret(Slot),
+    /// A constant value.
+    Const(Value),
+}
+
+/// An equality or disequality literal over slot terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lit {
+    /// `true` for equality, `false` for disequality.
+    pub positive: bool,
+    /// Left-hand term.
+    pub lhs: SlotTerm,
+    /// Right-hand term.
+    pub rhs: SlotTerm,
+}
+
+/// Decides whether a conjunction of literals is satisfiable.
+///
+/// Variables (argument/return positions) are unconstrained; distinct
+/// constants are distinct values. This is sound and complete for the
+/// equality fragment the rewrite specifications use.
+pub fn consistent(lits: &[Lit]) -> bool {
+    let mut ids: HashMap<SlotTerm, usize> = HashMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let mut constant: Vec<Option<Value>> = Vec::new();
+
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut id_of = |t: &SlotTerm, parent: &mut Vec<usize>, constant: &mut Vec<Option<Value>>| {
+        if let Some(&i) = ids.get(t) {
+            return i;
+        }
+        let i = parent.len();
+        parent.push(i);
+        constant.push(match t {
+            SlotTerm::Const(v) => Some(v.clone()),
+            _ => None,
+        });
+        ids.insert(t.clone(), i);
+        i
+    };
+
+    // First pass: merge equalities.
+    let mut disequalities = Vec::new();
+    for lit in lits {
+        let a = id_of(&lit.lhs, &mut parent, &mut constant);
+        let b = id_of(&lit.rhs, &mut parent, &mut constant);
+        if lit.positive {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra == rb {
+                continue;
+            }
+            // Merge, keeping constant information; clash of distinct
+            // constants refutes.
+            match (&constant[ra], &constant[rb]) {
+                (Some(x), Some(y)) if x != y => return false,
+                (Some(_), _) => parent[rb] = ra,
+                (_, Some(_)) => parent[ra] = rb,
+                _ => parent[rb] = ra,
+            }
+        } else {
+            disequalities.push((a, b));
+        }
+    }
+    // Second pass: disequalities must not connect merged classes.
+    for (a, b) in disequalities {
+        if find(&mut parent, a) == find(&mut parent, b) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Instantiates a [`SpecFormula`] (optionally negated) over two slots and
+/// returns its DNF as conjunctions of slot literals.
+pub fn instantiate_dnf(
+    formula: &SpecFormula,
+    negated: bool,
+    src: Slot,
+    tgt: Slot,
+) -> Vec<Vec<Lit>> {
+    let f = if negated { formula.clone().negate() } else { formula.clone() };
+    f.to_dnf()
+        .into_iter()
+        .map(|conj| {
+            conj.into_iter()
+                .map(|(positive, lhs, rhs)| Lit {
+                    positive,
+                    lhs: slotify(&lhs, src, tgt),
+                    rhs: slotify(&rhs, src, tgt),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn slotify(t: &ArgTerm, src: Slot, tgt: Slot) -> SlotTerm {
+    use crate::spec::Side;
+    match t {
+        ArgTerm::Arg(Side::Src, i) => SlotTerm::Arg(src, *i),
+        ArgTerm::Arg(Side::Tgt, i) => SlotTerm::Arg(tgt, *i),
+        ArgTerm::Ret(Side::Src) => SlotTerm::Ret(src),
+        ArgTerm::Ret(Side::Tgt) => SlotTerm::Ret(tgt),
+        ArgTerm::Const(v) => SlotTerm::Const(v.clone()),
+    }
+}
+
+/// Satisfiability of a conjunction of instantiated formulas: each entry is
+/// `(formula, negated, src_slot, tgt_slot)`.
+///
+/// Expands to DNF and checks each combination of disjuncts with
+/// [`consistent`].
+pub fn formulas_consistent(parts: &[(&SpecFormula, bool, Slot, Slot)]) -> bool {
+    // Cross product of per-part DNFs, checked incrementally.
+    fn rec(
+        parts: &[(&SpecFormula, bool, Slot, Slot)],
+        acc: &mut Vec<Lit>,
+    ) -> bool {
+        let Some(((f, neg, s, t), rest)) = parts.split_first() else {
+            return consistent(acc);
+        };
+        for conj in instantiate_dnf(f, *neg, *s, *t) {
+            let mark = acc.len();
+            acc.extend(conj);
+            if rec(rest, acc) {
+                return true;
+            }
+            acc.truncate(mark);
+        }
+        false
+    }
+    rec(parts, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(a: SlotTerm, b: SlotTerm) -> Lit {
+        Lit { positive: true, lhs: a, rhs: b }
+    }
+    fn ne(a: SlotTerm, b: SlotTerm) -> Lit {
+        Lit { positive: false, lhs: a, rhs: b }
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        assert!(consistent(&[]));
+        assert!(consistent(&[eq(SlotTerm::Arg(0, 0), SlotTerm::Arg(1, 0))]));
+    }
+
+    #[test]
+    fn contradiction_via_chain() {
+        let a = SlotTerm::Arg(0, 0);
+        let b = SlotTerm::Arg(1, 0);
+        let c = SlotTerm::Arg(2, 0);
+        assert!(!consistent(&[eq(a.clone(), b.clone()), eq(b.clone(), c.clone()), ne(a, c)]));
+    }
+
+    #[test]
+    fn distinct_constants_refute() {
+        let a = SlotTerm::Arg(0, 0);
+        assert!(!consistent(&[
+            eq(a.clone(), SlotTerm::Const(Value::int(1))),
+            eq(a, SlotTerm::Const(Value::int(2))),
+        ]));
+    }
+
+    #[test]
+    fn equal_constants_merge() {
+        let a = SlotTerm::Arg(0, 0);
+        assert!(consistent(&[
+            eq(a.clone(), SlotTerm::Const(Value::int(1))),
+            eq(a, SlotTerm::Const(Value::int(1))),
+        ]));
+    }
+
+    #[test]
+    fn formula_combination() {
+        // argsrc0 = argtgt0 (slots 0,1) together with its negation is unsat.
+        let f = SpecFormula::args_eq(0, 0);
+        assert!(!formulas_consistent(&[(&f, false, 0, 1), (&f, true, 0, 1)]));
+        // But over different slot pairs it is satisfiable.
+        assert!(formulas_consistent(&[(&f, false, 0, 1), (&f, true, 0, 2)]));
+    }
+
+    #[test]
+    fn disjunction_explored() {
+        // (a=b ∨ a≠b) ∧ a=b — satisfiable via first disjunct.
+        let f = SpecFormula::or([SpecFormula::args_eq(0, 0), SpecFormula::args_ne(0, 0)]);
+        let g = SpecFormula::args_eq(0, 0);
+        assert!(formulas_consistent(&[(&f, false, 0, 1), (&g, false, 0, 1)]));
+    }
+}

@@ -1,0 +1,421 @@
+//! The rewrite specification: plain commutativity, plain absorption and the
+//! asymmetric-commutativity exemptions, per pair of operation signatures
+//! (Definition 2; cf. Figure 6 for the dictionary instance).
+
+use c4_store::op::OpKind;
+use c4_store::{Operation, Value};
+
+use crate::spec::{ArgTerm, Side, SpecFormula};
+use crate::OpSig;
+
+/// The rewrite specification for the store's data types.
+///
+/// All methods return [`SpecFormula`]s over the pair `(src, tgt)`; the
+/// formulas are *exact* characterizations for the shipped data types (and
+/// validated against the operational semantics by property tests), except
+/// where noted conservative.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RewriteSpec;
+
+impl RewriteSpec {
+    /// Creates the specification.
+    pub fn new() -> Self {
+        RewriteSpec
+    }
+
+    /// Plain commutativity: a sufficient (for our types: exact) condition
+    /// for `src tgt ≡ tgt src`. Symmetric.
+    pub fn commute(&self, src: &OpSig, tgt: &OpSig) -> SpecFormula {
+        if src.object != tgt.object {
+            return SpecFormula::True;
+        }
+        if src.is_query() && tgt.is_query() {
+            return SpecFormula::True;
+        }
+        // Normalize: handle each unordered pair once, updates first.
+        if src.is_query() && tgt.is_update() {
+            return self.commute(tgt, src).flipped();
+        }
+        commute_same_object(&src.kind, &tgt.kind)
+    }
+
+    /// Plain absorption `src ▷ tgt`: a sufficient condition for
+    /// `src tgt ≡ tgt` (the target absorbs the source). Non-symmetric;
+    /// `False` unless both are updates on the same object.
+    pub fn absorbs(&self, src: &OpSig, tgt: &OpSig) -> SpecFormula {
+        if src.object != tgt.object || !src.is_update() || !tgt.is_update() {
+            return SpecFormula::False;
+        }
+        absorbs_same_object(&src.kind, &tgt.kind)
+    }
+
+    /// Asymmetric-commutativity exemption (Section 8): a condition under
+    /// which making the invisible update `src` visible to the query `tgt`
+    /// cannot change the query's recorded outcome, *even though* the two do
+    /// not commute plainly.
+    ///
+    /// The canonical instance: `contains(k):true` stays legal when an
+    /// implicit-creation update on `k` becomes visible — in the paradoxical
+    /// situation where the record existed before its creation, it also
+    /// exists after it. Dually, `contains(k):false` stays legal under a
+    /// newly visible removal of `k`.
+    ///
+    /// The paper does not prove soundness of this extension and neither do
+    /// we; it is used only for anti-dependency computation and can be
+    /// disabled (see the analysis feature toggles in the `c4` crate).
+    pub fn anti_dep_exempt(&self, src: &OpSig, tgt: &OpSig) -> SpecFormula {
+        if src.object != tgt.object || !src.is_update() || !tgt.is_query() {
+            return SpecFormula::False;
+        }
+        asym_same_object(&src.kind, &tgt.kind)
+    }
+
+    /// Evaluates plain commutativity on two concrete operations.
+    pub fn commute_concrete(&self, src: &Operation, tgt: &Operation) -> bool {
+        self.commute(&OpSig::of(src), &OpSig::of(tgt)).eval(src, tgt)
+    }
+
+    /// Evaluates plain absorption `src ▷ tgt` on two concrete operations.
+    pub fn absorbs_concrete(&self, src: &Operation, tgt: &Operation) -> bool {
+        self.absorbs(&OpSig::of(src), &OpSig::of(tgt)).eval(src, tgt)
+    }
+
+    /// Evaluates the asymmetric exemption on two concrete operations.
+    pub fn anti_dep_exempt_concrete(&self, src: &Operation, tgt: &Operation) -> bool {
+        self.anti_dep_exempt(&OpSig::of(src), &OpSig::of(tgt)).eval(src, tgt)
+    }
+}
+
+fn eq00() -> SpecFormula {
+    SpecFormula::args_eq(0, 0)
+}
+fn ne00() -> SpecFormula {
+    SpecFormula::args_ne(0, 0)
+}
+fn eq11() -> SpecFormula {
+    SpecFormula::args_eq(1, 1)
+}
+fn ne11() -> SpecFormula {
+    SpecFormula::args_ne(1, 1)
+}
+fn eq(si: usize, ti: usize) -> SpecFormula {
+    SpecFormula::args_eq(si, ti)
+}
+fn ne(si: usize, ti: usize) -> SpecFormula {
+    SpecFormula::args_ne(si, ti)
+}
+fn ret_tgt_is(b: bool) -> SpecFormula {
+    SpecFormula::Eq(ArgTerm::Ret(Side::Tgt), ArgTerm::Const(Value::bool(b)))
+}
+
+/// Commutativity for two operations on the same object; `src` is an update.
+fn commute_same_object(src: &OpKind, tgt: &OpKind) -> SpecFormula {
+    use OpKind::*;
+    use SpecFormula as F;
+    match (src, tgt) {
+        // --- register ---
+        (RegPut, RegPut) => eq00(),
+        (RegPut, RegGet) => F::False,
+        // --- counter ---
+        (CtrInc, CtrInc) => F::True,
+        (CtrInc, CtrGet) => F::False,
+        // --- set ---
+        (SetAdd, SetAdd) | (SetRemove, SetRemove) => F::True,
+        (SetAdd, SetRemove) | (SetRemove, SetAdd) => ne00(),
+        (SetAdd, SetContains) | (SetRemove, SetContains) => ne00(),
+        (SetAdd, SetSize) | (SetRemove, SetSize) => F::False,
+        // --- log ---
+        // Appends do not commute in general: `last` observes their order.
+        (LogAppend, LogAppend) => eq00(),
+        (LogAppend, LogLast) | (LogAppend, LogCount) => F::False,
+        (LogAppend, LogHas) => ne00(),
+        // --- map ---
+        (MapPut, MapPut) => F::or([ne00(), eq11()]),
+        (MapPut, MapRemove) | (MapRemove, MapPut) => ne00(),
+        (MapRemove, MapRemove) => F::True,
+        (MapPut, MapGet) | (MapPut, MapContains) => ne00(),
+        (MapPut, MapSize) => F::False,
+        (MapRemove, MapGet) | (MapRemove, MapContains) => ne00(),
+        (MapRemove, MapSize) => F::False,
+        (MapCopy, MapPut) | (MapCopy, MapRemove) => F::and([ne00(), ne(1, 0)]),
+        (MapPut, MapCopy) | (MapRemove, MapCopy) => F::and([ne00(), ne(0, 1)]),
+        (MapCopy, MapCopy) => F::or([
+            F::and([ne(1, 0), ne(0, 1), ne11()]),
+            F::and([eq00(), eq11()]),
+        ]),
+        (MapCopy, MapGet) | (MapCopy, MapContains) => ne(1, 0),
+        (MapCopy, MapSize) => F::False,
+        // --- table: row-level ---
+        (TblAddRow, TblAddRow) | (TblDeleteRow, TblDeleteRow) => F::True,
+        (TblAddRow, TblDeleteRow) | (TblDeleteRow, TblAddRow) => ne00(),
+        (TblAddRow, TblContains) | (TblDeleteRow, TblContains) => ne00(),
+        // add_row only affects presence; field updates also establish
+        // presence, so both orders agree.
+        (TblAddRow, FldSet(_) | FldAdd(_) | FldRemove(_)) => F::True,
+        (FldSet(_) | FldAdd(_) | FldRemove(_), TblAddRow) => F::True,
+        (TblAddRow, FldGet(_) | FldContains(_) | FldSize(_)) => F::True,
+        (TblDeleteRow, FldSet(_) | FldAdd(_) | FldRemove(_)) => ne00(),
+        (FldSet(_) | FldAdd(_) | FldRemove(_), TblDeleteRow) => ne00(),
+        (TblDeleteRow, FldGet(_) | FldContains(_) | FldSize(_)) => ne00(),
+        // Field updates create the record, so they do not commute with a
+        // row-existence query on the same row.
+        (FldSet(_) | FldAdd(_) | FldRemove(_), TblContains) => ne00(),
+        // --- table: field-level ---
+        (FldSet(f), FldSet(g)) => {
+            if f == g {
+                F::or([ne00(), eq11()])
+            } else {
+                F::True
+            }
+        }
+        (FldSet(f), FldGet(g)) => same_field_or(f, g, ne00()),
+        (FldSet(f), FldAdd(g) | FldRemove(g)) | (FldAdd(f) | FldRemove(f), FldSet(g)) => {
+            // Distinct field types; only name-colliding (ill-typed) programs
+            // hit the conservative same-name case.
+            same_field_or(f, g, F::False)
+        }
+        (FldSet(f), FldContains(g) | FldSize(g)) => same_field_or(f, g, F::False),
+        (FldAdd(_), FldAdd(_)) | (FldRemove(_), FldRemove(_)) => F::True,
+        (FldAdd(f), FldRemove(g)) | (FldRemove(f), FldAdd(g)) => {
+            same_field_or(f, g, F::or([ne00(), ne11()]))
+        }
+        (FldAdd(f) | FldRemove(f), FldContains(g)) => {
+            same_field_or(f, g, F::or([ne00(), ne11()]))
+        }
+        (FldAdd(f) | FldRemove(f), FldSize(g)) => same_field_or(f, g, ne00()),
+        (FldAdd(f) | FldRemove(f), FldGet(g)) => same_field_or(f, g, F::False),
+        // Ill-typed combinations on the same object: conservative.
+        _ => SpecFormula::False,
+    }
+}
+
+fn same_field_or(f: &c4_store::op::FieldName, g: &c4_store::op::FieldName, same: SpecFormula) -> SpecFormula {
+    if f == g {
+        same
+    } else {
+        SpecFormula::True
+    }
+}
+
+/// Absorption `src ▷ tgt` for two updates on the same object.
+fn absorbs_same_object(src: &OpKind, tgt: &OpKind) -> SpecFormula {
+    use OpKind::*;
+    use SpecFormula as F;
+    match (src, tgt) {
+        (RegPut, RegPut) => F::True,
+        // Appends accumulate; nothing absorbs them.
+        (SetAdd | SetRemove, SetAdd | SetRemove) => eq00(),
+        (MapPut | MapRemove, MapPut | MapRemove) => eq00(),
+        // copy(s,d) is absorbed by a write to d (unless the write reads d).
+        (MapCopy, MapPut) | (MapCopy, MapRemove) => eq(1, 0),
+        (MapCopy, MapCopy) => F::and([eq11(), ne(1, 0)]),
+        (MapPut, MapCopy) | (MapRemove, MapCopy) => F::and([eq(0, 1), ne00()]),
+        // Row-level absorption: delete clears both presence and fields.
+        (TblAddRow, TblAddRow) => eq00(),
+        (TblAddRow, TblDeleteRow) => eq00(),
+        (TblDeleteRow, TblDeleteRow) => eq00(),
+        (TblAddRow, FldSet(_) | FldAdd(_) | FldRemove(_)) => eq00(),
+        (FldSet(_) | FldAdd(_) | FldRemove(_), TblDeleteRow) => eq00(),
+        (FldSet(f), FldSet(g)) if f == g => eq00(),
+        (FldAdd(f) | FldRemove(f), FldAdd(g) | FldRemove(g)) if f == g => {
+            F::and([eq00(), eq11()])
+        }
+        _ => F::False,
+    }
+}
+
+/// Asymmetric exemption for an update (`src`) and a query (`tgt`) on the
+/// same object.
+fn asym_same_object(src: &OpKind, tgt: &OpKind) -> SpecFormula {
+    use OpKind::*;
+    use SpecFormula as F;
+    match (src, tgt) {
+        // Creation-style updates vs. a membership query that observed true.
+        (MapPut, MapContains) => F::and([eq00(), ret_tgt_is(true)]),
+        (MapCopy, MapContains) => F::and([eq(1, 0), ret_tgt_is(true)]),
+        (SetAdd, SetContains) => F::and([eq00(), ret_tgt_is(true)]),
+        (LogAppend, LogHas) => F::and([eq00(), ret_tgt_is(true)]),
+        (TblAddRow, TblContains) => F::and([eq00(), ret_tgt_is(true)]),
+        (FldSet(_) | FldAdd(_) | FldRemove(_), TblContains) => {
+            F::and([eq00(), ret_tgt_is(true)])
+        }
+        (FldAdd(f), FldContains(g)) if f == g => F::and([eq00(), eq11(), ret_tgt_is(true)]),
+        // Removal-style updates vs. a membership query that observed false.
+        (MapRemove, MapContains) => F::and([eq00(), ret_tgt_is(false)]),
+        (SetRemove, SetContains) => F::and([eq00(), ret_tgt_is(false)]),
+        (TblDeleteRow, TblContains) => F::and([eq00(), ret_tgt_is(false)]),
+        (FldRemove(f), FldContains(g)) if f == g => F::and([eq00(), eq11(), ret_tgt_is(false)]),
+        _ => F::False,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(object: &str, kind: OpKind) -> OpSig {
+        OpSig::new(object, kind)
+    }
+
+    #[test]
+    fn different_objects_always_commute_never_absorb() {
+        let spec = RewriteSpec::new();
+        let a = sig("M", OpKind::MapPut);
+        let b = sig("N", OpKind::MapPut);
+        assert!(spec.commute(&a, &b).is_true());
+        assert!(spec.absorbs(&a, &b).is_false());
+    }
+
+    #[test]
+    fn figure6_dictionary_commutativity() {
+        let spec = RewriteSpec::new();
+        let put = sig("M", OpKind::MapPut);
+        let get = sig("M", OpKind::MapGet);
+        let size = sig("M", OpKind::MapSize);
+        // put/put: k≠k' ∨ v=v'
+        assert_eq!(
+            spec.commute(&put, &put),
+            SpecFormula::or([SpecFormula::args_ne(0, 0), SpecFormula::args_eq(1, 1)])
+        );
+        // put/get: k≠k'
+        assert_eq!(spec.commute(&put, &get), SpecFormula::args_ne(0, 0));
+        // put/size: false
+        assert!(spec.commute(&put, &size).is_false());
+        // get/get, get/size, size/size: true
+        assert!(spec.commute(&get, &get).is_true());
+        assert!(spec.commute(&get, &size).is_true());
+        assert!(spec.commute(&size, &size).is_true());
+    }
+
+    #[test]
+    fn figure6_dictionary_absorption() {
+        let spec = RewriteSpec::new();
+        let put = sig("M", OpKind::MapPut);
+        assert_eq!(spec.absorbs(&put, &put), SpecFormula::args_eq(0, 0));
+        let get = sig("M", OpKind::MapGet);
+        assert!(spec.absorbs(&put, &get).is_false());
+        assert!(spec.absorbs(&get, &put).is_false());
+    }
+
+    #[test]
+    fn query_update_lookup_is_flipped() {
+        let spec = RewriteSpec::new();
+        let put = sig("M", OpKind::MapPut);
+        let get = sig("M", OpKind::MapGet);
+        // com(get, put) must constrain get's key (src side) against put's
+        // key (tgt side).
+        let f = spec.commute(&get, &put);
+        let get_op = Operation::map_get("M", Value::str("A"), Value::Unit);
+        let put_op = Operation::map_put("M", Value::str("A"), Value::int(1));
+        assert!(!f.eval(&get_op, &put_op));
+        let put_other = Operation::map_put("M", Value::str("B"), Value::int(1));
+        assert!(f.eval(&get_op, &put_other));
+    }
+
+    #[test]
+    fn concrete_examples_from_section_3() {
+        let spec = RewriteSpec::new();
+        // put(a,2) and get(b):1 commute.
+        assert!(spec.commute_concrete(
+            &Operation::map_put("M", Value::str("a"), Value::int(2)),
+            &Operation::map_get("M", Value::str("b"), Value::int(1)),
+        ));
+        // put(a,2) absorbs ... is absorbed: inc example uses counters; here
+        // map-level: put(a,1) ▷ put(a,2) but not vice versa is not
+        // expressible (both absorb); use remove: put(a,1) ▷ remove(a).
+        assert!(spec.absorbs_concrete(
+            &Operation::map_put("M", Value::str("a"), Value::int(1)),
+            &Operation::map_remove("M", Value::str("a")),
+        ));
+        assert!(!spec.absorbs_concrete(
+            &Operation::ctr_inc("C", 1),
+            &Operation::ctr_inc("C", 2),
+        ));
+    }
+
+    #[test]
+    fn counter_inc_commutes_with_inc_not_get() {
+        let spec = RewriteSpec::new();
+        let inc = sig("C", OpKind::CtrInc);
+        let get = sig("C", OpKind::CtrGet);
+        assert!(spec.commute(&inc, &inc).is_true());
+        assert!(spec.commute(&inc, &get).is_false());
+    }
+
+    #[test]
+    fn copy_interactions() {
+        let spec = RewriteSpec::new();
+        let cp = Operation::map_copy("M", Value::str("a"), Value::str("b"));
+        let put_a = Operation::map_put("M", Value::str("a"), Value::int(2));
+        let put_c = Operation::map_put("M", Value::str("c"), Value::int(2));
+        let get_b = Operation::map_get("M", Value::str("b"), Value::int(2));
+        assert!(!spec.commute_concrete(&cp, &put_a)); // cp reads a
+        assert!(spec.commute_concrete(&cp, &put_c));
+        assert!(!spec.commute_concrete(&cp, &get_b)); // cp writes b
+        // put(b,_) absorbs cp(a,b), and cp(a,b) absorbs put(b,_) too (the
+        // copy overwrites b with a's value either way):
+        let put_b = Operation::map_put("M", Value::str("b"), Value::int(9));
+        assert!(spec.absorbs_concrete(&cp, &put_b));
+        assert!(spec.absorbs_concrete(&put_b, &cp));
+        // but a copy *reading* the put's key does not absorb it:
+        let cp_from_b = Operation::map_copy("M", Value::str("b"), Value::str("c"));
+        assert!(!spec.absorbs_concrete(&put_b, &cp_from_b));
+    }
+
+    #[test]
+    fn implicit_creation_blocks_contains_commute() {
+        let spec = RewriteSpec::new();
+        let add = Operation::fld_add("Users", "flwrs", Value::str("A"), Value::str("B"));
+        let contains = Operation::tbl_contains("Users", Value::str("A"), false);
+        assert!(!spec.commute_concrete(&add, &contains));
+        let contains_other = Operation::tbl_contains("Users", Value::str("X"), false);
+        assert!(spec.commute_concrete(&add, &contains_other));
+    }
+
+    #[test]
+    fn asymmetric_exemption_for_contains_true() {
+        let spec = RewriteSpec::new();
+        let add = Operation::fld_add("Users", "flwrs", Value::str("A"), Value::str("B"));
+        let contains_true = Operation::tbl_contains("Users", Value::str("A"), true);
+        let contains_false = Operation::tbl_contains("Users", Value::str("A"), false);
+        assert!(spec.anti_dep_exempt_concrete(&add, &contains_true));
+        assert!(!spec.anti_dep_exempt_concrete(&add, &contains_false));
+        // Deletion is exempt against contains:false.
+        let del = Operation::tbl_delete_row("Users", Value::str("A"));
+        assert!(spec.anti_dep_exempt_concrete(&del, &contains_false));
+        assert!(!spec.anti_dep_exempt_concrete(&del, &contains_true));
+    }
+
+    #[test]
+    fn delete_row_does_not_absorb_backwards() {
+        let spec = RewriteSpec::new();
+        let del = Operation::tbl_delete_row("T", Value::row(1));
+        let set = Operation::fld_set("T", "f", Value::row(1), Value::int(1));
+        // set ▷ delete (delete wipes the field):
+        assert!(spec.absorbs_concrete(&set, &del));
+        // delete ▷ set does NOT hold (set revives presence but not other fields):
+        assert!(!spec.absorbs_concrete(&del, &set));
+    }
+
+    #[test]
+    fn commutativity_is_symmetric_on_samples() {
+        let spec = RewriteSpec::new();
+        let samples = [
+            Operation::map_put("M", Value::str("a"), Value::int(1)),
+            Operation::map_put("M", Value::str("b"), Value::int(2)),
+            Operation::map_remove("M", Value::str("a")),
+            Operation::map_get("M", Value::str("a"), Value::int(1)),
+            Operation::map_contains("M", Value::str("b"), true),
+            Operation::map_copy("M", Value::str("a"), Value::str("b")),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    spec.commute_concrete(a, b),
+                    spec.commute_concrete(b, a),
+                    "commutativity must be symmetric for {a} / {b}"
+                );
+            }
+        }
+    }
+}

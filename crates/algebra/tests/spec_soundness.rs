@@ -1,0 +1,222 @@
+//! Property tests: the symbolic rewrite specification is *sound* with
+//! respect to the operational sequential semantics.
+//!
+//! For randomly drawn update pairs over a shared small value domain:
+//!
+//! * if the specification claims plain commutativity, replaying the two
+//!   orders from a random initial state and probing with every query must
+//!   agree;
+//! * if the specification claims absorption `e ▷ f`, replaying `e f` and
+//!   `f` alone must agree on all probes — and also `e β f` vs `β f` for a
+//!   random interposer sequence `β` when the *far* version holds.
+
+use c4_algebra::{Alphabet, FarSpec, OpSig, RewriteSpec};
+use c4_store::semantics::StoreState;
+use c4_store::{op::OpKind, Operation, Value};
+use proptest::prelude::*;
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0..3i64).prop_map(Value::int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Value::str),
+    ]
+}
+
+fn update_op() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        (small_value(), small_value()).prop_map(|(k, v)| Operation::map_put("M", k, v)),
+        small_value().prop_map(|k| Operation::map_remove("M", k)),
+        (small_value(), small_value()).prop_map(|(s, d)| Operation::map_copy("M", s, d)),
+        small_value().prop_map(|v| Operation::reg_put("R", v)),
+        (0..3i64).prop_map(|n| Operation::ctr_inc("C", n)),
+        small_value().prop_map(|e| Operation::set_add("S", e)),
+        small_value().prop_map(|e| Operation::set_remove("S", e)),
+        small_value().prop_map(|r| Operation::tbl_add_row("T", r)),
+        small_value().prop_map(|r| Operation::tbl_delete_row("T", r)),
+        (small_value(), small_value()).prop_map(|(r, v)| Operation::fld_set("T", "f", r, v)),
+        (small_value(), small_value()).prop_map(|(r, e)| Operation::fld_add("T", "g", r, e)),
+        (small_value(), small_value()).prop_map(|(r, e)| Operation::fld_remove("T", "g", r, e)),
+        small_value().prop_map(|e| Operation::log_append("L", e)),
+    ]
+}
+
+/// Queries that observe every aspect of the state the updates can touch.
+fn probes() -> Vec<Operation> {
+    let mut ps = vec![Operation::reg_get("R", Value::Unit), Operation::ctr_get("C", 0)];
+    for v in [Value::int(0), Value::int(1), Value::int(2), Value::str("a"), Value::str("b"), Value::str("c")] {
+        ps.push(Operation::map_get("M", v.clone(), Value::Unit));
+        ps.push(Operation::map_contains("M", v.clone(), false));
+        ps.push(Operation::set_contains("S", v.clone(), false));
+        ps.push(Operation::tbl_contains("T", v.clone(), false));
+        ps.push(Operation::fld_get("T", "f", v.clone(), Value::Unit));
+        for e in [Value::int(0), Value::str("a")] {
+            ps.push(Operation::fld_contains("T", "g", v.clone(), e, false));
+        }
+        ps.push(Operation::fld_contains("T", "g", v.clone(), v.clone(), false));
+    }
+    ps.push(Operation::map_size("M".into()));
+    ps.push(Operation::set_size("S", 0));
+    ps.push(Operation::log_last("L", Value::Unit));
+    ps.push(Operation::log_count("L", 0));
+    for v in [Value::int(0), Value::str("a")] {
+        ps.push(Operation::log_has("L", v, false));
+    }
+    ps
+}
+
+trait MapSize {
+    fn map_size(object: c4_store::op::ObjectName) -> Operation;
+}
+impl MapSize for Operation {
+    fn map_size(object: c4_store::op::ObjectName) -> Operation {
+        Operation::new(object, OpKind::MapSize, vec![], Some(Value::int(0)))
+    }
+}
+
+fn probe_results(prefix: &[Operation], ops: &[&Operation]) -> Vec<Value> {
+    let mut st = StoreState::new();
+    for op in prefix {
+        st.apply(op);
+    }
+    for op in ops {
+        st.apply(op);
+    }
+    probes().iter().map(|p| st.eval(p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Spec-claimed commutativity implies operational commutativity from
+    /// any reachable state.
+    #[test]
+    fn commute_spec_is_sound(
+        prefix in prop::collection::vec(update_op(), 0..5),
+        a in update_op(),
+        b in update_op(),
+    ) {
+        let spec = RewriteSpec::new();
+        if spec.commute_concrete(&a, &b) {
+            prop_assert_eq!(
+                probe_results(&prefix, &[&a, &b]),
+                probe_results(&prefix, &[&b, &a]),
+                "spec claims {} and {} commute", a, b
+            );
+        }
+    }
+
+    /// Spec-claimed absorption `a ▷ b` implies `a b ≡ b` from any state.
+    #[test]
+    fn absorption_spec_is_sound(
+        prefix in prop::collection::vec(update_op(), 0..5),
+        a in update_op(),
+        b in update_op(),
+    ) {
+        let spec = RewriteSpec::new();
+        if spec.absorbs_concrete(&a, &b) {
+            prop_assert_eq!(
+                probe_results(&prefix, &[&a, &b]),
+                probe_results(&prefix, &[&b]),
+                "spec claims {} ▷ {}", a, b
+            );
+        }
+    }
+
+    /// Far absorption tolerates arbitrary interposers from the alphabet:
+    /// `a β b ≡ β b`.
+    #[test]
+    fn far_absorption_tolerates_interposers(
+        prefix in prop::collection::vec(update_op(), 0..3),
+        a in update_op(),
+        beta in prop::collection::vec(update_op(), 0..4),
+        b in update_op(),
+    ) {
+        let all: Vec<OpSig> = prefix.iter().chain([&a, &b]).chain(beta.iter()).map(OpSig::of).collect();
+        // Compute far relations over the *full* store alphabet so that any
+        // interposer is accounted for.
+        let mut alphabet: Vec<OpSig> = all;
+        for op in full_alphabet() {
+            alphabet.push(op);
+        }
+        let far = FarSpec::compute(RewriteSpec::new(), &Alphabet::new(alphabet));
+        if far.far_absorbs_concrete(&a, &b) {
+            let mut left: Vec<&Operation> = vec![&a];
+            left.extend(beta.iter());
+            left.push(&b);
+            let mut right: Vec<&Operation> = beta.iter().collect();
+            right.push(&b);
+            prop_assert_eq!(
+                probe_results(&prefix, &left),
+                probe_results(&prefix, &right),
+                "far spec claims {} ▷ {}", a, b
+            );
+        }
+    }
+
+    /// Far commutativity of an update and a query tolerates interposers:
+    /// the query result after `u β` equals the result after `β` alone.
+    #[test]
+    fn far_commutativity_tolerates_interposers(
+        prefix in prop::collection::vec(update_op(), 0..3),
+        u in update_op(),
+        beta in prop::collection::vec(update_op(), 0..4),
+    ) {
+        let mut alphabet: Vec<OpSig> =
+            prefix.iter().chain([&u]).chain(beta.iter()).map(OpSig::of).collect();
+        alphabet.extend(full_alphabet());
+        let far = FarSpec::compute(RewriteSpec::new(), &Alphabet::new(alphabet));
+        for q in probes() {
+            let qsig = OpSig::of(&q);
+            if far.far_commutes(&OpSig::of(&u), &qsig).eval(&u, &q) {
+                let mut with_u: Vec<&Operation> = vec![&u];
+                with_u.extend(beta.iter());
+                let without: Vec<&Operation> = beta.iter().collect();
+                let mut st1 = StoreState::new();
+                for op in prefix.iter().chain(with_u.iter().copied()) {
+                    st1.apply(op);
+                }
+                let mut st2 = StoreState::new();
+                for op in prefix.iter().chain(without.iter().copied()) {
+                    st2.apply(op);
+                }
+                prop_assert_eq!(
+                    st1.eval(&q),
+                    st2.eval(&q),
+                    "far spec claims {} ↷º {}", u.clone(), q.clone()
+                );
+            }
+        }
+    }
+}
+
+fn full_alphabet() -> Vec<OpSig> {
+    vec![
+        OpSig::new("M", OpKind::MapPut),
+        OpSig::new("M", OpKind::MapRemove),
+        OpSig::new("M", OpKind::MapCopy),
+        OpSig::new("M", OpKind::MapGet),
+        OpSig::new("M", OpKind::MapContains),
+        OpSig::new("M", OpKind::MapSize),
+        OpSig::new("R", OpKind::RegPut),
+        OpSig::new("R", OpKind::RegGet),
+        OpSig::new("C", OpKind::CtrInc),
+        OpSig::new("C", OpKind::CtrGet),
+        OpSig::new("S", OpKind::SetAdd),
+        OpSig::new("S", OpKind::SetRemove),
+        OpSig::new("S", OpKind::SetContains),
+        OpSig::new("S", OpKind::SetSize),
+        OpSig::new("T", OpKind::TblAddRow),
+        OpSig::new("T", OpKind::TblDeleteRow),
+        OpSig::new("T", OpKind::TblContains),
+        OpSig::new("T", OpKind::FldSet("f".into())),
+        OpSig::new("T", OpKind::FldGet("f".into())),
+        OpSig::new("T", OpKind::FldAdd("g".into())),
+        OpSig::new("T", OpKind::FldRemove("g".into())),
+        OpSig::new("T", OpKind::FldContains("g".into())),
+        OpSig::new("T", OpKind::FldSize("g".into())),
+        OpSig::new("L", OpKind::LogAppend),
+        OpSig::new("L", OpKind::LogLast),
+        OpSig::new("L", OpKind::LogCount),
+        OpSig::new("L", OpKind::LogHas),
+    ]
+}

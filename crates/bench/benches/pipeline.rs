@@ -1,0 +1,35 @@
+//! End-to-end pipeline benchmarks: one Table 1 row per representative
+//! benchmark (small / medium / RMW-heavy), front end + back end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::AnalysisFeatures;
+
+fn bench_rows(c: &mut Criterion) {
+    for name in ["Contest Voting", "Cloud List", "Tetris"] {
+        let b = c4_suite::benchmark(name).expect("benchmark exists");
+        c.bench_function(&format!("table1_row/{name}"), |bencher| {
+            bencher.iter(|| {
+                let out = c4_suite::analyze(&b, &AnalysisFeatures::default());
+                out.unfiltered_counts().total() + out.filtered_counts().total()
+            })
+        });
+    }
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let b = c4_suite::benchmark("Relatd").expect("benchmark exists");
+    c.bench_function("frontend/relatd", |bencher| {
+        bencher.iter(|| {
+            let p = c4_lang::parse(b.source).unwrap();
+            c4_lang::abstract_history(&p).unwrap().event_count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rows, bench_frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Regenerates Figure 13: the interplay of analysis features.
+//!
+//! * `figure13 a` — Figures 13a1/13a2: for every false alarm eliminated by
+//!   the SMT stage, the set of precision features (Commutativity,
+//!   Absorption, constraints/Equalities, control-Flow) that must be
+//!   enabled to eliminate it, per domain.
+//! * `figure13 b` — Figures 13b1/13b2: the overlap of the filtering
+//!   heuristics (atomic sets, display code) with the harmful/harmless
+//!   classification.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use c4::{filter, AnalysisFeatures, Checker};
+use c4_suite::{benchmarks, Benchmark, Class, Domain};
+
+type Sig = BTreeSet<String>;
+
+fn violations_with(b: &Benchmark, features: &AnalysisFeatures) -> BTreeSet<Sig> {
+    let program = c4_lang::parse(b.source).expect("parse");
+    let history = c4_lang::abstract_history(&program).expect("interp");
+    // Ablation runs only need the k = 2 violations for attribution; cap
+    // the budget so configurations that fail to generalize stay fast.
+    let features = AnalysisFeatures { max_k: 2, time_budget_secs: 20, ..features.clone() };
+    let res = Checker::new(history.clone(), features).run();
+    res.violations
+        .iter()
+        .map(|v| v.txs.iter().map(|&i| history.txs[i].name.clone()).collect())
+        .collect()
+}
+
+fn part_a() {
+    for domain in [Domain::TouchDevelop, Domain::Cassandra] {
+        let mut regions: BTreeMap<String, usize> = BTreeMap::new();
+        let mut eliminated_total = 0usize;
+        for b in benchmarks().into_iter().filter(|b| b.domain == domain) {
+            let full = violations_with(&b, &AnalysisFeatures::default());
+            let none = violations_with(
+                &b,
+                &AnalysisFeatures {
+                    commutativity: false,
+                    absorption: false,
+                    constraints: false,
+                    control_flow: false,
+                    ..AnalysisFeatures::default()
+                },
+            );
+            // Alarms the fully-featured SMT stage eliminates.
+            let eliminated: Vec<&Sig> = none.iter().filter(|v| !full.contains(*v)).collect();
+            if eliminated.is_empty() {
+                continue;
+            }
+            // Which features are needed: an alarm needs feature f if it
+            // reappears when f alone is disabled.
+            let mut minus: Vec<(char, BTreeSet<Sig>)> = Vec::new();
+            for (c, f) in [
+                ('C', AnalysisFeatures { commutativity: false, ..AnalysisFeatures::default() }),
+                ('A', AnalysisFeatures { absorption: false, ..AnalysisFeatures::default() }),
+                ('E', AnalysisFeatures { constraints: false, ..AnalysisFeatures::default() }),
+                ('F', AnalysisFeatures { control_flow: false, ..AnalysisFeatures::default() }),
+            ] {
+                minus.push((c, violations_with(&b, &f)));
+            }
+            for v in eliminated {
+                eliminated_total += 1;
+                let mut needed = String::new();
+                for (c, vs) in &minus {
+                    if vs.contains(v) {
+                        needed.push(*c);
+                    }
+                }
+                if needed.is_empty() {
+                    needed.push('?'); // eliminated only by feature interplay
+                }
+                *regions.entry(needed).or_default() += 1;
+            }
+        }
+        let label = match domain {
+            Domain::TouchDevelop => "Figure 13a1 (TouchDevelop)",
+            Domain::Cassandra => "Figure 13a2 (Cassandra)",
+        };
+        println!("{label}: {eliminated_total} false alarms eliminated by the SMT stage");
+        println!("  features needed (C=commutativity A=absorption E=equalities F=control-flow):");
+        for (region, count) in &regions {
+            println!("    {region:<5} {count}");
+        }
+        println!();
+    }
+}
+
+fn part_b() {
+    for domain in [Domain::TouchDevelop, Domain::Cassandra] {
+        let mut rows: Vec<(Sig, Class, bool, bool)> = Vec::new();
+        for b in benchmarks().into_iter().filter(|b| b.domain == domain) {
+            let program = c4_lang::parse(b.source).expect("parse");
+            let history = c4_lang::abstract_history(&program).expect("interp");
+            let features = AnalysisFeatures::default();
+            let name_of =
+                |i: usize| -> String { history.txs[i].name.clone() };
+            let run = |h: &c4::AbstractHistory| -> BTreeSet<Sig> {
+                Checker::new(h.clone(), features.clone())
+                    .run()
+                    .violations
+                    .iter()
+                    .map(|v| v.txs.iter().map(|&i| name_of(i)).collect())
+                    .collect()
+            };
+            let unfiltered = run(&history);
+            let display_only = run(&filter::drop_display(&history));
+            let atomic_only: BTreeSet<Sig> = filter::atomic_set_views(&history)
+                .iter()
+                .flat_map(|v| run(v))
+                .collect();
+            for sig in unfiltered {
+                let by_display = !display_only.contains(&sig);
+                let by_atomic = !atomic_only.contains(&sig);
+                let class = (b.classify)(&sig);
+                rows.push((sig, class, by_display, by_atomic));
+            }
+        }
+        let label = match domain {
+            Domain::TouchDevelop => "Figure 13b1 (TouchDevelop)",
+            Domain::Cassandra => "Figure 13b2 (Cassandra)",
+        };
+        let count = |f: &dyn Fn(&(Sig, Class, bool, bool)) -> bool| rows.iter().filter(|r| f(r)).count();
+        println!("{label}: {} violations total", rows.len());
+        println!("  harmful:                      {}", count(&|r| r.1 == Class::Harmful));
+        println!("  harmless:                     {}", count(&|r| r.1 == Class::Harmless));
+        println!("  filtered by display code:     {}", count(&|r| r.2));
+        println!("  filtered by atomic sets:      {}", count(&|r| r.3));
+        println!("  filtered by both:             {}", count(&|r| r.2 && r.3));
+        println!(
+            "  harmful filtered (must be 0): {}",
+            count(&|r| r.1 == Class::Harmful && (r.2 || r.3))
+        );
+        println!(
+            "  harmless unfiltered:          {}",
+            count(&|r| r.1 == Class::Harmless && !r.2 && !r.3)
+        );
+        println!();
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ab".into());
+    if which.contains('a') {
+        part_a();
+    }
+    if which.contains('b') {
+        part_b();
+    }
+}

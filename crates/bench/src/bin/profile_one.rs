@@ -1,0 +1,13 @@
+//! Quick profiling helper: analyze one benchmark, print stats.
+use c4::AnalysisFeatures;
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Super Chat".into());
+    let b = c4_suite::benchmark(&name).expect("benchmark");
+    let t0 = std::time::Instant::now();
+    let out = c4_suite::analyze(&b, &AnalysisFeatures::default());
+    println!("{name}: {:?}", t0.elapsed());
+    println!("stats: {:?}", out.stats);
+    println!("unfiltered: {:?}", out.unfiltered.iter().map(|(s, c)| (s.iter().cloned().collect::<Vec<_>>().join("+"), *c)).collect::<Vec<_>>());
+    println!("filtered: {:?}", out.filtered.iter().map(|(s, c)| (s.iter().cloned().collect::<Vec<_>>().join("+"), *c)).collect::<Vec<_>>());
+    println!("generalized={} k={}", out.generalized, out.max_k);
+}

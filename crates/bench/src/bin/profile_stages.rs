@@ -1,0 +1,59 @@
+//! Stage-by-stage profiling of the analysis pipeline on one benchmark.
+use std::time::Instant;
+use c4::check::AnalysisFeatures;
+use c4::encode::CycleEncoder;
+use c4::ssg::{candidate_cycles_with, PairLookup, PairTables, Ssg};
+use c4::unfold::{unfold_all, unfoldings};
+use c4_algebra::{FarSpec, RewriteSpec};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Super Chat".into());
+    let b = c4_suite::benchmark(&name).expect("benchmark");
+    let p = c4_lang::parse(b.source).unwrap();
+    let h = c4_lang::abstract_history(&p).unwrap();
+    let t0 = Instant::now();
+    let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
+    println!("far: {:?}", t0.elapsed());
+    let unfolded = unfold_all(&h);
+    let t0 = Instant::now();
+    let tables = PairTables::compute(&unfolded, &far);
+    println!("tables: {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let mut n_unf = 0; let mut n_cands = 0usize;
+    let mut cands_store = vec![];
+    for u in unfoldings(&h, &unfolded, 2) {
+        n_unf += 1;
+        let ssg = Ssg::of_unfolding_cached(&u, &tables);
+        let cands = candidate_cycles_with(&u, &ssg, PairLookup::Cached(&tables));
+        n_cands += cands.len();
+        for c in cands { cands_store.push((u.clone(), c)); }
+    }
+    println!("k=2: {n_unf} unfoldings, {n_cands} candidates, {:?}", t0.elapsed());
+    let features = AnalysisFeatures::default();
+    let t0 = Instant::now();
+    let mut sat = 0;
+    let mut slowest = std::time::Duration::ZERO;
+    let mut slow_idx = 0;
+    for (i, (u, c)) in cands_store.iter().enumerate() {
+        let tq = Instant::now();
+        let enc = CycleEncoder::new(u, &far, &features);
+        if enc.check(c).is_some() { sat += 1; }
+        let d = tq.elapsed();
+        if d > slowest { slowest = d; slow_idx = i; }
+        if d.as_millis() > 500 { println!("  slow query #{i}: {:?} labels {:?}", d, c.steps.iter().map(|s| s.label).collect::<Vec<_>>()); }
+    }
+    println!("all {} SMT queries ({sat} sat): {:?}, slowest #{slow_idx} {:?}", cands_store.len(), t0.elapsed(), slowest);
+
+    // Full Algorithm 1 with a wall-clock breakdown via the checker itself.
+    let t0 = Instant::now();
+    let checker = c4::Checker::new(h.clone(), features.clone());
+    let res = checker.run();
+    println!(
+        "Checker::run: {:?} — {} violations, generalized={} max_k={} stats={:?}",
+        t0.elapsed(),
+        res.violations.len(),
+        res.generalized,
+        res.max_k,
+        res.stats
+    );
+}

@@ -1,0 +1,97 @@
+//! Regenerates Table 1: per-benchmark sizes, times and classified
+//! violation counts, unfiltered and filtered, plus the Section 9.2
+//! aggregate statistics.
+//!
+//! Usage: `table1 [benchmark-name …]` (all benchmarks by default).
+
+use c4::AnalysisFeatures;
+use c4_bench::secs;
+use c4_suite::{benchmarks, Counts, Domain};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let features = AnalysisFeatures::default();
+    let selected: Vec<_> = benchmarks()
+        .into_iter()
+        .filter(|b| args.is_empty() || args.iter().any(|a| a == b.name))
+        .collect();
+
+    println!(
+        "{:<18} {:>3} {:>3}  {:>6} {:>6} {:>6}   {:>11}   {:>11}  gen k",
+        "Program", "T", "E", "FE[s]", "BE[s]", "Σ[s]", "unfilt E/H/F", "filt E/H/F"
+    );
+    let mut totals_unf = Counts::default();
+    let mut totals_fil = Counts::default();
+    let mut all_generalized = true;
+    let mut max_k = 0;
+    let mut last_domain = None;
+    for b in &selected {
+        if last_domain != Some(b.domain) {
+            let name = match b.domain {
+                Domain::TouchDevelop => "— TouchDevelop —",
+                Domain::Cassandra => "— Cassandra —",
+            };
+            println!("{name}");
+            last_domain = Some(b.domain);
+        }
+        let out = c4_suite::analyze(b, &features);
+        let u = out.unfiltered_counts();
+        let f = out.filtered_counts();
+        totals_unf.errors += u.errors;
+        totals_unf.harmless += u.harmless;
+        totals_unf.false_alarms += u.false_alarms;
+        totals_fil.errors += f.errors;
+        totals_fil.harmless += f.harmless;
+        totals_fil.false_alarms += f.false_alarms;
+        all_generalized &= out.generalized;
+        max_k = out.max_k.max(max_k);
+        println!(
+            "{:<18} {:>3} {:>3}  {:>6} {:>6} {:>6}   {:>4}/{}/{}/{:<2}  {:>4}/{}/{}/{:<2}  {} {}",
+            out.name,
+            out.t,
+            out.e,
+            secs(out.fe_time),
+            secs(out.be_time),
+            secs(out.fe_time + out.be_time),
+            u.errors,
+            u.harmless,
+            u.false_alarms,
+            u.total(),
+            f.errors,
+            f.harmless,
+            f.false_alarms,
+            f.total(),
+            if out.generalized { "✓" } else { "✗" },
+            out.max_k,
+        );
+    }
+    println!();
+    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    println!("Section 9.2 aggregates:");
+    println!(
+        "  unfiltered: {} violations ({} harmful, {} harmless, {} false alarms — {:.0}% FA rate)",
+        totals_unf.total(),
+        totals_unf.errors,
+        totals_unf.harmless,
+        totals_unf.false_alarms,
+        pct(totals_unf.false_alarms, totals_unf.total()),
+    );
+    println!(
+        "  filtered:   {} violations ({} harmful = {:.0}%, {} harmless, {} false alarms — {:.0}% FA rate)",
+        totals_fil.total(),
+        totals_fil.errors,
+        pct(totals_fil.errors, totals_fil.total()),
+        totals_fil.harmless,
+        totals_fil.false_alarms,
+        pct(totals_fil.false_alarms, totals_fil.total()),
+    );
+    println!(
+        "  avg violations/project: {:.1} unfiltered, {:.1} filtered",
+        totals_unf.total() as f64 / selected.len().max(1) as f64,
+        totals_fil.total() as f64 / selected.len().max(1) as f64,
+    );
+    println!(
+        "  generalization: {} (max k = {max_k})",
+        if all_generalized { "succeeded for every benchmark" } else { "bounded fallback on some benchmarks" },
+    );
+}

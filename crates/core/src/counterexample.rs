@@ -1,0 +1,184 @@
+//! Decoding SMT models into concrete counter-example histories and
+//! validating them against the concrete DSG machinery.
+
+use c4_algebra::FarSpec;
+use c4_dsg::{DepOptions, Dsg, EdgeLabel};
+use c4_store::schedule::Relation;
+use c4_store::{EventId, History, HistoryBuilder, Operation, Schedule, TxId};
+
+use crate::encode::{returns_bool, CycleModel};
+use crate::ssg::{CandidateCycle, SsgLabel};
+use crate::unfold::Unfolding;
+
+/// A decoded counter-example: a concrete history together with a
+/// pre-schedule whose DSG contains the reported cycle.
+#[derive(Debug)]
+pub struct CounterExample {
+    /// The concrete history.
+    pub history: History,
+    /// The pre-schedule (satisfies (S2)/(S3); legality (S1) is not
+    /// required for pre-schedules, see Section 5).
+    pub schedule: Schedule,
+    /// The concrete transaction of each unfolding instance (`None` when
+    /// the chosen path produced no events).
+    pub instance_tx: Vec<Option<TxId>>,
+}
+
+impl CounterExample {
+    /// Builds the concrete history and pre-schedule from a cycle model.
+    pub fn build(u: &Unfolding, model: &CycleModel) -> Self {
+        let n = u.instances.len();
+        let mut b = HistoryBuilder::new();
+        let sessions: Vec<_> = (0..u.k).map(|_| b.session()).collect();
+        // Instances in session order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (u.instances[i].session, u.instances[i].pos));
+        let mut first_event: Vec<Option<EventId>> = vec![None; n];
+        let mut instance_events: Vec<Vec<EventId>> = vec![Vec::new(); n];
+        for &i in &order {
+            let inst = &u.instances[i];
+            let tx = b.begin(sessions[inst.session]);
+            for &e in &model.paths[i] {
+                let e = e as usize;
+                let spec = &inst.tx.events[e];
+                let args: Vec<_> = (0..spec.args.len())
+                    .map(|pos| {
+                        model.args.get(&(i, e, pos)).cloned().unwrap_or_default()
+                    })
+                    .collect();
+                let ret = spec.kind.is_query().then(|| {
+                    let v = model.rets.get(&(i, e)).cloned().unwrap_or_default();
+                    if returns_bool(&spec.kind) && !matches!(v, c4_store::Value::Bool(_)) {
+                        c4_store::Value::Bool(false)
+                    } else {
+                        v
+                    }
+                });
+                let id = b.push(tx, Operation::new(spec.object.clone(), spec.kind.clone(), args, ret));
+                first_event[i].get_or_insert(id);
+                instance_events[i].push(id);
+            }
+        }
+        let history = b.finish();
+        let instance_tx: Vec<Option<TxId>> =
+            first_event.iter().map(|f| f.map(|e| history.tx_of(e))).collect();
+        // Arbitration: topological order of instances by the model's ar,
+        // events in path order within each instance.
+        let mut ar_rank: Vec<usize> = (0..n).collect();
+        ar_rank.sort_by_key(|&i| (0..n).filter(|&j| j != i && model.ar[j][i]).count());
+        let mut ar_order: Vec<EventId> = Vec::with_capacity(history.len());
+        for &i in &ar_rank {
+            ar_order.extend(instance_events[i].iter().copied());
+        }
+        // Visibility: instance-level plus intra-instance program order.
+        let mut vis = Relation::new(history.len());
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && model.vis[i][j] {
+                    for &a in &instance_events[i] {
+                        for &bb in &instance_events[j] {
+                            vis.insert(a, bb);
+                        }
+                    }
+                }
+            }
+            for (x, &a) in instance_events[i].iter().enumerate() {
+                for &bb in &instance_events[i][x + 1..] {
+                    vis.insert(a, bb);
+                }
+            }
+        }
+        let schedule =
+            Schedule::new(&history, ar_order, vis).expect("model orders form a schedule shape");
+        CounterExample { history, schedule, instance_tx }
+    }
+
+    /// Validates the counter-example: the pre-schedule satisfies (S2)/(S3)
+    /// and its concrete DSG contains every edge of the reported cycle.
+    pub fn validate(
+        &self,
+        far: &FarSpec,
+        cand: &CandidateCycle,
+        u: &Unfolding,
+        asymmetric: bool,
+    ) -> Result<(), String> {
+        self.schedule
+            .check_pre(&self.history)
+            .map_err(|e| format!("pre-schedule violation: {e}"))?;
+        let opts = DepOptions { asymmetric_commutativity: asymmetric };
+        let dsg = Dsg::build(&self.history, &self.schedule, far, &opts);
+        let m = cand.nodes.len();
+        for (s, step) in cand.steps.iter().enumerate() {
+            let a = cand.nodes[s];
+            let bnode = cand.nodes[(s + 1) % m];
+            let (Some(ta), Some(tb)) = (self.instance_tx[a], self.instance_tx[bnode]) else {
+                return Err(format!("cycle node without events: step {s}"));
+            };
+            let want = match step.label {
+                SsgLabel::So => EdgeLabel::SessionOrder,
+                SsgLabel::Dep => EdgeLabel::Dep,
+                SsgLabel::Anti => EdgeLabel::Anti,
+                SsgLabel::Conflict => EdgeLabel::Conflict,
+            };
+            let found = dsg
+                .edges()
+                .iter()
+                .any(|e| e.from == ta && e.to == tb && e.label == want);
+            if !found {
+                return Err(format!(
+                    "cycle edge {ta} -{want}-> {tb} missing from the concrete DSG"
+                ));
+            }
+        }
+        let _ = u;
+        Ok(())
+    }
+
+    /// Renders the counter-example for the report, including the DSG
+    /// cycle's edges.
+    pub fn render_with_cycle(&self, u: &Unfolding, cand: &CandidateCycle) -> String {
+        let mut out = String::new();
+        let m = cand.nodes.len();
+        let mut cycle = String::from("DSG cycle: ");
+        for (s, step) in cand.steps.iter().enumerate() {
+            let a = cand.nodes[s];
+            let b = cand.nodes[(s + 1) % m];
+            let (ta, tb) = (self.instance_tx[a], self.instance_tx[b]);
+            let fmt = |t: Option<TxId>| t.map_or("∅".to_string(), |t| t.to_string());
+            if s == 0 {
+                cycle.push_str(&fmt(ta));
+            }
+            cycle.push_str(&format!(" ─{}→ {}", step.label, fmt(tb)));
+        }
+        out.push_str(&cycle);
+        out.push('\n');
+        out.push_str(&self.render(u));
+        out
+    }
+
+    /// Renders the counter-example for the report.
+    pub fn render(&self, u: &Unfolding) -> String {
+        let mut out = String::new();
+        out.push_str(&self.history.to_string());
+        out.push_str("visibility between transactions:\n");
+        for (i, ti) in self.instance_tx.iter().enumerate() {
+            for (j, tj) in self.instance_tx.iter().enumerate() {
+                if i != j {
+                    if let (Some(ti), Some(tj)) = (ti, tj) {
+                        let (Some(&a), Some(&bb)) = (
+                            self.history.transaction(*ti).events.first(),
+                            self.history.transaction(*tj).events.first(),
+                        ) else {
+                            continue;
+                        };
+                        if self.schedule.vis(a, bb) {
+                            out.push_str(&format!("  {ti} vı→ {tj}\n"));
+                        }
+                    }
+                }
+            }
+        }
+        let _ = u;
+        out
+    }
+}

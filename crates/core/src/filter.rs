@@ -1,0 +1,179 @@
+//! Filtering heuristics of Section 9.1: display code and atomic sets.
+//!
+//! *Display code*: queries whose results are never used in the business
+//! logic but only shown to the user are excluded from the serializability
+//! analysis. *Atomic sets*: serializability is checked independently for
+//! each logically-related subset of the data.
+
+use crate::abstract_history::{AbsArg, AbsEventSpec, AbsTx, AbstractHistory, EoEdge, Node};
+
+/// Removes the display-marked query events from the history.
+pub fn drop_display(h: &AbstractHistory) -> AbstractHistory {
+    restrict(h, |e| !e.display)
+}
+
+/// The per-atomic-set views of the history (a single view containing
+/// everything when no atomic sets are declared).
+pub fn atomic_set_views(h: &AbstractHistory) -> Vec<AbstractHistory> {
+    if h.atomic_sets.is_empty() {
+        return vec![h.clone()];
+    }
+    h.atomic_sets
+        .iter()
+        .map(|set| restrict(h, |e| set.contains(&e.object)))
+        .collect()
+}
+
+/// Restricts the history to the events satisfying the predicate,
+/// preserving control-flow structure (removed events are bypassed).
+pub fn restrict(h: &AbstractHistory, keep: impl Fn(&AbsEventSpec) -> bool) -> AbstractHistory {
+    let mut out = h.clone();
+    for tx in &mut out.txs {
+        loop {
+            let Some(victim) =
+                tx.events.iter().position(|e| !keep(e))
+            else {
+                break;
+            };
+            remove_event(tx, victim as u32);
+        }
+    }
+    out
+}
+
+/// Removes one event from a transaction's CFG, splicing its incident
+/// edges. Conditions and arguments referring to the removed event's result
+/// are dropped (⊤) resp. wildcarded — sound over-approximations.
+fn remove_event(tx: &mut AbsTx, victim: u32) {
+    let vnode = Node::Event(victim);
+    let preds: Vec<EoEdge> = tx.edges.iter().filter(|e| e.tgt == vnode && e.src != vnode).cloned().collect();
+    let succs: Vec<EoEdge> = tx.edges.iter().filter(|e| e.src == vnode && e.tgt != vnode).cloned().collect();
+    tx.edges.retain(|e| e.src != vnode && e.tgt != vnode);
+    for p in &preds {
+        for s in &succs {
+            let mut cond = p.cond.clone();
+            cond.extend(s.cond.iter().cloned());
+            cond.retain(|c| !mentions(&c.lhs, victim) && !mentions(&c.rhs, victim));
+            tx.edges.push(EoEdge { src: p.src, tgt: s.tgt, cond });
+        }
+    }
+    tx.events.remove(victim as usize);
+    // Renumber event indices above the victim.
+    let remap_node = |n: &mut Node| {
+        if let Node::Event(i) = n {
+            if *i > victim {
+                *i -= 1;
+            }
+        }
+    };
+    let remap_arg = |a: &mut AbsArg| {
+        if let AbsArg::Ret(r) | AbsArg::RowOf(r) = a {
+            match (*r).cmp(&victim) {
+                std::cmp::Ordering::Greater => *r -= 1,
+                std::cmp::Ordering::Equal => *a = AbsArg::Wild,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+    };
+    for e in &mut tx.edges {
+        remap_node(&mut e.src);
+        remap_node(&mut e.tgt);
+        for c in &mut e.cond {
+            remap_arg(&mut c.lhs);
+            remap_arg(&mut c.rhs);
+        }
+    }
+    for ev in &mut tx.events {
+        for a in &mut ev.args {
+            remap_arg(a);
+        }
+    }
+    // Dedupe edges introduced by splicing.
+    let mut seen = std::collections::HashSet::new();
+    tx.edges.retain(|e| seen.insert((e.src, e.tgt, format!("{:?}", e.cond))));
+}
+
+fn mentions(a: &AbsArg, victim: u32) -> bool {
+    matches!(a, AbsArg::Ret(r) | AbsArg::RowOf(r) if *r == victim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_history::{ev, straight_line_tx};
+    use c4_store::op::OpKind;
+
+    fn history_with_display() -> AbstractHistory {
+        let mut h = AbstractHistory::new();
+        let mut tx = straight_line_tx(
+            "t",
+            vec!["k".into()],
+            vec![
+                ev("M", OpKind::MapPut, vec![AbsArg::Param(0), AbsArg::Wild]),
+                ev("M", OpKind::MapGet, vec![AbsArg::Param(0)]),
+                ev("C", OpKind::CtrInc, vec![AbsArg::Wild]),
+            ],
+        );
+        tx.events[1].display = true;
+        h.add_tx(tx);
+        h.free_session_order();
+        h
+    }
+
+    #[test]
+    fn display_filter_removes_marked_queries() {
+        let h = history_with_display();
+        let f = drop_display(&h);
+        assert_eq!(f.event_count(), 2);
+        assert_eq!(f.txs[0].events[0].kind, OpKind::MapPut);
+        assert_eq!(f.txs[0].events[1].kind, OpKind::CtrInc);
+        // Control flow spliced: still a valid straight line.
+        f.validate().unwrap();
+        assert_eq!(f.txs[0].paths().len(), 1);
+        assert_eq!(f.txs[0].paths()[0].events, vec![0, 1]);
+    }
+
+    #[test]
+    fn atomic_sets_split_objects() {
+        let mut h = history_with_display();
+        let mut set_m = std::collections::HashSet::new();
+        set_m.insert(c4_store::op::Name::new("M"));
+        let mut set_c = std::collections::HashSet::new();
+        set_c.insert(c4_store::op::Name::new("C"));
+        h.atomic_sets = vec![set_m, set_c];
+        let views = atomic_set_views(&h);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].event_count(), 2); // M.put, M.get
+        assert_eq!(views[1].event_count(), 1); // C.inc
+        for v in &views {
+            v.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_atomic_sets_yields_identity_view() {
+        let h = history_with_display();
+        let views = atomic_set_views(&h);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].event_count(), h.event_count());
+    }
+
+    #[test]
+    fn ret_references_to_removed_events_are_wildcarded() {
+        let mut h = AbstractHistory::new();
+        let mut tx = straight_line_tx(
+            "t",
+            vec![],
+            vec![
+                ev("M", OpKind::MapGet, vec![AbsArg::Wild]),
+                ev("M", OpKind::MapPut, vec![AbsArg::Ret(0), AbsArg::Wild]),
+            ],
+        );
+        tx.events[0].display = true; // pathological: result actually used
+        h.add_tx(tx);
+        let f = drop_display(&h);
+        f.validate().unwrap();
+        assert_eq!(f.txs[0].events.len(), 1);
+        assert_eq!(f.txs[0].events[0].args[0], AbsArg::Wild);
+    }
+}

@@ -1,0 +1,172 @@
+//! Violation reports and analysis statistics.
+
+use std::collections::BTreeSet;
+
+use crate::ssg::SsgLabel;
+
+/// A detected (potential) serializability violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The set of original abstract transactions on the cycle.
+    pub txs: BTreeSet<usize>,
+    /// The labels along the cycle, in order.
+    pub labels: Vec<SsgLabel>,
+    /// Number of sessions of the witnessing unfolding.
+    pub sessions: usize,
+    /// Human-readable counter-example (a concrete history with a
+    /// pre-schedule exhibiting the DSG cycle), if the SMT stage produced
+    /// and validated one.
+    pub counterexample: Option<String>,
+}
+
+impl Violation {
+    /// Whether this violation subsumes another: its transactions are a
+    /// subset of the other's (Section 7: a smaller cycle subsumes a larger
+    /// one over the same syntactic transactions).
+    pub fn subsumes(&self, other_txs: &BTreeSet<usize>) -> bool {
+        self.txs.is_subset(other_txs)
+    }
+}
+
+/// Statistics of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Unfoldings enumerated.
+    pub unfoldings: usize,
+    /// Unfoldings whose SSG passed the Theorem 3 pre-filter.
+    pub suspicious_unfoldings: usize,
+    /// Candidate cycles skipped by subsumption.
+    pub subsumed_candidates: usize,
+    /// SMT queries issued.
+    pub smt_queries: usize,
+    /// SMT queries that returned a model.
+    pub smt_sat: usize,
+    /// Candidate cycles refuted by the SMT stage (the paper's
+    /// "violations ruled out as infeasible").
+    pub smt_refuted: usize,
+    /// Counter-examples that failed concrete validation (should be zero;
+    /// reported for diagnostics).
+    pub validation_failures: usize,
+}
+
+impl AnalysisStats {
+    /// Merges another stats record into this one.
+    pub fn absorb(&mut self, other: &AnalysisStats) {
+        self.unfoldings += other.unfoldings;
+        self.suspicious_unfoldings += other.suspicious_unfoldings;
+        self.subsumed_candidates += other.subsumed_candidates;
+        self.smt_queries += other.smt_queries;
+        self.smt_sat += other.smt_sat;
+        self.smt_refuted += other.smt_refuted;
+        self.validation_failures += other.validation_failures;
+    }
+}
+
+/// The result of running the checker on an abstract history.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisResult {
+    /// The violations found (subsumption-minimal).
+    pub violations: Vec<Violation>,
+    /// Whether the Section 7.2 generalization succeeded: the result covers
+    /// an unbounded number of sessions.
+    pub generalized: bool,
+    /// The largest `k` analyzed.
+    pub max_k: usize,
+    /// Statistics.
+    pub stats: AnalysisStats,
+}
+
+impl AnalysisResult {
+    /// Whether the program was proved serializable (no violations and the
+    /// generalization succeeded).
+    pub fn serializable(&self) -> bool {
+        self.violations.is_empty() && self.generalized
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let labels: Vec<String> = self.labels.iter().map(|l| l.to_string()).collect();
+        write!(
+            f,
+            "violation over {{{}}} via [{}] ({} sessions)",
+            self.txs.iter().map(|t| format!("t{t}")).collect::<Vec<_>>().join(", "),
+            labels.join(", "),
+            self.sessions
+        )
+    }
+}
+
+impl std::fmt::Display for AnalysisResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.violations.is_empty() {
+            write!(
+                f,
+                "no violations up to k = {}{}",
+                self.max_k,
+                if self.generalized { " (generalizes to any session count)" } else { "" }
+            )
+        } else {
+            writeln!(
+                f,
+                "{} violation(s), k = {}, generalized = {}:",
+                self.violations.len(),
+                self.max_k,
+                self.generalized
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn v(txs: &[usize]) -> Violation {
+        Violation {
+            txs: txs.iter().copied().collect(),
+            labels: vec![crate::ssg::SsgLabel::Anti, crate::ssg::SsgLabel::Anti],
+            sessions: 2,
+            counterexample: None,
+        }
+    }
+
+    #[test]
+    fn subsumption_is_subset_inclusion() {
+        let small = v(&[1, 2]);
+        let big: BTreeSet<usize> = [1, 2, 3].into_iter().collect();
+        let same: BTreeSet<usize> = [1, 2].into_iter().collect();
+        let other: BTreeSet<usize> = [2, 3].into_iter().collect();
+        assert!(small.subsumes(&big));
+        assert!(small.subsumes(&same));
+        assert!(!small.subsumes(&other));
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = AnalysisStats { smt_queries: 3, smt_sat: 1, ..Default::default() };
+        let b = AnalysisStats { smt_queries: 2, smt_refuted: 2, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.smt_queries, 5);
+        assert_eq!(a.smt_sat, 1);
+        assert_eq!(a.smt_refuted, 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let viol = v(&[0, 2]);
+        assert!(viol.to_string().contains("{t0, t2}"));
+        let mut r = AnalysisResult::default();
+        r.max_k = 2;
+        r.generalized = true;
+        assert!(r.to_string().contains("generalizes"));
+        r.violations.push(viol);
+        assert!(r.to_string().contains("1 violation"));
+        assert!(!r.serializable());
+    }
+}

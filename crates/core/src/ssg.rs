@@ -1,0 +1,915 @@
+//! Static serialization graphs (Definition 3) and the cycle
+//! characterization of Theorem 3 (conditions SC1/SC2).
+//!
+//! The SSG summarizes all possible DSGs: nodes are abstract transactions
+//! (or, for an unfolding, transaction *instances*), and an edge `(s, t)`
+//! exists whenever some event pair could form a dependency in *some*
+//! concretization — decided by three-valued (Kleene) evaluation of the
+//! rewrite-specification formulas over the events' symbolic arguments.
+
+use c4_algebra::{FarSpec, SpecFormula};
+
+use crate::abstract_history::{AbsArg, AbsEventSpec, AbsTx, AbstractHistory};
+use crate::unfold::Unfolding;
+
+/// Label of an SSG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SsgLabel {
+    /// Abstract session order.
+    So,
+    /// Potential dependency ⊕.
+    Dep,
+    /// Potential anti-dependency ⊖.
+    Anti,
+    /// Potential conflict dependency ⊗.
+    Conflict,
+}
+
+impl std::fmt::Display for SsgLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsgLabel::So => write!(f, "so"),
+            SsgLabel::Dep => write!(f, "⊕"),
+            SsgLabel::Anti => write!(f, "⊖"),
+            SsgLabel::Conflict => write!(f, "⊗"),
+        }
+    }
+}
+
+/// An edge of an SSG, with the witnessing abstract event pair
+/// (local indices in the source/target transactions; `usize::MAX` for so).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsgEdge {
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Label.
+    pub label: SsgLabel,
+    /// Witnessing event in the source transaction.
+    pub src_event: usize,
+    /// Witnessing event in the target transaction.
+    pub tgt_event: usize,
+}
+
+/// A static serialization graph.
+#[derive(Debug, Clone)]
+pub struct Ssg {
+    /// Number of nodes.
+    pub n: usize,
+    /// The edges (deduplicated by `(from, to, label)`, keeping the first
+    /// witness).
+    pub edges: Vec<SsgEdge>,
+}
+
+/// Three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tv {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown.
+    Maybe,
+}
+
+impl Tv {
+    fn not(self) -> Tv {
+        match self {
+            Tv::True => Tv::False,
+            Tv::False => Tv::True,
+            Tv::Maybe => Tv::Maybe,
+        }
+    }
+    fn and(self, o: Tv) -> Tv {
+        match (self, o) {
+            (Tv::False, _) | (_, Tv::False) => Tv::False,
+            (Tv::True, Tv::True) => Tv::True,
+            _ => Tv::Maybe,
+        }
+    }
+    fn or(self, o: Tv) -> Tv {
+        match (self, o) {
+            (Tv::True, _) | (_, Tv::True) => Tv::True,
+            (Tv::False, Tv::False) => Tv::False,
+            _ => Tv::Maybe,
+        }
+    }
+}
+
+/// Relationship between the two instances hosting the two events of a
+/// formula evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCtx {
+    /// Same transaction instance (⇒ shared parameters and results).
+    pub same_instance: bool,
+    /// Same session (⇒ shared session-local constants).
+    pub same_session: bool,
+    /// Whether the two events are the same occurrence (same instance and
+    /// same local event index) — relevant for fresh-row identity.
+    pub same_event: bool,
+}
+
+impl PairCtx {
+    /// Context for two events of distinct instances on distinct sessions.
+    pub fn distinct() -> Self {
+        PairCtx { same_instance: false, same_session: false, same_event: false }
+    }
+}
+
+/// Three-valued equality of two symbolic arguments under a pair context.
+pub fn tv_arg_eq(a: &AbsArg, b: &AbsArg, ctx: PairCtx) -> Tv {
+    use AbsArg::*;
+    match (a, b) {
+        (Const(x), Const(y)) => {
+            if x == y {
+                Tv::True
+            } else {
+                Tv::False
+            }
+        }
+        (Global(g), Global(h)) if g == h => Tv::True,
+        (Local(l), Local(m)) if l == m && ctx.same_session => Tv::True,
+        (Param(p), Param(q)) if p == q && ctx.same_instance => Tv::True,
+        (Ret(r), Ret(s)) if r == s && ctx.same_instance => Tv::True,
+        // Fresh rows: same creation event in the same instance ⇒ equal;
+        // two distinct add_row occurrences ⇒ definitely distinct.
+        (RowOf(r), RowOf(s)) => {
+            if r == s && ctx.same_instance {
+                Tv::True
+            } else {
+                Tv::False
+            }
+        }
+        _ => Tv::Maybe,
+    }
+}
+
+/// Kleene evaluation of a rewrite-spec formula over two abstract events.
+pub fn tv_eval(
+    f: &SpecFormula,
+    src: &AbsEventSpec,
+    tgt: &AbsEventSpec,
+    ctx: PairCtx,
+) -> Tv {
+    use c4_algebra::{ArgTerm, Side};
+    fn term<'a>(
+        t: &'a ArgTerm,
+        src: &'a AbsEventSpec,
+        tgt: &'a AbsEventSpec,
+    ) -> Option<&'a AbsArg> {
+        match t {
+            ArgTerm::Arg(Side::Src, i) => src.args.get(*i),
+            ArgTerm::Arg(Side::Tgt, i) => tgt.args.get(*i),
+            _ => None,
+        }
+    }
+    match f {
+        SpecFormula::True => Tv::True,
+        SpecFormula::False => Tv::False,
+        SpecFormula::Eq(a, b) => match (term(a, src, tgt), term(b, src, tgt)) {
+            (Some(x), Some(y)) => {
+                // Orient the context: if the terms come from the same side,
+                // they are within one event (same instance & occurrence).
+                let same_side = matches!(
+                    (a, b),
+                    (ArgTerm::Arg(Side::Src, _), ArgTerm::Arg(Side::Src, _))
+                        | (ArgTerm::Arg(Side::Tgt, _), ArgTerm::Arg(Side::Tgt, _))
+                );
+                let c = if same_side {
+                    PairCtx { same_instance: true, same_session: true, same_event: true }
+                } else {
+                    ctx
+                };
+                tv_arg_eq(x, y, c)
+            }
+            // Return values and constants in spec atoms: statically unknown.
+            _ => match (a, b) {
+                (ArgTerm::Const(x), ArgTerm::Const(y)) => {
+                    if x == y {
+                        Tv::True
+                    } else {
+                        Tv::False
+                    }
+                }
+                _ => Tv::Maybe,
+            },
+        },
+        SpecFormula::Not(g) => tv_eval(g, src, tgt, ctx).not(),
+        SpecFormula::And(fs) => fs
+            .iter()
+            .fold(Tv::True, |acc, g| acc.and(tv_eval(g, src, tgt, ctx))),
+        SpecFormula::Or(fs) => fs
+            .iter()
+            .fold(Tv::False, |acc, g| acc.or(tv_eval(g, src, tgt, ctx))),
+    }
+}
+
+/// Whether `¬com(src, tgt)` is satisfiable (Kleene over-approximation).
+pub fn may_not_commute(
+    far: &FarSpec,
+    src: &AbsEventSpec,
+    tgt: &AbsEventSpec,
+    ctx: PairCtx,
+) -> bool {
+    let f = far.far_commutes(&src.sig(), &tgt.sig());
+    tv_eval(&f, src, tgt, ctx) != Tv::True
+}
+
+/// Whether `¬abs(src, tgt)` is satisfiable (SC2a ingredient).
+pub fn may_not_absorb(
+    far: &FarSpec,
+    src: &AbsEventSpec,
+    tgt: &AbsEventSpec,
+    ctx: PairCtx,
+) -> bool {
+    let f = far.far_absorbs(&src.sig(), &tgt.sig());
+    tv_eval(&f, src, tgt, ctx) != Tv::True
+}
+
+/// Precomputed Kleene satisfiability of `¬com` / `¬abs` between every
+/// pair of (unfolded) abstract events, per pair context. Makes SSG
+/// construction over millions of unfoldings a table lookup.
+#[derive(Debug, Clone)]
+pub struct PairTables {
+    offsets: Vec<usize>,
+    total: usize,
+    /// `[diff_session, same_session]` × (event × event) → may-not-commute.
+    notcom: [Vec<bool>; 2],
+    /// Same, for may-not-absorb (update pairs; false elsewhere).
+    notabs: [Vec<bool>; 2],
+    /// Same-instance variants (same transaction, shared parameters).
+    notcom_same_inst: Vec<bool>,
+    notabs_same_inst: Vec<bool>,
+    /// Per ordered tx pair and session-equality: whether any event pair
+    /// yields an Anti (resp. Conflict) edge — used for fast rejection.
+    pub anti_possible: [Vec<bool>; 2],
+    /// See [`PairTables::anti_possible`].
+    pub conflict_possible: [Vec<bool>; 2],
+    n_tx: usize,
+}
+
+impl PairTables {
+    /// Computes the tables for the unfolded transaction bodies.
+    pub fn compute(txs: &[AbsTx], far: &FarSpec) -> Self {
+        let n_tx = txs.len();
+        let mut offsets = Vec::with_capacity(n_tx + 1);
+        let mut total = 0usize;
+        for tx in txs {
+            offsets.push(total);
+            total += tx.events.len();
+        }
+        offsets.push(total);
+        let idx = |a: usize, ea: usize, b: usize, eb: usize, offsets: &[usize]| {
+            (offsets[a] + ea) * total + offsets[b] + eb
+        };
+        let mut notcom = [vec![false; total * total], vec![false; total * total]];
+        let mut notabs = [vec![false; total * total], vec![false; total * total]];
+        let mut notcom_si = vec![false; total * total];
+        let mut notabs_si = vec![false; total * total];
+        let mut anti_possible = [vec![false; n_tx * n_tx], vec![false; n_tx * n_tx]];
+        let mut conflict_possible = [vec![false; n_tx * n_tx], vec![false; n_tx * n_tx]];
+        for (a, ta) in txs.iter().enumerate() {
+            for (b, tb) in txs.iter().enumerate() {
+                for (ea, e) in ta.events.iter().enumerate() {
+                    for (eb, f) in tb.events.iter().enumerate() {
+                        let i = idx(a, ea, b, eb, &offsets);
+                        for (same_sess, slot) in [(false, 0usize), (true, 1usize)] {
+                            let ctx = PairCtx {
+                                same_instance: false,
+                                same_session: same_sess,
+                                same_event: false,
+                            };
+                            let nc = may_not_commute(far, e, f, ctx);
+                            notcom[slot][i] = nc;
+                            notabs[slot][i] = may_not_absorb(far, e, f, ctx);
+                            if nc {
+                                if e.kind.is_query() && f.kind.is_update() {
+                                    anti_possible[slot][a * n_tx + b] = true;
+                                }
+                                if e.kind.is_update() && f.kind.is_update() {
+                                    conflict_possible[slot][a * n_tx + b] = true;
+                                }
+                            }
+                        }
+                        if a == b {
+                            let ctx = PairCtx {
+                                same_instance: true,
+                                same_session: true,
+                                same_event: ea == eb,
+                            };
+                            notcom_si[i] = may_not_commute(far, e, f, ctx);
+                            notabs_si[i] = may_not_absorb(far, e, f, ctx);
+                        }
+                    }
+                }
+            }
+        }
+        PairTables {
+            offsets,
+            total,
+            notcom,
+            notabs,
+            notcom_same_inst: notcom_si,
+            notabs_same_inst: notabs_si,
+            anti_possible,
+            conflict_possible,
+            n_tx,
+        }
+    }
+
+    fn index(&self, a: usize, ea: usize, b: usize, eb: usize) -> usize {
+        (self.offsets[a] + ea) * self.total + self.offsets[b] + eb
+    }
+
+    /// Whether `¬com` may hold between event `ea` of transaction `a` and
+    /// event `eb` of transaction `b` under the given context.
+    pub fn notcom(&self, a: usize, ea: usize, b: usize, eb: usize, ctx: PairCtx) -> bool {
+        if ctx.same_instance {
+            self.notcom_same_inst[self.index(a, ea, b, eb)]
+        } else {
+            self.notcom[ctx.same_session as usize][self.index(a, ea, b, eb)]
+        }
+    }
+
+    /// Whether `¬abs` may hold (see [`PairTables::notcom`]).
+    pub fn notabs(&self, a: usize, ea: usize, b: usize, eb: usize, ctx: PairCtx) -> bool {
+        if ctx.same_instance {
+            self.notabs_same_inst[self.index(a, ea, b, eb)]
+        } else {
+            self.notabs[ctx.same_session as usize][self.index(a, ea, b, eb)]
+        }
+    }
+
+    /// Whether any ⊖ edge can exist from `a` to `b` instances.
+    pub fn anti_between(&self, a: usize, b: usize, same_session: bool) -> bool {
+        self.anti_possible[same_session as usize][a * self.n_tx + b]
+    }
+
+    /// Whether any ⊗ edge can exist from `a` to `b` instances.
+    pub fn conflict_between(&self, a: usize, b: usize, same_session: bool) -> bool {
+        self.conflict_possible[same_session as usize][a * self.n_tx + b]
+    }
+}
+
+impl Ssg {
+    /// Builds the SSG of an unfolding: nodes are the transaction
+    /// instances.
+    pub fn of_unfolding(u: &Unfolding, far: &FarSpec) -> Ssg {
+        let n = u.instances.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if u.so(i, j) {
+                    edges.push(SsgEdge {
+                        from: i,
+                        to: j,
+                        label: SsgLabel::So,
+                        src_event: usize::MAX,
+                        tgt_event: usize::MAX,
+                    });
+                }
+                let ctx = PairCtx {
+                    same_instance: false,
+                    same_session: u.instances[i].session == u.instances[j].session,
+                    same_event: false,
+                };
+                push_dependency_edges(
+                    &mut edges,
+                    i,
+                    j,
+                    &u.instances[i].tx,
+                    &u.instances[j].tx,
+                    far,
+                    ctx,
+                );
+            }
+        }
+        dedupe(&mut edges);
+        Ssg { n, edges }
+    }
+
+    /// Like [`Ssg::of_unfolding`], but using precomputed pair tables.
+    pub fn of_unfolding_cached(u: &Unfolding, tables: &PairTables) -> Ssg {
+        let n = u.instances.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if u.so(i, j) {
+                    edges.push(SsgEdge {
+                        from: i,
+                        to: j,
+                        label: SsgLabel::So,
+                        src_event: usize::MAX,
+                        tgt_event: usize::MAX,
+                    });
+                }
+                let ctx = PairCtx {
+                    same_instance: false,
+                    same_session: u.instances[i].session == u.instances[j].session,
+                    same_event: false,
+                };
+                let (oa, ob) = (u.instances[i].orig_tx, u.instances[j].orig_tx);
+                for (ei, e) in u.instances[i].tx.events.iter().enumerate() {
+                    for (fi, f) in u.instances[j].tx.events.iter().enumerate() {
+                        if !tables.notcom(oa, ei, ob, fi, ctx) {
+                            continue;
+                        }
+                        let label = match (e.kind.is_update(), f.kind.is_update()) {
+                            (true, false) => SsgLabel::Dep,
+                            (false, true) => SsgLabel::Anti,
+                            (true, true) => SsgLabel::Conflict,
+                            (false, false) => continue,
+                        };
+                        edges.push(SsgEdge { from: i, to: j, label, src_event: ei, tgt_event: fi });
+                    }
+                }
+            }
+        }
+        dedupe(&mut edges);
+        Ssg { n, edges }
+    }
+
+    /// Builds the program-level SSG (Definition 3): nodes are the abstract
+    /// transactions, with conservative pair contexts (distinct instances).
+    pub fn of_program(h: &AbstractHistory, far: &FarSpec) -> Ssg {
+        let n = h.txs.len();
+        let mut edges = Vec::new();
+        let mut so = h.so.clone();
+        so.sort_unstable();
+        so.dedup();
+        for &(s, t) in &so {
+            edges.push(SsgEdge {
+                from: s,
+                to: t,
+                label: SsgLabel::So,
+                src_event: usize::MAX,
+                tgt_event: usize::MAX,
+            });
+        }
+        for (i, s) in h.txs.iter().enumerate() {
+            for (j, t) in h.txs.iter().enumerate() {
+                push_dependency_edges(&mut edges, i, j, s, t, far, PairCtx::distinct());
+            }
+        }
+        dedupe(&mut edges);
+        Ssg { n, edges }
+    }
+
+    /// Outgoing edges of a node.
+    pub fn outgoing(&self, v: usize) -> impl Iterator<Item = &SsgEdge> {
+        self.edges.iter().filter(move |e| e.from == v)
+    }
+
+    /// The strongly connected components (as node sets), including
+    /// single nodes with self-loops.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let succ = |v: usize| -> Vec<usize> {
+            self.outgoing(v).map(|e| e.to).collect()
+        };
+        crate::unfold::tarjan(self.n, succ)
+            .into_iter()
+            .filter(|scc| {
+                scc.len() > 1
+                    || self.edges.iter().any(|e| e.from == scc[0] && e.to == scc[0])
+            })
+            .collect()
+    }
+
+    /// Whether the graph contains any cycle at all.
+    pub fn has_cycle(&self) -> bool {
+        !self.sccs().is_empty()
+    }
+}
+
+fn push_dependency_edges(
+    edges: &mut Vec<SsgEdge>,
+    i: usize,
+    j: usize,
+    s: &AbsTx,
+    t: &AbsTx,
+    far: &FarSpec,
+    ctx: PairCtx,
+) {
+    for (ei, e) in s.events.iter().enumerate() {
+        for (fi, f) in t.events.iter().enumerate() {
+            // For i == j (program-level SSG only) the pair abstracts two
+            // *distinct* concrete instances of the same transaction, so
+            // ei == fi is a legitimate pair (e.g. the put ⊗ put self-loop
+            // of Figure 1b).
+            if !may_not_commute(far, e, f, ctx) {
+                continue;
+            }
+            let label = match (e.kind.is_update(), f.kind.is_update()) {
+                (true, false) => SsgLabel::Dep,
+                (false, true) => SsgLabel::Anti,
+                (true, true) => SsgLabel::Conflict,
+                (false, false) => continue, // queries far-commute
+            };
+            edges.push(SsgEdge { from: i, to: j, label, src_event: ei, tgt_event: fi });
+        }
+    }
+}
+
+fn dedupe(edges: &mut Vec<SsgEdge>) {
+    let mut seen = std::collections::HashSet::new();
+    edges.retain(|e| seen.insert((e.from, e.to, e.label)));
+}
+
+/// A candidate cycle in an unfolding's SSG: instance indices and the label
+/// (with witnesses) chosen for each step `nodes[i] → nodes[(i+1)%m]`.
+#[derive(Debug, Clone)]
+pub struct CandidateCycle {
+    /// The instance indices, in cycle order.
+    pub nodes: Vec<usize>,
+    /// The SSG edge used for each step.
+    pub steps: Vec<SsgEdge>,
+}
+
+impl CandidateCycle {
+    /// SC1: at least two ⊖ steps, or a ⊖ and a ⊗ step.
+    pub fn satisfies_sc1(&self) -> bool {
+        let anti = self.steps.iter().filter(|e| e.label == SsgLabel::Anti).count();
+        let conflict = self.steps.iter().filter(|e| e.label == SsgLabel::Conflict).count();
+        anti >= 2 || (anti >= 1 && conflict >= 1)
+    }
+}
+
+/// Lookup source for pair predicates: direct Kleene evaluation or
+/// precomputed tables.
+#[derive(Clone, Copy)]
+pub enum PairLookup<'a> {
+    /// Evaluate formulas directly.
+    Direct(&'a FarSpec),
+    /// Use precomputed tables (indexed by *original* transaction ids).
+    Cached(&'a PairTables),
+}
+
+impl PairLookup<'_> {
+    fn notcom(&self, u: &Unfolding, a: (usize, usize), b: (usize, usize), ctx: PairCtx) -> bool {
+        match self {
+            PairLookup::Direct(far) => may_not_commute(
+                far,
+                &u.instances[a.0].tx.events[a.1],
+                &u.instances[b.0].tx.events[b.1],
+                ctx,
+            ),
+            PairLookup::Cached(t) => t.notcom(
+                u.instances[a.0].orig_tx,
+                a.1,
+                u.instances[b.0].orig_tx,
+                b.1,
+                ctx,
+            ),
+        }
+    }
+
+    fn notabs(&self, u: &Unfolding, a: (usize, usize), b: (usize, usize), ctx: PairCtx) -> bool {
+        match self {
+            PairLookup::Direct(far) => may_not_absorb(
+                far,
+                &u.instances[a.0].tx.events[a.1],
+                &u.instances[b.0].tx.events[b.1],
+                ctx,
+            ),
+            PairLookup::Cached(t) => t.notabs(
+                u.instances[a.0].orig_tx,
+                a.1,
+                u.instances[b.0].orig_tx,
+                b.1,
+                ctx,
+            ),
+        }
+    }
+}
+
+/// Theorem 3 applied to an unfolding: the SC2 conditions over the
+/// transactions of a node set.
+pub fn satisfies_sc2(u: &Unfolding, nodes: &[usize], far: &FarSpec) -> bool {
+    satisfies_sc2_with(u, nodes, PairLookup::Direct(far))
+}
+
+/// [`satisfies_sc2`] with a configurable lookup.
+pub fn satisfies_sc2_with(u: &Unfolding, nodes: &[usize], lookup: PairLookup<'_>) -> bool {
+    // Collect (instance, event) pairs.
+    let events: Vec<(usize, usize)> = nodes
+        .iter()
+        .flat_map(|&ni| (0..u.instances[ni].tx.events.len()).map(move |ei| (ni, ei)))
+        .collect();
+    let ev = |ni: usize, ei: usize| &u.instances[ni].tx.events[ei];
+    let ctx = |a: usize, b: usize, ea: usize, eb: usize| PairCtx {
+        same_instance: a == b,
+        same_session: u.instances[a].session == u.instances[b].session,
+        same_event: a == b && ea == eb,
+    };
+    // SC2a: two updates that may fail to absorb.
+    for &(ni, ei) in &events {
+        if !ev(ni, ei).kind.is_update() {
+            continue;
+        }
+        for &(nj, ej) in &events {
+            if !ev(nj, ej).kind.is_update() {
+                continue;
+            }
+            if lookup.notabs(u, (ni, ei), (nj, ej), ctx(ni, nj, ei, ej)) {
+                return true;
+            }
+        }
+    }
+    // SC2b: q eo+→ u within one instance, with ¬com(u, e) and ¬com(q, v)
+    // satisfiable for some events e, v of the component.
+    for &ni in nodes {
+        let tx = &u.instances[ni].tx;
+        let order = eo_reachability(tx);
+        for qi in 0..tx.events.len() {
+            if !tx.events[qi].kind.is_query() {
+                continue;
+            }
+            for ui in 0..tx.events.len() {
+                if !tx.events[ui].kind.is_update() || !order[qi][ui] {
+                    continue;
+                }
+                let u_has_conflict = events.iter().any(|&(nj, ej)| {
+                    lookup.notcom(u, (ni, ui), (nj, ej), ctx(ni, nj, ui, ej))
+                });
+                let q_has_conflict = events.iter().any(|&(nj, ej)| {
+                    ev(nj, ej).kind.is_update()
+                        && lookup.notcom(u, (ni, qi), (nj, ej), ctx(ni, nj, qi, ej))
+                });
+                if u_has_conflict && q_has_conflict {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// eo⁺ reachability between events of an (acyclic) transaction.
+pub fn eo_reachability(tx: &AbsTx) -> Vec<Vec<bool>> {
+    use crate::abstract_history::Node;
+    let n = tx.events.len();
+    let mut reach = vec![vec![false; n]; n];
+    for e in &tx.edges {
+        if let (Node::Event(a), Node::Event(b)) = (e.src, e.tgt) {
+            reach[a as usize][b as usize] = true;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Enumerates the candidate cycles of an unfolding's SSG that pass SC1 and
+/// SC2 — the inputs to the SMT stage.
+pub fn candidate_cycles(u: &Unfolding, ssg: &Ssg, far: &FarSpec) -> Vec<CandidateCycle> {
+    candidate_cycles_with(u, ssg, PairLookup::Direct(far))
+}
+
+/// [`candidate_cycles`] with a configurable pair lookup.
+pub fn candidate_cycles_with(u: &Unfolding, ssg: &Ssg, lookup: PairLookup<'_>) -> Vec<CandidateCycle> {
+    let mut out = Vec::new();
+    // Enumerate simple cycles by DFS, canonicalized to start at the
+    // smallest node index on the cycle.
+    let n = ssg.n;
+    let mut path: Vec<usize> = Vec::new();
+    let mut on_path = vec![false; n];
+    fn dfs(
+        start: usize,
+        v: usize,
+        ssg: &Ssg,
+        path: &mut Vec<usize>,
+        on_path: &mut Vec<bool>,
+        cycles: &mut Vec<Vec<usize>>,
+    ) {
+        for e in ssg.outgoing(v) {
+            if e.to == start && path.len() >= 2 {
+                cycles.push(path.clone());
+            } else if e.to > start && !on_path[e.to] {
+                path.push(e.to);
+                on_path[e.to] = true;
+                dfs(start, e.to, ssg, path, on_path, cycles);
+                on_path[e.to] = false;
+                path.pop();
+            }
+        }
+    }
+    let mut node_cycles: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        path.clear();
+        path.push(start);
+        on_path.iter_mut().for_each(|b| *b = false);
+        on_path[start] = true;
+        dfs(start, start, ssg, &mut path, &mut on_path, &mut node_cycles);
+    }
+    // Dedup node sequences.
+    node_cycles.sort();
+    node_cycles.dedup();
+    for nodes in node_cycles {
+        let m = nodes.len();
+        // Per step, the label options.
+        let step_options: Vec<Vec<&SsgEdge>> = (0..m)
+            .map(|i| {
+                let (a, b) = (nodes[i], nodes[(i + 1) % m]);
+                ssg.edges.iter().filter(|e| e.from == a && e.to == b).collect()
+            })
+            .collect();
+        if step_options.iter().any(|o| o.is_empty()) {
+            continue;
+        }
+        if !satisfies_sc2_with(u, &nodes, lookup) {
+            continue;
+        }
+        // Cross-product of label choices.
+        let mut choice = vec![0usize; m];
+        loop {
+            let steps: Vec<SsgEdge> =
+                (0..m).map(|i| step_options[i][choice[i]].clone()).collect();
+            let cand = CandidateCycle { nodes: nodes.clone(), steps };
+            if cand.satisfies_sc1() {
+                out.push(cand);
+            }
+            // Advance the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == m {
+                    break;
+                }
+                choice[i] += 1;
+                if choice[i] < step_options[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+            if i == m {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_history::{ev, straight_line_tx};
+    use crate::unfold::{unfold_all, unfoldings};
+    use c4_algebra::{Alphabet, RewriteSpec};
+    use c4_store::op::OpKind;
+
+    fn figure1a(key_arg: AbsArg, key_arg_get: AbsArg) -> AbstractHistory {
+        let mut h = AbstractHistory::new();
+        h.add_tx(straight_line_tx(
+            "P",
+            vec!["x".into(), "y".into()],
+            vec![ev("M", OpKind::MapPut, vec![key_arg, AbsArg::Param(1)])],
+        ));
+        h.add_tx(straight_line_tx(
+            "G",
+            vec!["z".into()],
+            vec![ev("M", OpKind::MapGet, vec![key_arg_get])],
+        ));
+        h.free_session_order();
+        h
+    }
+
+    fn far_for(h: &AbstractHistory) -> FarSpec {
+        let alphabet: Alphabet = h.alphabet();
+        FarSpec::compute(RewriteSpec::new(), &alphabet)
+    }
+
+    #[test]
+    fn figure1b_program_ssg() {
+        // Free keys: the SSG has ⊕/⊖/⊗ edges and cycles (Figure 1b).
+        let h = figure1a(AbsArg::Param(0), AbsArg::Param(0));
+        let far = far_for(&h);
+        let ssg = Ssg::of_program(&h, &far);
+        assert!(ssg.has_cycle());
+        let labels: std::collections::HashSet<_> =
+            ssg.edges.iter().map(|e| e.label).collect();
+        assert!(labels.contains(&SsgLabel::Dep));
+        assert!(labels.contains(&SsgLabel::Anti));
+        assert!(labels.contains(&SsgLabel::Conflict)); // put ⊗ put self-loop
+        assert!(labels.contains(&SsgLabel::So));
+    }
+
+    #[test]
+    fn global_key_kills_sc2() {
+        // Section 6: with the key a global constant, put events always
+        // absorb each other and no transaction has a query before an
+        // update — SC2 fails, the program is proved serializable by the
+        // SSG stage alone.
+        let mut h = AbstractHistory::new();
+        let g = h.global("u");
+        h.add_tx(straight_line_tx(
+            "P",
+            vec!["y".into()],
+            vec![ev("M", OpKind::MapPut, vec![g.clone(), AbsArg::Param(0)])],
+        ));
+        h.add_tx(straight_line_tx("G", vec![], vec![ev("M", OpKind::MapGet, vec![g])]));
+        h.free_session_order();
+        let far = far_for(&h);
+        let unfolded = unfold_all(&h);
+        for u in unfoldings(&h, &unfolded, 2) {
+            let ssg = Ssg::of_unfolding(&u, &far);
+            let cands = candidate_cycles(&u, &ssg, &far);
+            assert!(cands.is_empty(), "global-key program must have no candidates");
+        }
+    }
+
+    #[test]
+    fn local_key_keeps_candidates() {
+        // With session-local keys the SSG stage cannot rule out cycles
+        // (Section 6: the two puts may use different keys).
+        let mut h = AbstractHistory::new();
+        let l = h.local("u");
+        h.add_tx(straight_line_tx(
+            "P",
+            vec!["y".into()],
+            vec![ev("M", OpKind::MapPut, vec![l.clone(), AbsArg::Param(0)])],
+        ));
+        h.add_tx(straight_line_tx("G", vec![], vec![ev("M", OpKind::MapGet, vec![l])]));
+        h.free_session_order();
+        let far = far_for(&h);
+        let unfolded = unfold_all(&h);
+        let mut any = false;
+        for u in unfoldings(&h, &unfolded, 2) {
+            let ssg = Ssg::of_unfolding(&u, &far);
+            any |= !candidate_cycles(&u, &ssg, &far).is_empty();
+        }
+        assert!(any, "local-key program must keep candidate cycles");
+    }
+
+    #[test]
+    fn sc1_requires_anti_dependencies() {
+        let c = CandidateCycle {
+            nodes: vec![0, 1],
+            steps: vec![
+                SsgEdge { from: 0, to: 1, label: SsgLabel::Dep, src_event: 0, tgt_event: 0 },
+                SsgEdge { from: 1, to: 0, label: SsgLabel::So, src_event: 0, tgt_event: 0 },
+            ],
+        };
+        assert!(!c.satisfies_sc1());
+        let c2 = CandidateCycle {
+            nodes: vec![0, 1],
+            steps: vec![
+                SsgEdge { from: 0, to: 1, label: SsgLabel::Anti, src_event: 0, tgt_event: 0 },
+                SsgEdge { from: 1, to: 0, label: SsgLabel::Anti, src_event: 0, tgt_event: 0 },
+            ],
+        };
+        assert!(c2.satisfies_sc1());
+        let c3 = CandidateCycle {
+            nodes: vec![0, 1],
+            steps: vec![
+                SsgEdge { from: 0, to: 1, label: SsgLabel::Anti, src_event: 0, tgt_event: 0 },
+                SsgEdge { from: 1, to: 0, label: SsgLabel::Conflict, src_event: 0, tgt_event: 0 },
+            ],
+        };
+        assert!(c3.satisfies_sc1());
+    }
+
+    #[test]
+    fn fresh_rows_evaluate_distinct() {
+        let a = ev("T", OpKind::TblAddRow, vec![AbsArg::RowOf(0)]);
+        assert_eq!(
+            tv_arg_eq(&AbsArg::RowOf(0), &AbsArg::RowOf(0), PairCtx::distinct()),
+            Tv::False
+        );
+        let same_inst = PairCtx { same_instance: true, same_session: true, same_event: false };
+        assert_eq!(tv_arg_eq(&AbsArg::RowOf(0), &AbsArg::RowOf(0), same_inst), Tv::True);
+        assert_eq!(tv_arg_eq(&AbsArg::RowOf(0), &AbsArg::RowOf(1), same_inst), Tv::False);
+        let _ = a;
+    }
+
+    #[test]
+    fn counter_program_has_conflict_free_ssg() {
+        // Two increment-only transactions: inc commutes with inc, so only
+        // so edges appear and the unfoldings have no candidate cycles.
+        let mut h = AbstractHistory::new();
+        h.add_tx(straight_line_tx(
+            "I",
+            vec!["n".into()],
+            vec![ev("C", OpKind::CtrInc, vec![AbsArg::Param(0)])],
+        ));
+        h.free_session_order();
+        let far = far_for(&h);
+        let ssg = Ssg::of_program(&h, &far);
+        assert!(ssg.edges.iter().all(|e| e.label == SsgLabel::So));
+    }
+}

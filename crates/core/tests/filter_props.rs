@@ -1,0 +1,82 @@
+//! Property tests for the filtering heuristics: restriction always yields
+//! well-formed histories and never invents violations.
+
+use c4::abstract_history::{ev, straight_line_tx, AbsArg, AbstractHistory};
+use c4::{filter, AnalysisFeatures, Checker};
+use c4_store::op::OpKind;
+use proptest::prelude::*;
+
+fn arb_history() -> impl Strategy<Value = AbstractHistory> {
+    // 2–4 straight-line transactions over a map and a counter, with random
+    // display marks.
+    proptest::collection::vec(
+        (proptest::collection::vec((0..4u8, any::<bool>()), 1..4),),
+        2..5,
+    )
+    .prop_map(|txs| {
+        let mut h = AbstractHistory::new();
+        for (ti, (ops,)) in txs.into_iter().enumerate() {
+            let mut events = Vec::new();
+            for (kind, display) in ops {
+                let mut e = match kind {
+                    0 => ev("M", OpKind::MapPut, vec![AbsArg::Param(0), AbsArg::Wild]),
+                    1 => ev("M", OpKind::MapGet, vec![AbsArg::Param(0)]),
+                    2 => ev("C", OpKind::CtrInc, vec![AbsArg::Wild]),
+                    _ => ev("C", OpKind::CtrGet, vec![]),
+                };
+                if e.kind.is_query() {
+                    e.display = display;
+                }
+                events.push(e);
+            }
+            h.add_tx(straight_line_tx(format!("t{ti}"), vec!["p".into()], events));
+        }
+        h.free_session_order();
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dropping display events yields a valid history whose violations are
+    /// a subset (by transaction signature) of the unfiltered ones.
+    #[test]
+    fn display_filter_is_sound_and_monotone(h in arb_history()) {
+        let filtered = filter::drop_display(&h);
+        prop_assert!(filtered.validate().is_ok());
+        prop_assert!(filtered.event_count() <= h.event_count());
+        let features = AnalysisFeatures { max_k: 2, time_budget_secs: 30, ..Default::default() };
+        let unfiltered_sigs: Vec<_> = Checker::new(h.clone(), features.clone())
+            .run()
+            .violations
+            .into_iter()
+            .map(|v| v.txs)
+            .collect();
+        for v in Checker::new(filtered, features).run().violations {
+            prop_assert!(
+                unfiltered_sigs.iter().any(|s| s == &v.txs || s.is_subset(&v.txs)),
+                "filtering invented violation {:?} (unfiltered: {:?})",
+                v.txs,
+                unfiltered_sigs
+            );
+        }
+    }
+
+    /// Atomic-set views partition the events.
+    #[test]
+    fn atomic_views_partition(h in arb_history()) {
+        let mut h = h;
+        h.atomic_sets = vec![
+            std::iter::once(c4_store::op::Name::new("M")).collect(),
+            std::iter::once(c4_store::op::Name::new("C")).collect(),
+        ];
+        let views = filter::atomic_set_views(&h);
+        prop_assert_eq!(views.len(), 2);
+        let total: usize = views.iter().map(|v| v.event_count()).sum();
+        prop_assert_eq!(total, h.event_count());
+        for v in &views {
+            prop_assert!(v.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Locality of the serializability criterion (Theorem 2).
+//!
+//! Restricting a history and its schedule to any event subset `E` yields a
+//! dependency triple that contains the restriction of the original triple:
+//! dependencies among kept events never disappear. Consequently a DSG
+//! cycle restricted to its own events stays a cycle — the property that
+//! lets the static analysis consider only small event subsets
+//! (the unfoldings of Section 7).
+
+use c4_store::schedule::Relation;
+use c4_store::{EventId, History, Schedule};
+
+/// Restricts a schedule to the events kept by a history restriction.
+///
+/// `map` is the event mapping returned by [`History::restrict`]: old id →
+/// new id (or `None` for dropped events).
+pub fn restrict_schedule(
+    schedule: &Schedule,
+    map: &[Option<EventId>],
+    new_len: usize,
+) -> Schedule {
+    let ar_order: Vec<EventId> =
+        schedule.ar_order().iter().filter_map(|&e| map[e.index()]).collect();
+    let mut vis = Relation::new(new_len);
+    for (old, &new_a) in map.iter().enumerate() {
+        let Some(a) = new_a else { continue };
+        for b_old in schedule.visibility().successors(EventId(old as u32)) {
+            if let Some(b) = map[b_old.index()] {
+                vis.insert(a, b);
+            }
+        }
+    }
+    debug_assert_eq!(ar_order.len(), new_len);
+    Schedule::from_parts(ar_order, vis)
+}
+
+/// Checks the Theorem 2 containment on a concrete instance: every
+/// dependency of the original schedule between kept events appears in the
+/// restriction's triple.
+///
+/// Returns the pairs that would be missing (empty = theorem holds here).
+pub fn locality_violations(
+    history: &History,
+    schedule: &Schedule,
+    far: &c4_algebra::FarSpec,
+    opts: &crate::deps::DepOptions,
+    keep: impl Fn(EventId) -> bool,
+) -> Vec<(EventId, EventId, &'static str)> {
+    use crate::deps::DependencyTriple;
+    let original = DependencyTriple::compute(history, schedule, far, opts);
+    let (restricted_h, map) = history.restrict(&keep);
+    let restricted_s = restrict_schedule(schedule, &map, restricted_h.len());
+    let restricted = DependencyTriple::compute(&restricted_h, &restricted_s, far, opts);
+    let mut missing = Vec::new();
+    let n = history.len();
+    for a in (0..n).map(|i| EventId(i as u32)) {
+        let Some(na) = map[a.index()] else { continue };
+        for (rel, name, restricted_rel) in [
+            (&original.dep, "dep", &restricted.dep),
+            (&original.anti, "anti", &restricted.anti),
+            (&original.conflict, "conflict", &restricted.conflict),
+        ] {
+            for b in rel.successors(a) {
+                if let Some(nb) = map[b.index()] {
+                    if !restricted_rel.contains(na, nb) {
+                        missing.push((a, b, name));
+                    }
+                }
+            }
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DepOptions;
+    use c4_algebra::{Alphabet, FarSpec, OpSig, RewriteSpec};
+    use c4_store::op::OpKind;
+    use c4_store::sim::CausalSim;
+    use c4_store::Value;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn far_for(history: &History) -> FarSpec {
+        let alphabet: Alphabet = history.events().map(|e| OpSig::of(&e.op)).collect();
+        FarSpec::compute(RewriteSpec::new(), &alphabet)
+    }
+
+    fn random_history(seed: u64) -> (History, Schedule) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = CausalSim::new(2);
+        let sessions: Vec<_> = (0..2).map(|r| sim.session(r)).collect();
+        for step in 0..12 {
+            let s = sessions[rng.gen_range(0..sessions.len())];
+            sim.begin(s);
+            for _ in 0..rng.gen_range(1..3) {
+                match rng.gen_range(0..4) {
+                    0 => sim.update(
+                        s,
+                        "M",
+                        OpKind::MapPut,
+                        vec![Value::int(rng.gen_range(0..2)), Value::int(step)],
+                    ),
+                    1 => sim.update(s, "M", OpKind::MapRemove, vec![Value::int(rng.gen_range(0..2))]),
+                    2 => {
+                        let _ = sim.query(s, "M", OpKind::MapGet, vec![Value::int(rng.gen_range(0..2))]);
+                    }
+                    _ => {
+                        let _ = sim.query(
+                            s,
+                            "M",
+                            OpKind::MapContains,
+                            vec![Value::int(rng.gen_range(0..2))],
+                        );
+                    }
+                }
+            }
+            sim.commit(s);
+            for d in sim.deliverable() {
+                if rng.gen_bool(0.4) {
+                    sim.deliver(d);
+                }
+            }
+        }
+        sim.deliver_all();
+        sim.into_history()
+    }
+
+    #[test]
+    fn theorem2_on_random_histories_and_subsets() {
+        for seed in 0..20 {
+            let (h, s) = random_history(seed);
+            s.check(&h).unwrap();
+            let far = far_for(&h);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(77));
+            let mask: Vec<bool> = (0..h.len()).map(|_| rng.gen_bool(0.6)).collect();
+            let missing = locality_violations(&h, &s, &far, &DepOptions::default(), |e| {
+                mask[e.index()]
+            });
+            assert!(missing.is_empty(), "seed {seed}: locality violated: {missing:?}");
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_cycles() {
+        // The Figure 1c1 cycle restricted to its own four events stays a
+        // cycle.
+        use crate::graph::Dsg;
+        use c4_store::{HistoryBuilder, Operation};
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        let t0 = b.begin(s0);
+        let e0 = b.push(t0, Operation::map_put("M", Value::str("A"), Value::int(1)));
+        let t1 = b.begin(s0);
+        let e1 = b.push(t1, Operation::map_get("M", Value::str("B"), Value::Unit));
+        let t2 = b.begin(s1);
+        let e2 = b.push(t2, Operation::map_put("M", Value::str("B"), Value::int(2)));
+        let t3 = b.begin(s1);
+        let e3 = b.push(t3, Operation::map_get("M", Value::str("A"), Value::Unit));
+        // Extra unrelated events that we will drop.
+        let t4 = b.begin(s0);
+        b.push(t4, Operation::ctr_inc("C", 1));
+        let h = b.finish();
+        let mut vis = c4_store::schedule::Relation::new(5);
+        vis.insert(e0, e1);
+        vis.insert(e2, e3);
+        vis.insert(e0, EventId(4));
+        vis.insert(e1, EventId(4));
+        let sched = Schedule::new(&h, vec![e0, e2, e1, e3, EventId(4)], vis).unwrap();
+        sched.check(&h).unwrap();
+        let far = far_for(&h);
+        let full = Dsg::build(&h, &sched, &far, &DepOptions::default());
+        assert!(!full.is_acyclic());
+        let (rh, map) = h.restrict(|e| e.index() < 4);
+        let rs = restrict_schedule(&sched, &map, rh.len());
+        rs.check_pre(&rh).unwrap();
+        let rdsg = Dsg::build(&rh, &rs, &far, &DepOptions::default());
+        assert!(!rdsg.is_acyclic());
+    }
+}

@@ -1,0 +1,142 @@
+//! `c4c` — the C4 command-line analyzer for CCL programs.
+//!
+//! ```text
+//! c4c <file.ccl> [--no-filter] [--max-k N] [--dynamic RUNS]
+//!     [--ablate commutativity|absorption|constraints|control-flow|asymmetric|freshness]
+//! ```
+//!
+//! Analyzes the program and prints either a serializability proof note or
+//! the found violations with validated counter-examples.
+
+use std::process::ExitCode;
+
+use c4::{filter, AnalysisFeatures, Checker};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut features = AnalysisFeatures::default();
+    let mut use_filters = true;
+    let mut dynamic_runs: Option<usize> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-filter" => use_filters = false,
+            "--dynamic" => {
+                dynamic_runs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--dynamic needs a run count")),
+                );
+            }
+            "--max-k" => {
+                features.max_k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-k needs a number"));
+            }
+            "--ablate" => match args.next().as_deref() {
+                Some("commutativity") => features.commutativity = false,
+                Some("absorption") => features.absorption = false,
+                Some("constraints") => features.constraints = false,
+                Some("control-flow") => features.control_flow = false,
+                Some("asymmetric") => features.asymmetric = false,
+                Some("freshness") => features.freshness = false,
+                _ => usage("--ablate needs a feature name"),
+            },
+            "--help" | "-h" => usage(""),
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(path) = path else { usage("missing input file") };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match c4_lang::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let history = match c4_lang::abstract_history(&program) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{}: {} transactions, {} abstract events",
+        path,
+        history.txs.len(),
+        history.event_count()
+    );
+    let analyzed = if use_filters {
+        let base = filter::drop_display(&history);
+        filter::atomic_set_views(&base)
+    } else {
+        vec![history.clone()]
+    };
+    let mut total = 0usize;
+    let mut all_generalized = true;
+    for view in analyzed {
+        let result = Checker::new(view, features.clone()).run();
+        all_generalized &= result.generalized;
+        for v in &result.violations {
+            total += 1;
+            let names: Vec<_> = v.txs.iter().map(|&i| history.txs[i].name.as_str()).collect();
+            println!("\nviolation #{total} over {{{}}} (labels {:?}):", names.join(", "), v.labels);
+            match &v.counterexample {
+                Some(ce) => println!("{ce}"),
+                None => println!("(no validated counter-example)"),
+            }
+        }
+    }
+    if let Some(runs) = dynamic_runs {
+        let report = c4_dynamic::explore(
+            &program,
+            &c4_dynamic::ExploreConfig { runs, ..Default::default() },
+        );
+        println!(
+            "\ndynamic cross-check: {} cyclic runs out of {}, {} distinct violation(s)",
+            report.cyclic_runs, report.runs, report.violations.len()
+        );
+        for v in &report.violations {
+            println!("  {{{}}}", v.iter().cloned().collect::<Vec<_>>().join(","));
+        }
+    }
+    if total == 0 {
+        if all_generalized {
+            println!("serializable: no violation exists for any number of sessions");
+            ExitCode::SUCCESS
+        } else {
+            println!(
+                "no violation up to k = {} sessions (generalization incomplete)",
+                features.max_k
+            );
+            ExitCode::SUCCESS
+        }
+    } else {
+        println!(
+            "\n{total} violation(s); coverage: {}",
+            if all_generalized { "all cycle shapes subsumed (any session count)" } else { "bounded" }
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: c4c <file.ccl> [--no-filter] [--max-k N] [--ablate <feature>]\n\
+         features: commutativity absorption constraints control-flow asymmetric freshness"
+    );
+    std::process::exit(2)
+}

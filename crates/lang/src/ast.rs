@@ -1,0 +1,141 @@
+//! The CCL abstract syntax tree.
+
+use c4_store::op::{FieldName, ObjectName};
+
+/// Data-type of a declared store object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectDecl {
+    /// `register R;`
+    Register,
+    /// `counter C;`
+    Counter,
+    /// `set S;`
+    Set,
+    /// `map M;`
+    Map,
+    /// `log L;` — an append-only sequence.
+    Log,
+    /// `table T { f: reg, g: set }`
+    Table(Vec<(FieldName, FieldKind)>),
+}
+
+/// Kind of a table field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Register-valued field.
+    Reg,
+    /// Set-valued field.
+    Set,
+}
+
+/// A value-producing expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Reference to a parameter, `let` binding, local or global constant.
+    Var(String),
+    /// A query call used as a value (emits the query event inline).
+    Call(Box<CallExpr>),
+}
+
+/// A method call on a store object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallExpr {
+    /// The object name.
+    pub object: ObjectName,
+    /// `Some((row_expr, field))` for `T[r].f.m(…)` calls.
+    pub row_field: Option<(Expr, FieldName)>,
+    /// The method name (`put`, `get`, `add`, `contains`, …).
+    pub method: String,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A condition: a conjunction of comparisons (a bare boolean expression
+/// `e` abbreviates `e == true`, `!e` abbreviates `e == false`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// The conjuncts.
+    pub atoms: Vec<(Expr, CmpOp, Expr)>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// An update or ignored-result query call.
+    Call(CallExpr),
+    /// `let x = <call or expr>;`
+    Let(String, Expr),
+    /// `display <call>;` — query used only for display (Section 9.1).
+    Display(CallExpr),
+    /// `if (c) { … } else { … }`
+    If(Condition, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { … }` — produces a cyclic abstract event order.
+    While(Condition, Vec<Stmt>),
+    /// `repeat N { … }` — static unrolling sugar (acyclic).
+    Repeat(u32, Vec<Stmt>),
+}
+
+/// A transaction declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnDecl {
+    /// The name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A full CCL program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Store object declarations.
+    pub objects: Vec<(ObjectName, ObjectDecl)>,
+    /// Session-local constants.
+    pub locals: Vec<String>,
+    /// Global constants.
+    pub globals: Vec<String>,
+    /// Transactions.
+    pub txns: Vec<TxnDecl>,
+    /// Atomic-set declarations (object name groups).
+    pub atomic_sets: Vec<Vec<ObjectName>>,
+    /// Session-structure declarations: each names the transactions a
+    /// session may run, in order-free succession. Empty = any transaction
+    /// may follow any other (the free session order).
+    pub sessions: Vec<Vec<String>>,
+}
+
+impl Program {
+    /// Looks up an object declaration.
+    pub fn object(&self, name: &ObjectName) -> Option<&ObjectDecl> {
+        self.objects.iter().find(|(n, _)| n == name).map(|(_, d)| d)
+    }
+
+    /// Looks up a transaction by name.
+    pub fn txn(&self, name: &str) -> Option<&TxnDecl> {
+        self.txns.iter().find(|t| t.name == name)
+    }
+}

@@ -1,0 +1,583 @@
+//! The abstract interpreter: CCL programs → C4 abstract histories.
+//!
+//! The interpreter plays the role of the paper's front ends (Section 9.1):
+//! it infers, per syntactic transaction, the control-flow graph of store
+//! events together with the invariants the analysis needs — equalities of
+//! arguments (Section 8 "Using Equality of Arguments", tracked
+//! referentially through shared symbols), branch conditions
+//! ("Control-Flow"), session-local/global constants, and fresh-row
+//! bindings ("Fresh Unique Values").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use c4::abstract_history::{AbsArg, AbsEventSpec, AbsTx, AbstractHistory, Cond, EoEdge, Node, RelOp};
+use c4_store::op::OpKind;
+use c4_store::Value;
+
+use crate::ast::*;
+
+/// An error produced by the abstract interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// The transaction being interpreted, if known.
+    pub txn: Option<String>,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.txn {
+            Some(t) => write!(f, "in txn {t}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Infers the abstract history of a program.
+///
+/// # Errors
+///
+/// Fails on unknown objects/methods, unbound identifiers, or ill-typed
+/// calls.
+pub fn abstract_history(p: &Program) -> Result<AbstractHistory, InterpError> {
+    let mut h = AbstractHistory::new();
+    for l in &p.locals {
+        h.local(l.clone());
+    }
+    for g in &p.globals {
+        h.global(g.clone());
+    }
+    for txn in &p.txns {
+        let tx = TxBuilder::new(p, &h, txn)?.build()?;
+        h.add_tx(tx);
+    }
+    if p.sessions.is_empty() {
+        h.free_session_order();
+    } else {
+        // A session declaration lists the transactions a session may run;
+        // any listed transaction may follow any other within that session.
+        let index = |name: &str| -> Result<usize, InterpError> {
+            p.txns.iter().position(|t| t.name == name).ok_or_else(|| InterpError {
+                txn: None,
+                message: format!("session declaration names unknown txn `{name}`"),
+            })
+        };
+        let mut so = Vec::new();
+        for sess in &p.sessions {
+            for a in sess {
+                for b in sess {
+                    so.push((index(a)?, index(b)?));
+                }
+            }
+        }
+        so.sort_unstable();
+        so.dedup();
+        h.so = so;
+    }
+    h.atomic_sets = p.atomic_sets.iter().map(|s| s.iter().cloned().collect()).collect();
+    h.validate().map_err(|m| InterpError { txn: None, message: m })?;
+    Ok(h)
+}
+
+struct TxBuilder<'a> {
+    program: &'a Program,
+    txn: &'a TxnDecl,
+    env: HashMap<String, AbsArg>,
+    events: Vec<AbsEventSpec>,
+    edges: Vec<EoEdge>,
+    /// Dangling CFG edges: source node plus pending conditions.
+    frontier: Vec<(Node, Vec<Cond>)>,
+}
+
+impl<'a> TxBuilder<'a> {
+    fn new(
+        program: &'a Program,
+        h: &AbstractHistory,
+        txn: &'a TxnDecl,
+    ) -> Result<Self, InterpError> {
+        let mut env = HashMap::new();
+        for (i, p) in txn.params.iter().enumerate() {
+            env.insert(p.clone(), AbsArg::Param(i as u32));
+        }
+        for (i, l) in h.locals.iter().enumerate() {
+            env.insert(l.clone(), AbsArg::Local(i as u32));
+        }
+        for (i, g) in h.globals.iter().enumerate() {
+            env.insert(g.clone(), AbsArg::Global(i as u32));
+        }
+        Ok(TxBuilder {
+            program,
+            txn,
+            env,
+            events: Vec::new(),
+            edges: Vec::new(),
+            frontier: vec![(Node::Entry, Vec::new())],
+        })
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, InterpError> {
+        Err(InterpError { txn: Some(self.txn.name.clone()), message: message.into() })
+    }
+
+    fn build(mut self) -> Result<AbsTx, InterpError> {
+        let body = self.txn.body.clone();
+        self.stmts(&body)?;
+        for (node, cond) in std::mem::take(&mut self.frontier) {
+            self.edges.push(EoEdge { src: node, tgt: Node::Exit, cond });
+        }
+        Ok(AbsTx {
+            name: self.txn.name.clone(),
+            params: self.txn.params.clone(),
+            events: self.events,
+            edges: self.edges,
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), InterpError> {
+        match s {
+            Stmt::Call(c) => {
+                self.emit_call(c, false)?;
+                Ok(())
+            }
+            Stmt::Display(c) => {
+                let idx = self.emit_call(c, true)?;
+                if !self.events[idx as usize].kind.is_query() {
+                    return self.err("`display` expects a query");
+                }
+                Ok(())
+            }
+            Stmt::Let(name, e) => {
+                let arg = self.eval(e)?;
+                self.env.insert(name.clone(), arg);
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                let (pos, neg) = self.eval_condition(cond)?;
+                let base = self.frontier.clone();
+                // Then branch.
+                self.frontier = base
+                    .iter()
+                    .map(|(n, c)| {
+                        let mut c = c.clone();
+                        c.extend(pos.iter().cloned());
+                        (*n, c)
+                    })
+                    .collect();
+                self.stmts(then)?;
+                let then_exit = std::mem::take(&mut self.frontier);
+                // Else branch: one frontier entry per negated conjunct.
+                self.frontier = base
+                    .iter()
+                    .flat_map(|(n, c)| {
+                        neg.iter().map(move |nc| {
+                            let mut c = c.clone();
+                            c.push(nc.clone());
+                            (*n, c)
+                        })
+                    })
+                    .collect();
+                self.stmts(els)?;
+                let mut merged = std::mem::take(&mut self.frontier);
+                merged.extend(then_exit);
+                self.frontier = merged;
+                Ok(())
+            }
+            Stmt::Repeat(n, body) => {
+                for _ in 0..*n {
+                    self.stmts(body)?;
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let first_new_event = self.events.len() as u32;
+                let (pos, neg) = self.eval_condition(cond)?;
+                let head_frontier = self.frontier.clone();
+                // Loop body under the positive condition.
+                self.frontier = head_frontier
+                    .iter()
+                    .map(|(n, c)| {
+                        let mut c = c.clone();
+                        c.extend(pos.iter().cloned());
+                        (*n, c)
+                    })
+                    .collect();
+                self.stmts(body)?;
+                // Back edges to the loop head (the first event emitted by
+                // the condition or the body), closing the eo cycle.
+                if (first_new_event as usize) < self.events.len() {
+                    let head = Node::Event(first_new_event);
+                    for (n, c) in std::mem::take(&mut self.frontier) {
+                        self.edges.push(EoEdge { src: n, tgt: head, cond: c });
+                    }
+                }
+                // Loop exit under the negated condition.
+                self.frontier = head_frontier
+                    .iter()
+                    .flat_map(|(n, c)| {
+                        neg.iter().map(move |nc| {
+                            let mut c = c.clone();
+                            c.push(nc.clone());
+                            (*n, c)
+                        })
+                    })
+                    .collect();
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluates a condition: events for inline queries are emitted, the
+    /// positive conjuncts and their negations are returned.
+    fn eval_condition(&mut self, c: &Condition) -> Result<(Vec<Cond>, Vec<Cond>), InterpError> {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (l, op, r) in &c.atoms {
+            let la = self.eval(l)?;
+            let ra = self.eval(r)?;
+            let rel = match op {
+                CmpOp::Eq => RelOp::Eq,
+                CmpOp::Ne => RelOp::Ne,
+                CmpOp::Lt => RelOp::Lt,
+                CmpOp::Le => RelOp::Le,
+                CmpOp::Gt => RelOp::Gt,
+                CmpOp::Ge => RelOp::Ge,
+            };
+            pos.push(Cond { lhs: la.clone(), op: rel, rhs: ra.clone() });
+            neg.push(Cond { lhs: la, op: rel.negate(), rhs: ra });
+        }
+        Ok((pos, neg))
+    }
+
+    /// Evaluates an expression to a symbolic argument, emitting events for
+    /// inline query calls.
+    fn eval(&mut self, e: &Expr) -> Result<AbsArg, InterpError> {
+        match e {
+            Expr::Int(v) => Ok(AbsArg::Const(Value::int(*v))),
+            Expr::Str(s) => Ok(AbsArg::Const(Value::str(s.clone()))),
+            Expr::Bool(b) => Ok(AbsArg::Const(Value::bool(*b))),
+            Expr::Var(name) => match self.env.get(name) {
+                Some(a) => Ok(a.clone()),
+                None => self.err(format!("unbound identifier `{name}`")),
+            },
+            Expr::Call(c) => {
+                let idx = self.emit_call(c, false)?;
+                let ev = &self.events[idx as usize];
+                if ev.kind == OpKind::TblAddRow {
+                    Ok(AbsArg::RowOf(idx))
+                } else if ev.kind.is_query() {
+                    Ok(AbsArg::Ret(idx))
+                } else {
+                    self.err("only queries and add_row produce values")
+                }
+            }
+        }
+    }
+
+    /// Emits the event for a call and returns its local index.
+    fn emit_call(&mut self, c: &CallExpr, display: bool) -> Result<u32, InterpError> {
+        let Some(decl) = self.program.object(&c.object) else {
+            return self.err(format!("unknown object `{}`", c.object));
+        };
+        let decl = decl.clone();
+        let (kind, args): (OpKind, Vec<AbsArg>) = match (&decl, &c.row_field) {
+            (ObjectDecl::Table(fields), Some((row, field))) => {
+                let Some((_, fk)) = fields.iter().find(|(f, _)| f == field) else {
+                    return self.err(format!("unknown field `{field}` of `{}`", c.object));
+                };
+                let row_arg = self.eval(row)?;
+                let mut args = vec![row_arg];
+                for a in &c.args {
+                    args.push(self.eval(a)?);
+                }
+                let kind = match (fk, c.method.as_str(), c.args.len()) {
+                    (FieldKind::Reg, "set", 1) => OpKind::FldSet(field.clone()),
+                    (FieldKind::Reg, "get", 0) => OpKind::FldGet(field.clone()),
+                    (FieldKind::Set, "add", 1) => OpKind::FldAdd(field.clone()),
+                    (FieldKind::Set, "remove", 1) => OpKind::FldRemove(field.clone()),
+                    (FieldKind::Set, "contains", 1) => OpKind::FldContains(field.clone()),
+                    (FieldKind::Set, "size", 0) => OpKind::FldSize(field.clone()),
+                    _ => {
+                        return self.err(format!(
+                            "no method `{}`/{} on field `{field}`",
+                            c.method,
+                            c.args.len()
+                        ))
+                    }
+                };
+                (kind, args)
+            }
+            (_, Some(_)) => return self.err(format!("`{}` is not a table", c.object)),
+            (decl, None) => {
+                let kind = match (decl, c.method.as_str(), c.args.len()) {
+                    (ObjectDecl::Register, "put", 1) => OpKind::RegPut,
+                    (ObjectDecl::Register, "get", 0) => OpKind::RegGet,
+                    (ObjectDecl::Counter, "inc", 1) => OpKind::CtrInc,
+                    (ObjectDecl::Counter, "get", 0) => OpKind::CtrGet,
+                    (ObjectDecl::Set, "add", 1) => OpKind::SetAdd,
+                    (ObjectDecl::Set, "remove", 1) => OpKind::SetRemove,
+                    (ObjectDecl::Set, "contains", 1) => OpKind::SetContains,
+                    (ObjectDecl::Set, "size", 0) => OpKind::SetSize,
+                    (ObjectDecl::Map, "put", 2) => OpKind::MapPut,
+                    (ObjectDecl::Map, "get", 1) => OpKind::MapGet,
+                    (ObjectDecl::Map, "remove", 1) => OpKind::MapRemove,
+                    (ObjectDecl::Map, "contains", 1) => OpKind::MapContains,
+                    (ObjectDecl::Map, "size", 0) => OpKind::MapSize,
+                    (ObjectDecl::Map, "copy", 2) => OpKind::MapCopy,
+                    (ObjectDecl::Log, "append", 1) => OpKind::LogAppend,
+                    (ObjectDecl::Log, "last", 0) => OpKind::LogLast,
+                    (ObjectDecl::Log, "count", 0) => OpKind::LogCount,
+                    (ObjectDecl::Log, "has", 1) => OpKind::LogHas,
+                    (ObjectDecl::Table(_), "add_row", 0) => OpKind::TblAddRow,
+                    (ObjectDecl::Table(_), "delete_row", 1) => OpKind::TblDeleteRow,
+                    (ObjectDecl::Table(_), "contains", 1) => OpKind::TblContains,
+                    _ => {
+                        return self.err(format!(
+                            "no method `{}`/{} on `{}`",
+                            c.method,
+                            c.args.len(),
+                            c.object
+                        ))
+                    }
+                };
+                let mut args = Vec::new();
+                for a in &c.args {
+                    args.push(self.eval(a)?);
+                }
+                (kind, args)
+            }
+        };
+        let idx = self.events.len() as u32;
+        let args = if kind == OpKind::TblAddRow { vec![AbsArg::RowOf(idx)] } else { args };
+        self.events.push(AbsEventSpec { object: c.object.clone(), kind, args, display });
+        for (node, cond) in std::mem::take(&mut self.frontier) {
+            self.edges.push(EoEdge { src: node, tgt: Node::Event(idx), cond });
+        }
+        self.frontier = vec![(Node::Event(idx), Vec::new())];
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn figure1a_history() {
+        let p = parse(
+            r#"
+            store { map M; }
+            txn P(x, y) { M.put(x, y); }
+            txn G(z)    { M.get(z); }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        assert_eq!(h.txs.len(), 2);
+        assert_eq!(h.txs[0].events[0].kind, OpKind::MapPut);
+        assert_eq!(h.txs[0].events[0].args, vec![AbsArg::Param(0), AbsArg::Param(1)]);
+        assert_eq!(h.txs[1].events[0].args, vec![AbsArg::Param(0)]);
+    }
+
+    #[test]
+    fn figure4_conditional_increment() {
+        let p = parse(
+            r#"
+            store { map M; counter C; }
+            txn P(k, v) { M.put(k, v); }
+            txn I(k, v) { if (M.get(k) < 10) { C.inc(v); } }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        let i = &h.txs[1];
+        assert_eq!(i.events.len(), 2);
+        // Two paths: with and without the increment.
+        let mut paths = i.paths();
+        paths.sort_by_key(|p| p.events.len());
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].events, vec![0]);
+        assert_eq!(paths[0].conds[0].op, RelOp::Ge);
+        assert_eq!(paths[1].events, vec![0, 1]);
+        assert_eq!(paths[1].conds[0].op, RelOp::Lt);
+        assert_eq!(paths[1].conds[0].lhs, AbsArg::Ret(0));
+    }
+
+    #[test]
+    fn figure10_shared_row_equalities() {
+        let p = parse(
+            r#"
+            store { table Quiz { question: reg, answer: reg } }
+            txn updateQuestion(x, q, a) {
+                Quiz[x].question.set(q);
+                Quiz[x].answer.set(a);
+            }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        let tx = &h.txs[0];
+        // Both events use the same row symbol (the Section 8 equality).
+        assert_eq!(tx.events[0].args[0], tx.events[1].args[0]);
+        assert_eq!(tx.events[0].args[0], AbsArg::Param(0));
+    }
+
+    #[test]
+    fn figure12_fresh_rows() {
+        let p = parse(
+            r#"
+            store { table Quiz { question: reg } }
+            txn addQuestion() {
+                let r = Quiz.add_row();
+                Quiz[r].question.set("?");
+            }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        let tx = &h.txs[0];
+        assert_eq!(tx.events[0].kind, OpKind::TblAddRow);
+        assert_eq!(tx.events[0].args, vec![AbsArg::RowOf(0)]);
+        assert_eq!(tx.events[1].args[0], AbsArg::RowOf(0));
+    }
+
+    #[test]
+    fn locals_and_globals_resolve() {
+        let p = parse(
+            r#"
+            store { map M; }
+            local u;
+            global g;
+            txn t(v) { M.put(u, v); M.put(g, v); }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        assert_eq!(h.txs[0].events[0].args[0], AbsArg::Local(0));
+        assert_eq!(h.txs[0].events[1].args[0], AbsArg::Global(0));
+    }
+
+    #[test]
+    fn while_loops_make_cyclic_eo() {
+        let p = parse(
+            r#"
+            store { set S; }
+            txn drain(e) {
+                while (S.contains(e)) { S.remove(e); }
+            }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        assert!(!h.txs[0].eo_is_acyclic(), "loops must produce cyclic eo");
+        // The checker's unfolding handles it.
+        let unfolded = c4::unfold::unfold_tx(&h.txs[0]);
+        assert!(unfolded.eo_is_acyclic());
+    }
+
+    #[test]
+    fn display_marks_events() {
+        let p = parse(
+            r#"
+            store { map M; }
+            txn t(k) { display M.get(k); }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        assert!(h.txs[0].events[0].display);
+    }
+
+    #[test]
+    fn session_declarations_restrict_so() {
+        let p = parse(
+            r#"
+            store { map M; }
+            txn a(k) { M.put(k, 1); }
+            txn b(k) { M.get(k); }
+            txn c(k) { M.remove(k); }
+            session { a, b }
+            session { c }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        // a/b freely mix, c is alone: no (a,c), (c,b)… pairs.
+        assert!(h.so.contains(&(0, 1)));
+        assert!(h.so.contains(&(1, 0)));
+        assert!(h.so.contains(&(2, 2)));
+        assert!(!h.so.contains(&(0, 2)));
+        assert!(!h.so.contains(&(2, 0)));
+
+        let bad = parse("store { map M; } txn a() { M.get(1); } session { nope }").unwrap();
+        assert!(abstract_history(&bad).is_err());
+    }
+
+    #[test]
+    fn errors_on_unknown_names() {
+        let p = parse("store { map M; } txn t() { N.get(1); }").unwrap();
+        assert!(abstract_history(&p).is_err());
+        let p = parse("store { map M; } txn t() { M.frob(1); }").unwrap();
+        assert!(abstract_history(&p).is_err());
+        let p = parse("store { map M; } txn t() { M.get(x); }").unwrap();
+        assert!(abstract_history(&p).is_err());
+    }
+}
+// (log tests appended)
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn log_operations_interpret_and_analyze() {
+        let p = parse(
+            r#"
+            store { log Chat; }
+            txn say(m) { Chat.append(m); }
+            txn tail() { display Chat.last(); }
+            txn seen(m) { Chat.has(m); }
+        "#,
+        )
+        .unwrap();
+        let h = abstract_history(&p).unwrap();
+        assert_eq!(h.txs[0].events[0].kind, OpKind::LogAppend);
+        assert_eq!(h.txs[1].events[0].kind, OpKind::LogLast);
+        // Appends of different messages do not commute (ordering is
+        // observable through `last`), so concurrent says race with tails.
+        let r = c4::Checker::new(h, c4::AnalysisFeatures::default()).run();
+        assert!(!r.violations.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod repeat_tests {
+    use crate::parse;
+
+    #[test]
+    fn repeat_unrolls_statically() {
+        let p = parse(
+            r#"
+            store { counter C; }
+            txn t() { repeat 3 { C.inc(1); } }
+        "#,
+        )
+        .unwrap();
+        let h = super::abstract_history(&p).unwrap();
+        assert_eq!(h.txs[0].events.len(), 3);
+        assert!(h.txs[0].eo_is_acyclic());
+        assert!(parse("store { counter C; } txn t() { repeat 0 { C.inc(1); } }").is_err());
+        assert!(parse("store { counter C; } txn t() { repeat 99 { C.inc(1); } }").is_err());
+    }
+}

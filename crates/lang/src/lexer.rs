@@ -1,0 +1,180 @@
+//! The CCL lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (content, unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Lexes CCL source text.
+///
+/// `//` line comments are skipped. Returns an error message with a line
+/// number on bad input.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Spanned { tok: Tok::Ident(src[start..i].to_owned()), line });
+        } else if c.is_ascii_digit()
+            || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let v: i64 = src[start..i].parse().map_err(|e| format!("line {line}: {e}"))?;
+            out.push(Spanned { tok: Tok::Int(v), line });
+        } else if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err(format!("line {line}: unterminated string")),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(i + 1) {
+                            Some(b'n') => s.push('\n'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            other => {
+                                return Err(format!("line {line}: bad escape {other:?}"))
+                            }
+                        }
+                        i += 2;
+                    }
+                    Some(&b) => {
+                        if b == b'\n' {
+                            line += 1;
+                        }
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Spanned { tok: Tok::Str(s), line });
+        } else {
+            // Multi-char operators first.
+            let two: Option<&'static str> = if i + 1 < bytes.len() {
+                match &src[i..i + 2] {
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "&&" => Some("&&"),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if let Some(p) = two {
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += 2;
+            } else {
+                let p: &'static str = match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ';' => ";",
+                    ',' => ",",
+                    '.' => ".",
+                    ':' => ":",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '!' => "!",
+                    _ => return Err(format!("line {line}: unexpected character {c:?}")),
+                };
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += 1;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_all_token_kinds() {
+        let toks = lex(r#"txn f(x) { M.put(x, "a"); n <= -3 } // comment"#).unwrap();
+        let kinds: Vec<_> = toks.iter().map(|t| t.tok.clone()).collect();
+        assert!(kinds.contains(&Tok::Ident("txn".into())));
+        assert!(kinds.contains(&Tok::Str("a".into())));
+        assert!(kinds.contains(&Tok::Int(-3)));
+        assert!(kinds.contains(&Tok::Punct("<=")));
+        assert_eq!(kinds.last(), Some(&Tok::Eof));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(lex("#").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

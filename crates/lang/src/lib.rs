@@ -1,0 +1,50 @@
+//! **CCL** — a small client language for causally-consistent stores, and
+//! the C4 front end for it.
+//!
+//! The paper's front ends lower TouchDevelop scripts and Cassandra/Java
+//! programs into C4's abstract-history IR. This crate plays the same role
+//! for CCL, a compact language with the store operations, transactions,
+//! parameters, session-local and global constants, branching and loops:
+//!
+//! ```text
+//! store { map M; table Quiz { question: reg } }
+//! local u;
+//!
+//! txn put(v)  { M.put(u, v); }
+//! txn read()  { display M.get(u); }
+//! txn guard(k, v) {
+//!     if (M.contains(k)) { M.put(k, v); }
+//! }
+//! ```
+//!
+//! * [`parse`] turns source text into a [`Program`];
+//! * [`abstract_history`] runs the abstract interpreter, producing the
+//!   [`c4::AbstractHistory`] consumed by the analysis back end;
+//! * [`exec`] executes transactions concretely against the
+//!   [`c4_store::sim::CausalSim`] simulator (used by the dynamic-analysis
+//!   baseline).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     store { map M; }
+//!     txn w(k, v) { M.put(k, v); }
+//!     txn r(k)    { M.get(k); }
+//! "#;
+//! let program = c4_lang::parse(src).unwrap();
+//! let h = c4_lang::abstract_history(&program).unwrap();
+//! assert_eq!(h.txs.len(), 2);
+//! assert_eq!(h.event_count(), 2);
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ObjectDecl, Program, TxnDecl};
+pub use exec::{ExecError, TxnRunner};
+pub use interp::{abstract_history, InterpError};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,516 @@
+//! Recursive-descent parser for CCL.
+
+use std::fmt;
+
+use c4_store::op::Name;
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Tok};
+
+/// A parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a CCL program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|m| ParseError { line: 0, message: m })?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{p}`, found {other}")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            if matches!(self.peek(), Tok::Eof) {
+                break;
+            }
+            if self.eat_kw("store") {
+                self.expect_punct("{")?;
+                while !self.eat_punct("}") {
+                    self.object_decl(&mut prog)?;
+                }
+            } else if self.eat_kw("local") {
+                prog.locals.push(self.ident()?);
+                self.expect_punct(";")?;
+            } else if self.eat_kw("global") {
+                prog.globals.push(self.ident()?);
+                self.expect_punct(";")?;
+            } else if self.eat_kw("txn") {
+                prog.txns.push(self.txn()?);
+            } else if self.eat_kw("session") {
+                self.expect_punct("{")?;
+                let mut txns = Vec::new();
+                loop {
+                    txns.push(self.ident()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct("}")?;
+                prog.sessions.push(txns);
+            } else if self.eat_kw("atomicset") {
+                self.expect_punct("{")?;
+                let mut set = Vec::new();
+                loop {
+                    set.push(Name::new(self.ident()?));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct("}")?;
+                prog.atomic_sets.push(set);
+            } else {
+                return self.err(format!(
+                    "expected `store`, `local`, `global`, `txn`, `session` or `atomicset`, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        Ok(prog)
+    }
+
+    fn object_decl(&mut self, prog: &mut Program) -> Result<(), ParseError> {
+        let kind = self.ident()?;
+        let name = Name::new(self.ident()?);
+        let decl = match kind.as_str() {
+            "register" => ObjectDecl::Register,
+            "counter" => ObjectDecl::Counter,
+            "set" => ObjectDecl::Set,
+            "map" => ObjectDecl::Map,
+            "log" => ObjectDecl::Log,
+            "table" => {
+                self.expect_punct("{")?;
+                let mut fields = Vec::new();
+                while !self.eat_punct("}") {
+                    let f = Name::new(self.ident()?);
+                    self.expect_punct(":")?;
+                    let fk = match self.ident()?.as_str() {
+                        "reg" => FieldKind::Reg,
+                        "set" => FieldKind::Set,
+                        other => return self.err(format!("unknown field kind `{other}`")),
+                    };
+                    fields.push((f, fk));
+                    let _ = self.eat_punct(",");
+                }
+                prog.objects.push((name, ObjectDecl::Table(fields)));
+                let _ = self.eat_punct(";"); // optional after a block
+                return Ok(());
+            }
+            other => return self.err(format!("unknown object kind `{other}`")),
+        };
+        prog.objects.push((name, decl));
+        self.expect_punct(";")?;
+        Ok(())
+    }
+
+    fn txn(&mut self) -> Result<TxnDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(TxnDecl { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect_punct("=")?;
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("display") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            let Expr::Call(c) = e else {
+                return self.err("`display` expects a query call");
+            };
+            return Ok(Stmt::Display(*c));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let c = self.condition()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::If(c, then, els));
+        }
+        if self.eat_kw("repeat") {
+            let n = match self.bump() {
+                Tok::Int(v) if (1..=16).contains(&v) => v as u32,
+                other => return self.err(format!("repeat count must be 1..=16, found {other}")),
+            };
+            let body = self.block()?;
+            return Ok(Stmt::Repeat(n, body));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let c = self.condition()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(c, body));
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        let Expr::Call(c) = e else {
+            return self.err("expected a call statement");
+        };
+        Ok(Stmt::Call(*c))
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let mut atoms = Vec::new();
+        loop {
+            let negated = self.eat_punct("!");
+            let lhs = self.expr()?;
+            let atom = match self.peek().clone() {
+                Tok::Punct(op @ ("==" | "!=" | "<" | "<=" | ">" | ">=")) => {
+                    if negated {
+                        return self.err("`!` only applies to boolean expressions");
+                    }
+                    self.bump();
+                    let rhs = self.expr()?;
+                    let op = match op {
+                        "==" => CmpOp::Eq,
+                        "!=" => CmpOp::Ne,
+                        "<" => CmpOp::Lt,
+                        "<=" => CmpOp::Le,
+                        ">" => CmpOp::Gt,
+                        ">=" => CmpOp::Ge,
+                        _ => unreachable!(),
+                    };
+                    (lhs, op, rhs)
+                }
+                _ => (lhs, CmpOp::Eq, Expr::Bool(!negated)),
+            };
+            atoms.push(atom);
+            if !self.eat_punct("&&") {
+                break;
+            }
+        }
+        Ok(Condition { atoms })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Ident(id) => {
+                if id == "true" || id == "false" {
+                    self.bump();
+                    return Ok(Expr::Bool(id == "true"));
+                }
+                self.bump();
+                // Call forms: `obj.method(args)` or `obj[row].field.method(args)`.
+                if self.eat_punct("[") {
+                    let row = self.expr()?;
+                    self.expect_punct("]")?;
+                    self.expect_punct(".")?;
+                    let field = Name::new(self.ident()?);
+                    self.expect_punct(".")?;
+                    let method = self.ident()?;
+                    let args = self.call_args()?;
+                    return Ok(Expr::Call(Box::new(CallExpr {
+                        object: Name::new(id),
+                        row_field: Some((row, field)),
+                        method,
+                        args,
+                    })));
+                }
+                if self.eat_punct(".") {
+                    let method = self.ident()?;
+                    let args = self.call_args()?;
+                    return Ok(Expr::Call(Box::new(CallExpr {
+                        object: Name::new(id),
+                        row_field: None,
+                        method,
+                        args,
+                    })));
+                }
+                Ok(Expr::Var(id))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1a() {
+        let p = parse(
+            r#"
+            store { map M; }
+            txn P(x, y) { M.put(x, y); }
+            txn G(z)    { M.get(z); }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.objects.len(), 1);
+        assert_eq!(p.txns.len(), 2);
+        assert_eq!(p.txns[0].params, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn parses_tables_and_fields() {
+        let p = parse(
+            r#"
+            store { table Quiz { question: reg, answer: reg } table Users { flwrs: set } }
+            txn u(x, q) { Quiz[x].question.set(q); }
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(p.object(&Name::new("Quiz")), Some(ObjectDecl::Table(f)) if f.len() == 2));
+        let Stmt::Call(c) = &p.txns[0].body[0] else { panic!() };
+        assert_eq!(c.row_field.as_ref().unwrap().1, Name::new("question"));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse(
+            r#"
+            store { map M; counter C; }
+            txn t(k) {
+                if (C.get() < 10 && M.contains(k)) { C.inc(1); } else { M.remove(k); }
+                while (!M.contains(k)) { M.put(k, 1); }
+            }
+        "#,
+        )
+        .unwrap();
+        let Stmt::If(c, then, els) = &p.txns[0].body[0] else { panic!() };
+        assert_eq!(c.atoms.len(), 2);
+        assert_eq!(then.len(), 1);
+        assert_eq!(els.len(), 1);
+        let Stmt::While(c2, body) = &p.txns[0].body[1] else { panic!() };
+        assert_eq!(c2.atoms[0].1, CmpOp::Eq);
+        assert_eq!(c2.atoms[0].2, Expr::Bool(false));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_declarations_and_atomic_sets() {
+        let p = parse(
+            r#"
+            store { map M; set S; }
+            local u;
+            global g;
+            atomicset { M, S }
+            txn t() { display M.get(u); }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.locals, vec!["u"]);
+        assert_eq!(p.globals, vec!["g"]);
+        assert_eq!(p.atomic_sets.len(), 1);
+        assert!(matches!(p.txns[0].body[0], Stmt::Display(_)));
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let err = parse("store {\n  bogus M;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse("txn t() { 3; }").is_err());
+    }
+
+    #[test]
+    fn parses_let_bindings() {
+        let p = parse(
+            r#"
+            store { table T { f: reg } }
+            txn t() { let r = T.add_row(); T[r].f.set(1); }
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(&p.txns[0].body[0], Stmt::Let(n, Expr::Call(_)) if n == "r"));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn nested_control_flow() {
+        let p = parse(
+            r#"
+            store { map M; counter C; }
+            txn t(k) {
+                if (M.contains(k)) {
+                    if (C.get() < 3) { C.inc(1); } else { C.inc(2); }
+                } else {
+                    while (C.get() > 0) { C.inc(-1); }
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let Stmt::If(_, then, els) = &p.txns[0].body[0] else { panic!() };
+        assert!(matches!(then[0], Stmt::If(..)));
+        assert!(matches!(els[0], Stmt::While(..)));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("txn t() { let = 3; }").is_err());
+        assert!(parse("store { map M; } txn t( { }").is_err());
+        assert!(parse("store { map M; } txn t() { M.put(1, 2) }").is_err()); // missing ;
+        assert!(parse("store { table T { f: bogus } }").is_err());
+        assert!(parse("store { map M; } txn t() { display 3; }").is_err());
+        assert!(parse("store { map M; } txn t() { if (M.get(1) <) {} }").is_err());
+    }
+
+    #[test]
+    fn logs_and_sessions_parse() {
+        let p = parse(
+            r#"
+            store { log L; }
+            txn say(m) { L.append(m); }
+            txn peek() { display L.last(); }
+            session { say, peek }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.sessions, vec![vec!["say".to_string(), "peek".to_string()]]);
+        assert!(matches!(p.object(&Name::new("L")), Some(ObjectDecl::Log)));
+    }
+
+    #[test]
+    fn bare_and_negated_boolean_conditions() {
+        let p = parse(
+            r#"
+            store { set S; }
+            txn t(e) {
+                if (S.contains(e)) { S.remove(e); }
+                if (!S.contains(e)) { S.add(e); }
+            }
+        "#,
+        )
+        .unwrap();
+        let Stmt::If(c1, ..) = &p.txns[0].body[0] else { panic!() };
+        assert_eq!(c1.atoms[0].2, Expr::Bool(true));
+        let Stmt::If(c2, ..) = &p.txns[0].body[1] else { panic!() };
+        assert_eq!(c2.atoms[0].2, Expr::Bool(false));
+    }
+}

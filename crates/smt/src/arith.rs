@@ -1,0 +1,228 @@
+//! Integer difference-bound reasoning.
+//!
+//! The encodings only compare integer terms (variables and constants), so
+//! every asserted literal normalizes to `x ≤ y + k`. Consistency is
+//! negative-cycle detection (Bellman–Ford); models come from shortest-path
+//! potentials relative to a zero node anchoring the constants.
+
+use std::collections::HashMap;
+
+use crate::term::{Context, TermData, TermId};
+
+/// A normalized constraint `lhs ≤ rhs + k` between two nodes.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    /// Source node (the `rhs`).
+    from: usize,
+    /// Target node (the `lhs`).
+    to: usize,
+    weight: i64,
+    /// Index of the originating input constraint, for conflict extraction.
+    origin: usize,
+}
+
+/// Result of a difference-logic check.
+#[derive(Debug)]
+pub enum ArithResult {
+    /// Consistent; integer values for every involved term.
+    Consistent(HashMap<TermId, i64>),
+    /// Inconsistent: indices (into the input) of constraints forming a
+    /// negative cycle.
+    Inconsistent(Vec<usize>),
+}
+
+/// An input constraint: `lhs ≤ rhs + offset` (use `offset = -1` for strict
+/// less-than).
+#[derive(Debug, Clone, Copy)]
+pub struct Constraint {
+    /// Left-hand term (integer sort).
+    pub lhs: TermId,
+    /// Right-hand term (integer sort).
+    pub rhs: TermId,
+    /// Slack: `lhs ≤ rhs + offset`.
+    pub offset: i64,
+}
+
+/// Checks a conjunction of difference constraints over integer terms.
+pub fn check(ctx: &Context, constraints: &[Constraint]) -> ArithResult {
+    let mut nodes: HashMap<TermId, usize> = HashMap::new();
+    let zero = 0usize; // virtual node anchoring constants at value 0
+    let mut count = 1usize;
+    // term → (node, offset): Var x ↦ (node_x, 0), const c ↦ (zero, c).
+    let resolve = |t: TermId, nodes: &mut HashMap<TermId, usize>, count: &mut usize| {
+        match ctx.data(t) {
+            TermData::IntConst(c) => (zero, *c),
+            _ => {
+                let n = *nodes.entry(t).or_insert_with(|| {
+                    let n = *count;
+                    *count += 1;
+                    n
+                });
+                (n, 0)
+            }
+        }
+    };
+    let mut edges = Vec::with_capacity(constraints.len());
+    for (i, c) in constraints.iter().enumerate() {
+        let (nl, ol) = resolve(c.lhs, &mut nodes, &mut count);
+        let (nr, or) = resolve(c.rhs, &mut nodes, &mut count);
+        // nl + ol ≤ nr + or + offset  ⟺  nl ≤ nr + (or - ol + offset)
+        edges.push(Edge { from: nr, to: nl, weight: or - ol + c.offset, origin: i });
+    }
+    // Bellman–Ford from a virtual super-source (implemented by initializing
+    // all distances to 0, which is equivalent).
+    let n = count;
+    let mut dist = vec![0i64; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n]; // predecessor edge index
+    for _ in 0..n {
+        let mut changed = false;
+        for (ei, e) in edges.iter().enumerate() {
+            if dist[e.from] + e.weight < dist[e.to] {
+                dist[e.to] = dist[e.from] + e.weight;
+                pred[e.to] = Some(ei);
+                changed = true;
+            }
+        }
+        if !changed {
+            // Consistent; extract values: val(x) = dist(x) - dist(zero).
+            let base = dist[zero];
+            let mut model: HashMap<TermId, i64> = nodes
+                .iter()
+                .map(|(&t, &node)| (t, dist[node] - base))
+                .collect();
+            // Constants evaluate to themselves.
+            for c in constraints {
+                for t in [c.lhs, c.rhs] {
+                    if let TermData::IntConst(v) = ctx.data(t) {
+                        model.insert(t, *v);
+                    }
+                }
+            }
+            return ArithResult::Consistent(model);
+        }
+    }
+    // A negative cycle exists; find a still-relaxing edge, apply it, and
+    // walk the predecessor links back to land inside the cycle. The walk
+    // is defensive: predecessor links can be unset for nodes that were
+    // never relaxed, in which case the whole constraint set is returned as
+    // the (unminimized) core — the theory layer shrinks it greedily.
+    let mut start = None;
+    for (ei, e) in edges.iter().enumerate() {
+        if dist[e.from] + e.weight < dist[e.to] {
+            pred[e.to] = Some(ei);
+            start = Some(e.to);
+            break;
+        }
+    }
+    let all_origins = || (0..constraints.len()).collect::<Vec<usize>>();
+    let mut node = start.expect("relaxation continued ⇒ some edge still relaxes");
+    for _ in 0..n {
+        match pred[node] {
+            Some(ei) => node = edges[ei].from,
+            None => return ArithResult::Inconsistent(all_origins()),
+        }
+    }
+    let mut cycle = Vec::new();
+    let first = node;
+    loop {
+        let Some(ei) = pred[node] else {
+            return ArithResult::Inconsistent(all_origins());
+        };
+        cycle.push(edges[ei].origin);
+        node = edges[ei].from;
+        if node == first {
+            break;
+        }
+        if cycle.len() > n {
+            return ArithResult::Inconsistent(all_origins());
+        }
+    }
+    cycle.dedup();
+    ArithResult::Inconsistent(cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(lhs: TermId, rhs: TermId, offset: i64) -> Constraint {
+        Constraint { lhs, rhs, offset }
+    }
+
+    #[test]
+    fn simple_chain_is_consistent() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", crate::term::Sort::Int);
+        let y = ctx.var("y", crate::term::Sort::Int);
+        // x ≤ y - 1, y ≤ 10, 3 ≤ x.
+        let ten = ctx.int(10);
+        let three = ctx.int(3);
+        match check(&ctx, &[c(x, y, -1), c(y, ten, 0), c(three, x, 0)]) {
+            ArithResult::Consistent(m) => {
+                assert!(m[&x] < m[&y]);
+                assert!(m[&y] <= 10);
+                assert!(m[&x] >= 3);
+            }
+            other => panic!("expected consistent: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_cycle_is_inconsistent() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", crate::term::Sort::Int);
+        let y = ctx.var("y", crate::term::Sort::Int);
+        // x < y, y < x.
+        match check(&ctx, &[c(x, y, -1), c(y, x, -1)]) {
+            ArithResult::Inconsistent(core) => {
+                assert_eq!(core.len(), 2);
+            }
+            other => panic!("expected inconsistent: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonstrict_cycle_is_consistent() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", crate::term::Sort::Int);
+        let y = ctx.var("y", crate::term::Sort::Int);
+        match check(&ctx, &[c(x, y, 0), c(y, x, 0)]) {
+            ArithResult::Consistent(m) => assert_eq!(m[&x], m[&y]),
+            other => panic!("expected consistent: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_bounds() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", crate::term::Sort::Int);
+        let five = ctx.int(5);
+        let four = ctx.int(4);
+        // x ≤ 4 ∧ 5 ≤ x is inconsistent.
+        match check(&ctx, &[c(x, four, 0), c(five, x, 0)]) {
+            ArithResult::Inconsistent(_) => {}
+            other => panic!("expected inconsistent: {other:?}"),
+        }
+        // x ≤ 5 ∧ 5 ≤ x pins x = 5.
+        match check(&ctx, &[c(x, five, 0), c(five, x, 0)]) {
+            ArithResult::Consistent(m) => assert_eq!(m[&x], 5),
+            other => panic!("expected consistent: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_negative_cycle_core() {
+        let mut ctx = Context::new();
+        let vs: Vec<TermId> =
+            (0..5).map(|i| ctx.var(format!("v{i}"), crate::term::Sort::Int)).collect();
+        // v0 < v1 < v2 < v3 < v4 ≤ v0: negative cycle through all five.
+        let mut cs: Vec<Constraint> = (0..4).map(|i| c(vs[i], vs[i + 1], -1)).collect();
+        cs.push(c(vs[4], vs[0], 0));
+        match check(&ctx, &cs) {
+            ArithResult::Inconsistent(core) => {
+                assert!(core.len() >= 2, "core: {core:?}");
+            }
+            other => panic!("expected inconsistent: {other:?}"),
+        }
+    }
+}

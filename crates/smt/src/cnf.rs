@@ -1,0 +1,188 @@
+//! Tseitin transformation: boolean term DAG → CNF, with an atom map for
+//! the lazy theory layer.
+
+use std::collections::HashMap;
+
+use crate::sat::{Cnf, Lit, Var};
+use crate::term::{Context, Sort, TermData, TermId};
+
+/// The result of encoding a set of assertions.
+#[derive(Debug)]
+pub struct Encoded {
+    /// The CNF to hand to the SAT core.
+    pub cnf: Cnf,
+    /// Boolean term → its SAT literal (every boolean subterm appears).
+    pub lit_of_term: HashMap<TermId, Lit>,
+    /// Theory atoms (`Eq`, `Le`, `Lt`) and their SAT variables.
+    pub atoms: Vec<(TermId, Var)>,
+}
+
+/// Encodes the conjunction of `assertions`.
+///
+/// # Panics
+///
+/// Panics if an assertion is not of boolean sort, or contains a construct
+/// the preprocessor should have removed (see `solver::preprocess`).
+pub fn encode(ctx: &Context, assertions: &[TermId]) -> Encoded {
+    let mut enc = Encoder {
+        ctx,
+        cnf: Cnf::new(),
+        map: HashMap::new(),
+        atoms: Vec::new(),
+        const_true: None,
+    };
+    for &a in assertions {
+        assert_eq!(ctx.sort(a), Sort::Bool, "assertions must be boolean");
+        let l = enc.lit(a);
+        enc.cnf.add([l]);
+    }
+    Encoded { cnf: enc.cnf, lit_of_term: enc.map, atoms: enc.atoms }
+}
+
+struct Encoder<'a> {
+    ctx: &'a Context,
+    cnf: Cnf,
+    map: HashMap<TermId, Lit>,
+    atoms: Vec<(TermId, Var)>,
+    const_true: Option<Lit>,
+}
+
+impl Encoder<'_> {
+    fn true_lit(&mut self) -> Lit {
+        if let Some(l) = self.const_true {
+            return l;
+        }
+        let v = self.cnf.fresh();
+        self.cnf.add([v.positive()]);
+        self.const_true = Some(v.positive());
+        v.positive()
+    }
+
+    fn lit(&mut self, t: TermId) -> Lit {
+        if let Some(&l) = self.map.get(&t) {
+            return l;
+        }
+        let l = match self.ctx.data(t) {
+            TermData::BoolConst(true) => self.true_lit(),
+            TermData::BoolConst(false) => self.true_lit().negate(),
+            TermData::Var(_) if self.ctx.sort(t) == Sort::Bool => {
+                self.cnf.fresh().positive()
+            }
+            TermData::Eq(_, _) | TermData::Le(_, _) | TermData::Lt(_, _) => {
+                let v = self.cnf.fresh();
+                self.atoms.push((t, v));
+                v.positive()
+            }
+            TermData::Not(a) => {
+                let a = *a;
+                self.lit(a).negate()
+            }
+            TermData::And(xs) => {
+                let xs = xs.clone();
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.lit(x)).collect();
+                let v = self.cnf.fresh().positive();
+                for &x in &lits {
+                    self.cnf.add([v.negate(), x]);
+                }
+                let mut big: Vec<Lit> = lits.iter().map(|x| x.negate()).collect();
+                big.push(v);
+                self.cnf.add(big);
+                v
+            }
+            TermData::Or(xs) => {
+                let xs = xs.clone();
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.lit(x)).collect();
+                let v = self.cnf.fresh().positive();
+                for &x in &lits {
+                    self.cnf.add([v, x.negate()]);
+                }
+                let mut big: Vec<Lit> = lits.clone();
+                big.push(v.negate());
+                self.cnf.add(big);
+                v
+            }
+            TermData::Implies(a, b) => {
+                let (a, b) = (*a, *b);
+                let la = self.lit(a);
+                let lb = self.lit(b);
+                let v = self.cnf.fresh().positive();
+                // v ↔ (¬a ∨ b)
+                self.cnf.add([v.negate(), la.negate(), lb]);
+                self.cnf.add([v, la]);
+                self.cnf.add([v, lb.negate()]);
+                v
+            }
+            TermData::Iff(a, b) => {
+                let (a, b) = (*a, *b);
+                let la = self.lit(a);
+                let lb = self.lit(b);
+                let v = self.cnf.fresh().positive();
+                self.cnf.add([v.negate(), la.negate(), lb]);
+                self.cnf.add([v.negate(), la, lb.negate()]);
+                self.cnf.add([v, la, lb]);
+                self.cnf.add([v, la.negate(), lb.negate()]);
+                v
+            }
+            TermData::Distinct(_) => {
+                panic!("distinct must be expanded by preprocessing")
+            }
+            TermData::Var(_) | TermData::App(_, _) | TermData::IntConst(_) => {
+                panic!("non-boolean term in boolean position: {}", self.ctx.display(t))
+            }
+        };
+        self.map.insert(t, l);
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{SatOutcome, SatSolver};
+
+    fn solve_terms(ctx: &Context, assertions: &[TermId]) -> SatOutcome {
+        let enc = encode(ctx, assertions);
+        SatSolver::from_cnf(&enc.cnf).solve()
+    }
+
+    #[test]
+    fn propositional_reasoning() {
+        let mut ctx = Context::new();
+        let a = ctx.var("a", Sort::Bool);
+        let b = ctx.var("b", Sort::Bool);
+        let ab = ctx.and([a, b]);
+        assert!(matches!(solve_terms(&ctx, &[ab]), SatOutcome::Sat(_)));
+        let na = ctx.not(a);
+        let contra = ctx.and([a, na]);
+        assert!(matches!(solve_terms(&ctx, &[contra]), SatOutcome::Unsat));
+        let imp = ctx.implies(a, b);
+        let nb = ctx.not(b);
+        assert!(matches!(solve_terms(&ctx, &[imp, a, nb]), SatOutcome::Unsat));
+        let iff = ctx.iff(a, b);
+        assert!(matches!(solve_terms(&ctx, &[iff, a, nb]), SatOutcome::Unsat));
+        assert!(matches!(solve_terms(&ctx, &[iff, a, b]), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn atoms_are_collected() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let x = ctx.var("x", s);
+        let y = ctx.var("y", s);
+        let e = ctx.eq(x, y);
+        let a = ctx.var("a", Sort::Bool);
+        let f = ctx.or([e, a]);
+        let enc = encode(&ctx, &[f]);
+        assert_eq!(enc.atoms.len(), 1);
+        assert_eq!(enc.atoms[0].0, e);
+    }
+
+    #[test]
+    fn bool_constants() {
+        let mut ctx = Context::new();
+        let t = ctx.tru();
+        let f = ctx.fls();
+        assert!(matches!(solve_terms(&ctx, &[t]), SatOutcome::Sat(_)));
+        assert!(matches!(solve_terms(&ctx, &[f]), SatOutcome::Unsat));
+    }
+}

@@ -1,0 +1,606 @@
+//! A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+//! analysis, VSIDS-style branching with phase saving, geometric restarts.
+
+/// A propositional variable (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal with the given polarity.
+    pub fn lit(self, value: bool) -> Lit {
+        if value {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A CNF formula under construction.
+#[derive(Debug, Default, Clone)]
+pub struct Cnf {
+    /// Number of variables.
+    pub n_vars: u32,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var(self.n_vars);
+        self.n_vars += 1;
+        v
+    }
+
+    /// Adds a clause.
+    pub fn add(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.clauses.push(lits.into_iter().collect());
+    }
+}
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable; the model assigns every variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Undef,
+    True,
+    False,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+/// The CDCL solver. Supports repeated [`SatSolver::solve`] calls
+/// interleaved with [`SatSolver::add_clause`] (for lazy-SMT blocking
+/// clauses).
+#[derive(Debug)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<usize>>, // lit index -> clause indices
+    values: Vec<Value>,       // per var
+    levels: Vec<u32>,
+    reasons: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    saved_phase: Vec<bool>,
+    unsat: bool,
+    n_conflicts: u64,
+    n_decisions: u64,
+}
+
+impl SatSolver {
+    /// Creates a solver over `n_vars` variables.
+    pub fn new(n_vars: u32) -> Self {
+        let n = n_vars as usize;
+        SatSolver {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * n],
+            values: vec![Value::Undef; n],
+            levels: vec![0; n],
+            reasons: vec![None; n],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            saved_phase: vec![false; n],
+            unsat: false,
+            n_conflicts: 0,
+            n_decisions: 0,
+        }
+    }
+
+    /// Builds a solver from a CNF.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = SatSolver::new(cnf.n_vars);
+        for c in &cnf.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Number of conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.n_conflicts
+    }
+
+    /// Number of decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.n_decisions
+    }
+
+    /// Number of clauses learnt from conflicts so far.
+    pub fn learnt_count(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    fn value_lit(&self, l: Lit) -> Value {
+        match self.values[l.var().0 as usize] {
+            Value::Undef => Value::Undef,
+            Value::True => {
+                if l.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.is_positive() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    fn level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) -> bool {
+        match self.value_lit(l) {
+            Value::True => true,
+            Value::False => false,
+            Value::Undef => {
+                let v = l.var().0 as usize;
+                self.values[v] = if l.is_positive() { Value::True } else { Value::False };
+                self.levels[v] = self.level();
+                self.reasons[v] = reason;
+                self.saved_phase[v] = l.is_positive();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Adds a clause. May be called between `solve` calls; the solver
+    /// backtracks to the root level first.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.backtrack(0);
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort();
+        c.dedup();
+        // Tautology?
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        // Remove root-level falsified literals; detect satisfied clauses.
+        c.retain(|&l| {
+            !(self.value_lit(l) == Value::False)
+        });
+        if c.iter().any(|&l| self.value_lit(l) == Value::True) {
+            return;
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], None) {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[c[0].negate().index()].push(idx);
+                self.watches[c[1].negate().index()].push(idx);
+                self.clauses.push(Clause { lits: c, learnt: false });
+            }
+        }
+    }
+
+    fn attach_learnt(&mut self, c: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        self.watches[c[0].negate().index()].push(idx);
+        self.watches[c[1].negate().index()].push(idx);
+        self.clauses.push(Clause { lits: c, learnt: true });
+        idx
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // Clauses watching ¬l must be visited: they are in watches[l].
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[l.index()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let false_lit = l.negate();
+                // Normalize: put the false literal at position 1.
+                {
+                    let cl = &mut self.clauses[ci];
+                    if cl.lits[0] == false_lit {
+                        cl.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.value_lit(first) == Value::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value_lit(lk) != Value::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.negate().index()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if !self.enqueue(first, Some(ci)) {
+                    // Conflict: restore remaining watches.
+                    self.watches[l.index()].extend(watch_list.drain(..));
+                    // Note: the drained list includes already-processed
+                    // entries; watches may contain duplicates, which is
+                    // harmless, but avoid losing any.
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[l.index()].extend(watch_list);
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.var_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut seen = vec![false; self.values.len()];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut resolve_var: Option<Var> = None;
+        loop {
+            // Visit the literals of the conflicting/reason clause, skipping
+            // the literal currently being resolved on.
+            let lits: Vec<Lit> = self.clauses[conflict].lits.clone();
+            for &q in &lits {
+                if Some(q.var()) == resolve_var {
+                    continue;
+                }
+                let v = q.var().0 as usize;
+                if !seen[v] && self.levels[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.levels[v] == self.level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next literal to resolve on from the trail.
+            loop {
+                trail_idx -= 1;
+                let p = self.trail[trail_idx];
+                if seen[p.var().0 as usize] {
+                    seen[p.var().0 as usize] = false;
+                    counter -= 1;
+                    if counter == 0 {
+                        learnt[0] = p.negate();
+                        // Put the second-highest-level literal at position 1
+                        // (watch invariant after backtracking) and compute
+                        // the backtrack level.
+                        if learnt.len() > 1 {
+                            let max_i = (1..learnt.len())
+                                .max_by_key(|&i| self.levels[learnt[i].var().0 as usize])
+                                .expect("non-empty tail");
+                            learnt.swap(1, max_i);
+                            let bt = self.levels[learnt[1].var().0 as usize];
+                            return (learnt, bt);
+                        }
+                        return (learnt, 0);
+                    }
+                    resolve_var = Some(p.var());
+                    conflict = self.reasons[p.var().0 as usize]
+                        .expect("non-decision literal has a reason");
+                    break;
+                }
+            }
+        }
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.level() > level {
+            let lim = self.trail_lim.pop().expect("trail limit");
+            for &l in &self.trail[lim..] {
+                let v = l.var().0 as usize;
+                self.values[v] = Value::Undef;
+                self.reasons[v] = None;
+            }
+            self.trail.truncate(lim);
+        }
+        self.prop_head = self.prop_head.min(self.trail.len());
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        let mut best: Option<(Var, f64)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v == Value::Undef {
+                let a = self.activity[i];
+                if best.map_or(true, |(_, ba)| a > ba) {
+                    best = Some((Var(i as u32), a));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Solves the current formula. Returns a full model or `Unsat`.
+    ///
+    /// After a `Sat` answer the solver is at the root level; blocking
+    /// clauses can be added and `solve` called again.
+    pub fn solve(&mut self) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.n_conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.level() == 0 {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.backtrack(bt);
+                self.var_inc *= 1.0 / 0.95;
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], None) {
+                        self.unsat = true;
+                        return SatOutcome::Unsat;
+                    }
+                } else {
+                    let ci = self.attach_learnt(learnt.clone());
+                    if !self.enqueue(learnt[0], Some(ci)) {
+                        self.unsat = true;
+                        return SatOutcome::Unsat;
+                    }
+                }
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit * 3 / 2;
+                    self.backtrack(0);
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        let model: Vec<bool> =
+                            self.values.iter().map(|&v| v == Value::True).collect();
+                        self.backtrack(0);
+                        return SatOutcome::Sat(model);
+                    }
+                    Some(v) => {
+                        self.n_decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.saved_phase[v.0 as usize];
+                        let ok = self.enqueue(v.lit(phase), None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        let var = Var((v.unsigned_abs() - 1) as u32);
+        var.lit(v > 0)
+    }
+
+    fn solve(n: u32, clauses: &[&[i32]]) -> SatOutcome {
+        let mut s = SatSolver::new(n);
+        for c in clauses {
+            s.add_clause(c.iter().map(|&v| lit(v)));
+        }
+        s.solve()
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        assert!(matches!(solve(1, &[&[1]]), SatOutcome::Sat(_)));
+        assert!(matches!(solve(1, &[&[1], &[-1]]), SatOutcome::Unsat));
+        assert!(matches!(solve(0, &[]), SatOutcome::Sat(_)));
+        assert!(matches!(solve(1, &[&[]]), SatOutcome::Unsat));
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // 1, ¬1∨2, ¬2∨3 ⟹ 3.
+        let out = solve(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        let SatOutcome::Sat(m) = out else { panic!("expected sat") };
+        assert!(m[0] && m[1] && m[2]);
+    }
+
+    #[test]
+    fn simple_conflict_learning() {
+        // (1∨2) ∧ (1∨¬2) ∧ (¬1∨3) ∧ (¬1∨¬3) is unsat.
+        assert!(matches!(solve(3, &[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]), SatOutcome::Unsat));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_ij: pigeon i in hole j; vars 1..=6 (i*2+j).
+        let v = |i: i32, j: i32| i * 2 + j + 1; // i∈0..3, j∈0..2
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert!(matches!(solve(6, &refs), SatOutcome::Unsat));
+    }
+
+    #[test]
+    fn blocking_clauses_enumerate_models() {
+        // 2 free variables: exactly 4 models.
+        let mut s = SatSolver::new(2);
+        s.add_clause([lit(1), lit(-1)]); // tautology, ignored
+        let mut count = 0;
+        loop {
+            match s.solve() {
+                SatOutcome::Sat(m) => {
+                    count += 1;
+                    assert!(count <= 4, "more models than possible");
+                    s.add_clause((0..2).map(|i| Var(i as u32).lit(!m[i])));
+                }
+                SatOutcome::Unsat => break,
+            }
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let n = rng.gen_range(3..9);
+            let m = rng.gen_range(1..30);
+            let clauses: Vec<Vec<i32>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.gen_range(1..=n) as i32;
+                            if rng.gen_bool(0.5) {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0..(1u32 << n) {
+                for c in &clauses {
+                    let ok = c.iter().any(|&l| {
+                        let v = (l.unsigned_abs() - 1) as u32;
+                        let val = bits & (1 << v) != 0;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let out = solve(n as u32, &refs);
+            match out {
+                SatOutcome::Sat(model) => {
+                    assert!(brute_sat, "solver said sat, brute force disagrees: {clauses:?}");
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|&l| {
+                                let v = (l.unsigned_abs() - 1) as usize;
+                                if l > 0 {
+                                    model[v]
+                                } else {
+                                    !model[v]
+                                }
+                            }),
+                            "model does not satisfy {c:?}"
+                        );
+                    }
+                }
+                SatOutcome::Unsat => {
+                    assert!(!brute_sat, "solver said unsat, brute force found a model: {clauses:?}");
+                }
+            }
+        }
+    }
+}

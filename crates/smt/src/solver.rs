@@ -1,0 +1,311 @@
+//! The lazy DPLL(T) loop and models.
+
+use std::collections::HashMap;
+
+use crate::cnf;
+use crate::sat::{SatOutcome, SatSolver};
+use crate::term::{Context, Sort, TermData, TermId};
+use crate::theory::{self, TheoryResult};
+
+/// A first-order model of the assertions.
+#[derive(Debug, Default)]
+pub struct Model {
+    bools: HashMap<TermId, bool>,
+    ints: HashMap<TermId, i64>,
+    classes: HashMap<TermId, TermId>,
+}
+
+impl Model {
+    /// Truth value of a boolean subterm of the assertions, if it occurred.
+    pub fn bool_value(&self, t: TermId) -> Option<bool> {
+        self.bools.get(&t).copied()
+    }
+
+    /// Integer value of a term, if it was constrained by any comparison.
+    pub fn int_value(&self, t: TermId) -> Option<i64> {
+        self.ints.get(&t).copied()
+    }
+
+    /// Whether two uninterpreted-sort terms are equal in the model.
+    ///
+    /// Terms that never occurred in an asserted equality are unconstrained;
+    /// the model makes them equal only to themselves.
+    pub fn eval_eq(&self, a: TermId, b: TermId) -> Option<bool> {
+        let ra = self.classes.get(&a).copied().unwrap_or(a);
+        let rb = self.classes.get(&b).copied().unwrap_or(b);
+        Some(ra == rb)
+    }
+
+    /// The model's equivalence-class representative of a term (itself if
+    /// unconstrained).
+    pub fn class_of(&self, t: TermId) -> TermId {
+        self.classes.get(&t).copied().unwrap_or(t)
+    }
+}
+
+/// Result of [`Context::solve`].
+#[derive(Debug)]
+pub enum SatResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+impl Context {
+    /// Decides the conjunction of `assertions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assertion is not boolean.
+    pub fn solve(&mut self, assertions: &[TermId]) -> SatResult {
+        let rewritten: Vec<TermId> = {
+            let mut cache = HashMap::new();
+            assertions.iter().map(|&a| preprocess(self, a, &mut cache)).collect()
+        };
+        let encoded = cnf::encode(self, &rewritten);
+        let mut sat = SatSolver::from_cnf(&encoded.cnf);
+        loop {
+            match sat.solve() {
+                SatOutcome::Unsat => return SatResult::Unsat,
+                SatOutcome::Sat(assignment) => {
+                    let asserted: Vec<(TermId, bool)> = encoded
+                        .atoms
+                        .iter()
+                        .map(|&(t, v)| (t, assignment[v.0 as usize]))
+                        .collect();
+                    match theory::check(self, &asserted) {
+                        TheoryResult::Consistent(tm) => {
+                            let mut bools = HashMap::new();
+                            for (&t, &l) in &encoded.lit_of_term {
+                                let v = assignment[l.var().0 as usize];
+                                bools.insert(t, if l.is_positive() { v } else { !v });
+                            }
+                            return SatResult::Sat(Model {
+                                bools,
+                                ints: tm.ints,
+                                classes: tm.classes,
+                            });
+                        }
+                        TheoryResult::Conflict(core) => {
+                            // Block this combination of theory literals.
+                            sat.add_clause(core.iter().map(|&i| {
+                                let (_, var) = encoded.atoms[i];
+                                let (_, polarity) = (encoded.atoms[i].0, asserted[i].1);
+                                var.lit(!polarity)
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rewrites away constructs the theories do not handle natively:
+/// `Eq` over `Int` (→ two `Le`), `Eq` over `Bool` (→ `Iff`), `Distinct`
+/// (→ pairwise negated equalities).
+fn preprocess(ctx: &mut Context, t: TermId, cache: &mut HashMap<TermId, TermId>) -> TermId {
+    if let Some(&r) = cache.get(&t) {
+        return r;
+    }
+    let result = match ctx.data(t).clone() {
+        TermData::Eq(a, b) => match ctx.sort(a) {
+            Sort::Int => {
+                let le1 = ctx.le(a, b);
+                let le2 = ctx.le(b, a);
+                ctx.and([le1, le2])
+            }
+            Sort::Bool => {
+                let a = preprocess(ctx, a, cache);
+                let b = preprocess(ctx, b, cache);
+                let iff = ctx.iff(a, b);
+                preprocess(ctx, iff, cache)
+            }
+            Sort::Uninterpreted(_) => t,
+        },
+        TermData::Distinct(xs) => {
+            let mut conj = Vec::new();
+            for i in 0..xs.len() {
+                for j in (i + 1)..xs.len() {
+                    let e = ctx.eq(xs[i], xs[j]);
+                    let e = preprocess(ctx, e, cache);
+                    conj.push(ctx.not(e));
+                }
+            }
+            ctx.and(conj)
+        }
+        TermData::Not(a) => {
+            let a = preprocess(ctx, a, cache);
+            ctx.not(a)
+        }
+        TermData::And(xs) => {
+            let ys: Vec<TermId> = xs.iter().map(|&x| preprocess(ctx, x, cache)).collect();
+            ctx.and(ys)
+        }
+        TermData::Or(xs) => {
+            let ys: Vec<TermId> = xs.iter().map(|&x| preprocess(ctx, x, cache)).collect();
+            ctx.or(ys)
+        }
+        TermData::Implies(a, b) => {
+            let a = preprocess(ctx, a, cache);
+            let b = preprocess(ctx, b, cache);
+            ctx.implies(a, b)
+        }
+        TermData::Iff(a, b) => {
+            let a = preprocess(ctx, a, cache);
+            let b = preprocess(ctx, b, cache);
+            ctx.iff(a, b)
+        }
+        _ => t,
+    };
+    cache.insert(t, result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euf_chain_unsat() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let vs: Vec<TermId> = (0..5).map(|i| ctx.var(format!("v{i}"), s)).collect();
+        let mut conj: Vec<TermId> = (0..4).map(|i| ctx.eq(vs[i], vs[i + 1])).collect();
+        let e = ctx.eq(vs[0], vs[4]);
+        conj.push(ctx.not(e));
+        let f = ctx.and(conj);
+        assert!(!ctx.solve(&[f]).is_sat());
+    }
+
+    #[test]
+    fn int_equality_is_rewritten() {
+        let mut ctx = Context::new();
+        let i = ctx.var("i", Sort::Int);
+        let j = ctx.var("j", Sort::Int);
+        let eq = ctx.eq(i, j);
+        let lt = ctx.lt(i, j);
+        assert!(!ctx.solve(&[eq, lt]).is_sat());
+        let neq = ctx.not(eq);
+        let SatResult::Sat(m) = ctx.solve(&[neq]) else { panic!("sat expected") };
+        assert_ne!(m.int_value(i), m.int_value(j));
+    }
+
+    #[test]
+    fn distinct_rewriting() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let x = ctx.var("x", s);
+        let y = ctx.var("y", s);
+        let z = ctx.var("z", s);
+        let d = ctx.distinct(vec![x, y, z]);
+        let exy = ctx.eq(x, y);
+        assert!(!ctx.solve(&[d, exy]).is_sat());
+        let SatResult::Sat(m) = ctx.solve(&[d]) else { panic!("sat expected") };
+        assert_eq!(m.eval_eq(x, y), Some(false));
+        assert_eq!(m.eval_eq(y, z), Some(false));
+    }
+
+    #[test]
+    fn boolean_equality_as_iff() {
+        let mut ctx = Context::new();
+        let a = ctx.var("a", Sort::Bool);
+        let b = ctx.var("b", Sort::Bool);
+        let e = ctx.eq(a, b);
+        let nb = ctx.not(b);
+        assert!(!ctx.solve(&[e, a, nb]).is_sat());
+        assert!(ctx.solve(&[e, a, b]).is_sat());
+    }
+
+    #[test]
+    fn mixed_theories_with_boolean_structure() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let x = ctx.var("x", s);
+        let y = ctx.var("y", s);
+        let i = ctx.var("i", Sort::Int);
+        let ten = ctx.int(10);
+        // (x=y → i<10) ∧ (x≠y → 10<i) ∧ i=10 is unsat.
+        let exy = ctx.eq(x, y);
+        let lt10 = ctx.lt(i, ten);
+        let gt10 = ctx.lt(ten, i);
+        let nexy = ctx.not(exy);
+        let i1 = ctx.implies(exy, lt10);
+        let i2 = ctx.implies(nexy, gt10);
+        let eq10 = ctx.eq(i, ten);
+        assert!(!ctx.solve(&[i1, i2, eq10]).is_sat());
+        // Dropping the pin makes it sat and the model obeys the implication.
+        let SatResult::Sat(m) = ctx.solve(&[i1, i2]) else { panic!("sat expected") };
+        let xy_equal = m.eval_eq(x, y).unwrap();
+        let iv = m.int_value(i).unwrap();
+        if xy_equal {
+            assert!(iv < 10);
+        } else {
+            assert!(iv > 10);
+        }
+    }
+
+    #[test]
+    fn model_covers_boolean_subterms() {
+        let mut ctx = Context::new();
+        let a = ctx.var("a", Sort::Bool);
+        let b = ctx.var("b", Sort::Bool);
+        let or = ctx.or([a, b]);
+        let na = ctx.not(a);
+        let SatResult::Sat(m) = ctx.solve(&[or, na]) else { panic!("sat expected") };
+        assert_eq!(m.bool_value(a), Some(false));
+        assert_eq!(m.bool_value(b), Some(true));
+        assert_eq!(m.bool_value(or), Some(true));
+    }
+
+    #[test]
+    fn functions_through_full_pipeline() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let f = ctx.func("f", vec![s], s);
+        let x = ctx.var("x", s);
+        let y = ctx.var("y", s);
+        let fx = ctx.app(f, vec![x]);
+        let fy = ctx.app(f, vec![y]);
+        let exy = ctx.eq(x, y);
+        let efxfy = ctx.eq(fx, fy);
+        let nefxfy = ctx.not(efxfy);
+        assert!(!ctx.solve(&[exy, nefxfy]).is_sat());
+        assert!(ctx.solve(&[efxfy, exy]).is_sat());
+    }
+
+    #[test]
+    fn blocking_loop_terminates_on_hard_combination() {
+        // Several interacting atoms that force multiple theory refutations.
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let vs: Vec<TermId> = (0..4).map(|i| ctx.var(format!("v{i}"), s)).collect();
+        let iv: Vec<TermId> = (0..4).map(|i| ctx.var(format!("i{i}"), Sort::Int)).collect();
+        let mut parts = Vec::new();
+        // Pigeonhole-ish: all vs distinct, but each equal to one of two
+        // "pigeons".
+        let d = ctx.distinct(vs.clone());
+        parts.push(d);
+        let p = ctx.var("p", s);
+        let q = ctx.var("q", s);
+        for &v in &vs {
+            let ep = ctx.eq(v, p);
+            let eq_ = ctx.eq(v, q);
+            parts.push(ctx.or([ep, eq_]));
+        }
+        // Plus an integer chain to exercise arith blocking.
+        for w in iv.windows(2) {
+            parts.push(ctx.lt(w[0], w[1]));
+        }
+        let f = ctx.and(parts);
+        assert!(!ctx.solve(&[f]).is_sat());
+    }
+}

@@ -1,0 +1,74 @@
+//! Events: executed operations tagged with unique identifiers.
+
+use std::fmt;
+
+use crate::op::Operation;
+
+/// Unique identifier of an event within a [`crate::History`].
+///
+/// Identifiers are dense indices assigned by [`crate::HistoryBuilder`]; they
+/// index into the history's event table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The identifier as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An execution of a single operation: the paper's
+/// `m(a1, …, an−1) : an` tuple tagged with a unique identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The unique identifier of this event.
+    pub id: EventId,
+    /// The executed operation (symbol, arguments, return value).
+    pub op: Operation,
+}
+
+impl Event {
+    /// Whether this event is an update (`e ∈ U`).
+    pub fn is_update(&self) -> bool {
+        self.op.is_update()
+    }
+
+    /// Whether this event is a query (`e ∈ Q`).
+    pub fn is_query(&self) -> bool {
+        self.op.is_query()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.op, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn classification_follows_operation() {
+        let e = Event { id: EventId(0), op: Operation::reg_put("R", Value::int(1)) };
+        assert!(e.is_update());
+        assert!(!e.is_query());
+        let q = Event { id: EventId(1), op: Operation::reg_get("R", Value::int(1)) };
+        assert!(q.is_query());
+    }
+
+    #[test]
+    fn display_includes_identity() {
+        let e = Event { id: EventId(3), op: Operation::ctr_inc("C", 1) };
+        assert_eq!(e.to_string(), "C.inc(1)[e3]");
+    }
+}

@@ -1,0 +1,389 @@
+//! Histories: finite sets of events with a session order and a partition
+//! into transactions (Section 3 of the paper).
+//!
+//! A history `H = (Ev, so, Tx)` consists of a finite set of events `Ev`, a
+//! session order `so` whose connected components are chains (the
+//! *sessions*), and a partition `Tx` of the sessions into contiguous blocks
+//! (the *transactions*).
+//!
+//! We represent sessions explicitly as sequences of events and transactions
+//! as contiguous spans within them; `so` is derived. This representation
+//! makes the chain/contiguity well-formedness conditions true by
+//! construction.
+
+use std::fmt;
+
+use crate::event::{Event, EventId};
+use crate::op::Operation;
+
+/// Identifier of a session within a history (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a transaction within a history (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u32);
+
+impl TxId {
+    /// The identifier as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A transaction: a contiguous block of events within one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// The transaction's identifier.
+    pub id: TxId,
+    /// The session this transaction belongs to.
+    pub session: SessionId,
+    /// The events of the transaction, in session order.
+    pub events: Vec<EventId>,
+}
+
+/// A history `H = (Ev, so, Tx)`.
+///
+/// Constructed through [`HistoryBuilder`]; immutable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct History {
+    events: Vec<Event>,
+    sessions: Vec<Vec<EventId>>,
+    transactions: Vec<Transaction>,
+    /// For each event: (session, transaction, position in session).
+    locate: Vec<(SessionId, TxId, usize)>,
+}
+
+impl History {
+    /// The event with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this history.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// All events, in identifier order.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The sessions: each is the chain of its events in session order.
+    pub fn sessions(&self) -> impl ExactSizeIterator<Item = &[EventId]> {
+        self.sessions.iter().map(|s| s.as_slice())
+    }
+
+    /// Number of sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The transactions of the history.
+    pub fn transactions(&self) -> impl ExactSizeIterator<Item = &Transaction> {
+        self.transactions.iter()
+    }
+
+    /// The transaction with the given identifier.
+    pub fn transaction(&self, id: TxId) -> &Transaction {
+        &self.transactions[id.index()]
+    }
+
+    /// The session an event belongs to.
+    pub fn session_of(&self, e: EventId) -> SessionId {
+        self.locate[e.index()].0
+    }
+
+    /// The transaction an event belongs to.
+    pub fn tx_of(&self, e: EventId) -> TxId {
+        self.locate[e.index()].1
+    }
+
+    /// Position of an event within its session's chain.
+    pub fn session_position(&self, e: EventId) -> usize {
+        self.locate[e.index()].2
+    }
+
+    /// Session order: `e so→ f` iff both belong to the same session and `e`
+    /// precedes `f` in its chain.
+    pub fn so(&self, e: EventId, f: EventId) -> bool {
+        self.session_of(e) == self.session_of(f) && self.session_position(e) < self.session_position(f)
+    }
+
+    /// Iterates over all `so` pairs (quadratic in session length).
+    pub fn so_pairs(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.sessions.iter().flat_map(|sess| {
+            sess.iter()
+                .enumerate()
+                .flat_map(move |(i, &e)| sess[i + 1..].iter().map(move |&f| (e, f)))
+        })
+    }
+
+    /// Restricts the history to a subset of events, preserving session and
+    /// transaction structure (the restriction operator of Theorem 2).
+    ///
+    /// Returns the restricted history together with the mapping from old
+    /// event ids to new ones.
+    pub fn restrict(&self, keep: impl Fn(EventId) -> bool) -> (History, Vec<Option<EventId>>) {
+        let mut b = HistoryBuilder::new();
+        let mut map: Vec<Option<EventId>> = vec![None; self.events.len()];
+        for sess in &self.sessions {
+            let mut new_sess: Option<SessionId> = None;
+            let mut cur_tx: Option<(TxId, TxId)> = None; // (old, new)
+            for &e in sess {
+                if !keep(e) {
+                    continue;
+                }
+                let s = *new_sess.get_or_insert_with(|| b.session());
+                let old_tx = self.tx_of(e);
+                let new_tx = match cur_tx {
+                    Some((o, n)) if o == old_tx => n,
+                    _ => {
+                        let n = b.begin(s);
+                        cur_tx = Some((old_tx, n));
+                        n
+                    }
+                };
+                let id = b.push(new_tx, self.event(e).op.clone());
+                map[e.index()] = Some(id);
+            }
+        }
+        (b.finish(), map)
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, sess) in self.sessions.iter().enumerate() {
+            writeln!(f, "session s{i}:")?;
+            let mut last_tx = None;
+            for &e in sess {
+                let tx = self.tx_of(e);
+                if last_tx != Some(tx) {
+                    writeln!(f, "  txn {tx}:")?;
+                    last_tx = Some(tx);
+                }
+                writeln!(f, "    {}", self.event(e))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental constructor for [`History`].
+///
+/// # Example
+///
+/// ```
+/// use c4_store::{HistoryBuilder, Value, op::Operation};
+///
+/// let mut b = HistoryBuilder::new();
+/// let s = b.session();
+/// let t = b.begin(s);
+/// b.push(t, Operation::map_put("M", Value::str("A"), Value::int(1)));
+/// let t2 = b.begin(s);
+/// b.push(t2, Operation::map_get("M", Value::str("B"), Value::int(0)));
+/// let h = b.finish();
+/// assert_eq!(h.session_count(), 1);
+/// assert_eq!(h.transactions().count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryBuilder {
+    events: Vec<Event>,
+    sessions: Vec<Vec<EventId>>,
+    transactions: Vec<Transaction>,
+    open: Vec<Option<TxId>>, // currently open transaction per session
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        HistoryBuilder::default()
+    }
+
+    /// Opens a new session and returns its identifier.
+    pub fn session(&mut self) -> SessionId {
+        let id = SessionId(self.sessions.len() as u32);
+        self.sessions.push(Vec::new());
+        self.open.push(None);
+        id
+    }
+
+    /// Begins a new transaction in the given session.
+    ///
+    /// Any previously open transaction in the session is closed first
+    /// (transactions are contiguous blocks, so beginning a new one ends the
+    /// previous one).
+    pub fn begin(&mut self, session: SessionId) -> TxId {
+        let id = TxId(self.transactions.len() as u32);
+        self.transactions.push(Transaction { id, session, events: Vec::new() });
+        self.open[session.0 as usize] = Some(id);
+        id
+    }
+
+    /// Appends an event executing `op` to the given transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is not the most recently begun transaction of its
+    /// session (transactions must stay contiguous).
+    pub fn push(&mut self, tx: TxId, op: Operation) -> EventId {
+        let session = self.transactions[tx.index()].session;
+        assert_eq!(
+            self.open[session.0 as usize],
+            Some(tx),
+            "events may only be appended to the session's open transaction"
+        );
+        let id = EventId(self.events.len() as u32);
+        self.events.push(Event { id, op });
+        self.sessions[session.0 as usize].push(id);
+        self.transactions[tx.index()].events.push(id);
+        id
+    }
+
+    /// Finishes construction, dropping empty transactions.
+    pub fn finish(mut self) -> History {
+        // Drop empty transactions and renumber.
+        let mut renumber = Vec::with_capacity(self.transactions.len());
+        let mut kept = Vec::new();
+        for t in self.transactions.drain(..) {
+            if t.events.is_empty() {
+                renumber.push(None);
+            } else {
+                let new_id = TxId(kept.len() as u32);
+                renumber.push(Some(new_id));
+                kept.push(Transaction { id: new_id, ..t });
+            }
+        }
+        let mut locate = vec![(SessionId(0), TxId(0), 0usize); self.events.len()];
+        for (si, sess) in self.sessions.iter().enumerate() {
+            for (pos, &e) in sess.iter().enumerate() {
+                locate[e.index()].0 = SessionId(si as u32);
+                locate[e.index()].2 = pos;
+            }
+        }
+        for t in &kept {
+            for &e in &t.events {
+                locate[e.index()].1 = t.id;
+            }
+        }
+        History { events: self.events, sessions: self.sessions, transactions: kept, locate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn two_session_history() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        let t0 = b.begin(s0);
+        b.push(t0, Operation::map_put("M", Value::str("A"), Value::int(1)));
+        let t1 = b.begin(s0);
+        b.push(t1, Operation::map_get("M", Value::str("B"), Value::int(0)));
+        let t2 = b.begin(s1);
+        b.push(t2, Operation::map_put("M", Value::str("B"), Value::int(2)));
+        let t3 = b.begin(s1);
+        b.push(t3, Operation::map_get("M", Value::str("A"), Value::int(0)));
+        b.finish()
+    }
+
+    #[test]
+    fn sessions_and_transactions() {
+        let h = two_session_history();
+        assert_eq!(h.session_count(), 2);
+        assert_eq!(h.transactions().count(), 4);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn session_order_within_not_across() {
+        let h = two_session_history();
+        let (e0, e1, e2, e3) = (EventId(0), EventId(1), EventId(2), EventId(3));
+        assert!(h.so(e0, e1));
+        assert!(!h.so(e1, e0));
+        assert!(!h.so(e0, e2));
+        assert!(h.so(e2, e3));
+        assert_eq!(h.so_pairs().count(), 2);
+    }
+
+    #[test]
+    fn locate_is_consistent() {
+        let h = two_session_history();
+        for t in h.transactions() {
+            for &e in &t.events {
+                assert_eq!(h.tx_of(e), t.id);
+                assert_eq!(h.session_of(e), t.session);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_transactions_are_dropped() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        let _empty = b.begin(s);
+        let t = b.begin(s);
+        b.push(t, Operation::ctr_inc("C", 1));
+        let h = b.finish();
+        assert_eq!(h.transactions().count(), 1);
+        assert_eq!(h.tx_of(EventId(0)), TxId(0));
+    }
+
+    #[test]
+    fn restriction_preserves_structure() {
+        let h = two_session_history();
+        // Keep only the two puts.
+        let (r, map) = h.restrict(|e| h.event(e).op.is_update());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.session_count(), 2);
+        assert!(map[0].is_some());
+        assert!(map[1].is_none());
+        // Events keep their operations.
+        let new0 = map[0].unwrap();
+        assert_eq!(r.event(new0).op, h.event(EventId(0)).op);
+    }
+
+    #[test]
+    #[should_panic(expected = "open transaction")]
+    fn push_to_closed_transaction_panics() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        let t0 = b.begin(s);
+        let _t1 = b.begin(s);
+        b.push(t0, Operation::ctr_inc("C", 1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let h = two_session_history();
+        let s = h.to_string();
+        assert!(s.contains("session s0"));
+        assert!(s.contains("M.put(\"A\",1)"));
+    }
+}

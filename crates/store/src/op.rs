@@ -1,0 +1,507 @@
+//! The fixed alphabet of update and query operations.
+//!
+//! The store exposes a set of named objects, each of one of five high-level
+//! replicated data types:
+//!
+//! * **register** — `put(v)` / `get():v`;
+//! * **counter** — `inc(n)` / `ctr_get():n`;
+//! * **set** — `add(e)`, `remove(e)` / `contains(e):b`, `size():n`;
+//! * **map** — `put(k,v)`, `remove(k)`, `copy(k,k')` / `get(k):v`,
+//!   `contains(k):b`, `size():n`;
+//! * **table** — a keyed collection of records with named fields.
+//!   Records are created *implicitly* by any field update (the semantics of
+//!   Cassandra and TouchDevelop discussed in Section 8 of the paper),
+//!   explicitly by `add_row(r)` which the store guarantees to supply with a
+//!   fresh unique row identity, and destroyed by `delete_row(r)`. Fields are
+//!   register-valued (`set`/`get`) or set-valued (`add`/`remove`/
+//!   `contains`/`size`).
+//!
+//! `copy` is the one operation for which the *far* versions of
+//! commutativity and absorption differ from the plain ones (Section 4.1);
+//! it is included to exercise that distinction.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned name for a store object or a table field.
+///
+/// Cheap to clone; compares by content.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from a string.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Name of a store object (a register, counter, set, map or table).
+pub type ObjectName = Name;
+
+/// Name of a table field.
+pub type FieldName = Name;
+
+/// The operation symbol: which method of which data type is invoked.
+///
+/// Field operations carry the (statically known) field name as part of the
+/// symbol, mirroring how front ends see `Quiz.at(x).question.set(q)` as a
+/// distinct syntactic operation from `Quiz.at(x).answer.set(a)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Register write: `put(v)`.
+    RegPut,
+    /// Register read: `get():v`.
+    RegGet,
+    /// Counter increment: `inc(n)`.
+    CtrInc,
+    /// Counter read: `get():n`.
+    CtrGet,
+    /// Set insertion: `add(e)`.
+    SetAdd,
+    /// Set removal: `remove(e)`.
+    SetRemove,
+    /// Set membership query: `contains(e):b`.
+    SetContains,
+    /// Set cardinality query: `size():n`.
+    SetSize,
+    /// Map write: `put(k,v)`.
+    MapPut,
+    /// Map entry removal: `remove(k)`.
+    MapRemove,
+    /// Map copy: `copy(k,k')` copies the value at key `k` to key `k'`.
+    MapCopy,
+    /// Map read: `get(k):v`.
+    MapGet,
+    /// Map key query: `contains(k):b`.
+    MapContains,
+    /// Map cardinality query: `size():n`.
+    MapSize,
+    /// Log append: `append(e)` (grow-only sequence, ordered by
+    /// arbitration).
+    LogAppend,
+    /// Log last-element query: `last():v`.
+    LogLast,
+    /// Log length query: `count():n`.
+    LogCount,
+    /// Log membership query: `has(e):b`.
+    LogHas,
+    /// Table fresh-row creation: `add_row(r)` where `r` is a fresh unique
+    /// row identity supplied by the store.
+    TblAddRow,
+    /// Table row deletion: `delete_row(r)`.
+    TblDeleteRow,
+    /// Table row-existence query: `contains(r):b`.
+    TblContains,
+    /// Register-valued field write: `at(r).f.set(v)`.
+    FldSet(FieldName),
+    /// Register-valued field read: `at(r).f.get():v`.
+    FldGet(FieldName),
+    /// Set-valued field insertion: `at(r).f.add(e)`.
+    FldAdd(FieldName),
+    /// Set-valued field removal: `at(r).f.remove(e)`.
+    FldRemove(FieldName),
+    /// Set-valued field membership query: `at(r).f.contains(e):b`.
+    FldContains(FieldName),
+    /// Set-valued field cardinality query: `at(r).f.size():n`.
+    FldSize(FieldName),
+}
+
+impl OpKind {
+    /// Whether this operation modifies the store (updates have no return
+    /// value; queries do not modify the store).
+    pub fn is_update(&self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            RegPut
+                | CtrInc
+                | SetAdd
+                | SetRemove
+                | MapPut
+                | MapRemove
+                | MapCopy
+                | LogAppend
+                | TblAddRow
+                | TblDeleteRow
+                | FldSet(_)
+                | FldAdd(_)
+                | FldRemove(_)
+        )
+    }
+
+    /// Whether this operation returns a value to the client.
+    pub fn is_query(&self) -> bool {
+        !self.is_update()
+    }
+
+    /// Number of arguments the operation takes.
+    pub fn arity(&self) -> usize {
+        use OpKind::*;
+        match self {
+            RegGet | CtrGet | SetSize | MapSize | LogLast | LogCount => 0,
+            RegPut | CtrInc | SetAdd | SetRemove | SetContains | MapGet | MapRemove
+            | MapContains | LogAppend | LogHas | TblAddRow | TblDeleteRow | TblContains
+            | FldGet(_) | FldSize(_) => 1,
+            MapPut | MapCopy | FldSet(_) | FldAdd(_) | FldRemove(_) | FldContains(_) => 2,
+        }
+    }
+
+    /// The field this operation accesses, if it is a field operation.
+    pub fn field(&self) -> Option<&FieldName> {
+        use OpKind::*;
+        match self {
+            FldSet(f) | FldGet(f) | FldAdd(f) | FldRemove(f) | FldContains(f) | FldSize(f) => {
+                Some(f)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this operation creates its row implicitly (any table field
+    /// update does, per the implicit-record-creation semantics).
+    pub fn creates_record(&self) -> bool {
+        use OpKind::*;
+        matches!(self, TblAddRow | FldSet(_) | FldAdd(_) | FldRemove(_))
+    }
+
+    /// Short method name as shown in the paper's figures.
+    pub fn method_name(&self) -> String {
+        use OpKind::*;
+        match self {
+            RegPut | MapPut => "put".into(),
+            RegGet | CtrGet | MapGet => "get".into(),
+            CtrInc => "inc".into(),
+            SetAdd => "add".into(),
+            SetRemove => "remove".into(),
+            SetContains | MapContains | TblContains => "contains".into(),
+            SetSize | MapSize => "size".into(),
+            MapRemove => "remove".into(),
+            MapCopy => "cp".into(),
+            LogAppend => "append".into(),
+            LogLast => "last".into(),
+            LogCount => "count".into(),
+            LogHas => "has".into(),
+            TblAddRow => "add_row".into(),
+            TblDeleteRow => "delete_row".into(),
+            FldSet(f) => format!("{f}.set"),
+            FldGet(f) => format!("{f}.get"),
+            FldAdd(f) => format!("{f}.add"),
+            FldRemove(f) => format!("{f}.remove"),
+            FldContains(f) => format!("{f}.contains"),
+            FldSize(f) => format!("{f}.size"),
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.method_name())
+    }
+}
+
+use crate::value::Value;
+
+/// An instantiated operation: the symbol together with concrete arguments
+/// and, for queries, the returned value.
+///
+/// Corresponds to the paper's `m(a1, …, an−1) : an` tuples (minus the event
+/// identity, which [`crate::Event`] adds).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// The object the operation acts on.
+    pub object: ObjectName,
+    /// The operation symbol.
+    pub kind: OpKind,
+    /// Concrete arguments; length must equal `kind.arity()`.
+    pub args: Vec<Value>,
+    /// Return value; `Some` exactly for queries.
+    pub ret: Option<Value>,
+}
+
+impl Operation {
+    /// Creates an operation, checking arity and update/query shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != kind.arity()`, or if `ret` is present on an
+    /// update / absent on a query.
+    pub fn new(
+        object: impl Into<ObjectName>,
+        kind: OpKind,
+        args: Vec<Value>,
+        ret: Option<Value>,
+    ) -> Self {
+        assert_eq!(args.len(), kind.arity(), "arity mismatch for {kind}");
+        assert_eq!(
+            ret.is_some(),
+            kind.is_query(),
+            "return value must be present iff the operation is a query ({kind})"
+        );
+        Operation { object: object.into(), kind, args, ret }
+    }
+
+    /// Whether the operation is an update.
+    pub fn is_update(&self) -> bool {
+        self.kind.is_update()
+    }
+
+    /// Whether the operation is a query.
+    pub fn is_query(&self) -> bool {
+        self.kind.is_query()
+    }
+
+    // --- convenience constructors used throughout tests and examples ---
+
+    /// `object.put(v)` on a register.
+    pub fn reg_put(object: impl Into<ObjectName>, v: Value) -> Self {
+        Operation::new(object, OpKind::RegPut, vec![v], None)
+    }
+
+    /// `object.get():ret` on a register.
+    pub fn reg_get(object: impl Into<ObjectName>, ret: Value) -> Self {
+        Operation::new(object, OpKind::RegGet, vec![], Some(ret))
+    }
+
+    /// `object.inc(n)` on a counter.
+    pub fn ctr_inc(object: impl Into<ObjectName>, n: i64) -> Self {
+        Operation::new(object, OpKind::CtrInc, vec![Value::int(n)], None)
+    }
+
+    /// `object.get():ret` on a counter.
+    pub fn ctr_get(object: impl Into<ObjectName>, ret: i64) -> Self {
+        Operation::new(object, OpKind::CtrGet, vec![], Some(Value::int(ret)))
+    }
+
+    /// `object.add(e)` on a set.
+    pub fn set_add(object: impl Into<ObjectName>, e: Value) -> Self {
+        Operation::new(object, OpKind::SetAdd, vec![e], None)
+    }
+
+    /// `object.remove(e)` on a set.
+    pub fn set_remove(object: impl Into<ObjectName>, e: Value) -> Self {
+        Operation::new(object, OpKind::SetRemove, vec![e], None)
+    }
+
+    /// `object.contains(e):ret` on a set.
+    pub fn set_contains(object: impl Into<ObjectName>, e: Value, ret: bool) -> Self {
+        Operation::new(object, OpKind::SetContains, vec![e], Some(Value::bool(ret)))
+    }
+
+    /// `object.size():ret` on a set.
+    pub fn set_size(object: impl Into<ObjectName>, ret: i64) -> Self {
+        Operation::new(object, OpKind::SetSize, vec![], Some(Value::int(ret)))
+    }
+
+    /// `object.put(k, v)` on a map.
+    pub fn map_put(object: impl Into<ObjectName>, k: Value, v: Value) -> Self {
+        Operation::new(object, OpKind::MapPut, vec![k, v], None)
+    }
+
+    /// `object.get(k):ret` on a map.
+    pub fn map_get(object: impl Into<ObjectName>, k: Value, ret: Value) -> Self {
+        Operation::new(object, OpKind::MapGet, vec![k], Some(ret))
+    }
+
+    /// `object.remove(k)` on a map.
+    pub fn map_remove(object: impl Into<ObjectName>, k: Value) -> Self {
+        Operation::new(object, OpKind::MapRemove, vec![k], None)
+    }
+
+    /// `object.contains(k):ret` on a map.
+    pub fn map_contains(object: impl Into<ObjectName>, k: Value, ret: bool) -> Self {
+        Operation::new(object, OpKind::MapContains, vec![k], Some(Value::bool(ret)))
+    }
+
+    /// `object.cp(src, dst)` on a map.
+    pub fn map_copy(object: impl Into<ObjectName>, src: Value, dst: Value) -> Self {
+        Operation::new(object, OpKind::MapCopy, vec![src, dst], None)
+    }
+
+    /// `object.append(e)` on a log.
+    pub fn log_append(object: impl Into<ObjectName>, e: Value) -> Self {
+        Operation::new(object, OpKind::LogAppend, vec![e], None)
+    }
+
+    /// `object.last():ret` on a log.
+    pub fn log_last(object: impl Into<ObjectName>, ret: Value) -> Self {
+        Operation::new(object, OpKind::LogLast, vec![], Some(ret))
+    }
+
+    /// `object.count():ret` on a log.
+    pub fn log_count(object: impl Into<ObjectName>, ret: i64) -> Self {
+        Operation::new(object, OpKind::LogCount, vec![], Some(Value::int(ret)))
+    }
+
+    /// `object.has(e):ret` on a log.
+    pub fn log_has(object: impl Into<ObjectName>, e: Value, ret: bool) -> Self {
+        Operation::new(object, OpKind::LogHas, vec![e], Some(Value::bool(ret)))
+    }
+
+    /// `object.add_row(r)` on a table, `r` fresh.
+    pub fn tbl_add_row(object: impl Into<ObjectName>, r: Value) -> Self {
+        Operation::new(object, OpKind::TblAddRow, vec![r], None)
+    }
+
+    /// `object.delete_row(r)` on a table.
+    pub fn tbl_delete_row(object: impl Into<ObjectName>, r: Value) -> Self {
+        Operation::new(object, OpKind::TblDeleteRow, vec![r], None)
+    }
+
+    /// `object.contains(r):ret` on a table.
+    pub fn tbl_contains(object: impl Into<ObjectName>, r: Value, ret: bool) -> Self {
+        Operation::new(object, OpKind::TblContains, vec![r], Some(Value::bool(ret)))
+    }
+
+    /// `object.at(r).f.set(v)` on a table.
+    pub fn fld_set(
+        object: impl Into<ObjectName>,
+        f: impl Into<FieldName>,
+        r: Value,
+        v: Value,
+    ) -> Self {
+        Operation::new(object, OpKind::FldSet(f.into()), vec![r, v], None)
+    }
+
+    /// `object.at(r).f.get():ret` on a table.
+    pub fn fld_get(
+        object: impl Into<ObjectName>,
+        f: impl Into<FieldName>,
+        r: Value,
+        ret: Value,
+    ) -> Self {
+        Operation::new(object, OpKind::FldGet(f.into()), vec![r], Some(ret))
+    }
+
+    /// `object.at(r).f.add(e)` on a table.
+    pub fn fld_add(
+        object: impl Into<ObjectName>,
+        f: impl Into<FieldName>,
+        r: Value,
+        e: Value,
+    ) -> Self {
+        Operation::new(object, OpKind::FldAdd(f.into()), vec![r, e], None)
+    }
+
+    /// `object.at(r).f.remove(e)` on a table.
+    pub fn fld_remove(
+        object: impl Into<ObjectName>,
+        f: impl Into<FieldName>,
+        r: Value,
+        e: Value,
+    ) -> Self {
+        Operation::new(object, OpKind::FldRemove(f.into()), vec![r, e], None)
+    }
+
+    /// `object.at(r).f.contains(e):ret` on a table.
+    pub fn fld_contains(
+        object: impl Into<ObjectName>,
+        f: impl Into<FieldName>,
+        r: Value,
+        e: Value,
+        ret: bool,
+    ) -> Self {
+        Operation::new(object, OpKind::FldContains(f.into()), vec![r, e], Some(Value::bool(ret)))
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}(", self.object, self.kind)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+        if let Some(r) = &self.ret {
+            write!(f, ":{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_query_partition() {
+        assert!(OpKind::RegPut.is_update());
+        assert!(OpKind::RegGet.is_query());
+        assert!(OpKind::TblAddRow.is_update());
+        assert!(OpKind::FldContains("f".into()).is_query());
+        assert!(!OpKind::FldContains("f".into()).is_update());
+    }
+
+    #[test]
+    fn arity_matches_constructors() {
+        let op = Operation::map_put("M", Value::str("A"), Value::int(1));
+        assert_eq!(op.args.len(), op.kind.arity());
+        let op = Operation::fld_contains("Users", "flwrs", Value::str("A"), Value::str("B"), true);
+        assert_eq!(op.args.len(), 2);
+        assert!(op.is_query());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_checked() {
+        let _ = Operation::new("M", OpKind::MapPut, vec![Value::int(1)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "return value")]
+    fn query_shape_is_checked() {
+        let _ = Operation::new("M", OpKind::MapGet, vec![Value::int(1)], None);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let op = Operation::map_put("M", Value::str("A"), Value::int(1));
+        assert_eq!(op.to_string(), "M.put(\"A\",1)");
+        let op = Operation::map_get("M", Value::str("B"), Value::int(0));
+        assert_eq!(op.to_string(), "M.get(\"B\"):0");
+        let op = Operation::fld_set("Quiz", "question", Value::int(1), Value::str("A"));
+        assert_eq!(op.to_string(), "Quiz.question.set(1,\"A\")");
+    }
+
+    #[test]
+    fn creates_record_classification() {
+        assert!(OpKind::TblAddRow.creates_record());
+        assert!(OpKind::FldAdd("f".into()).creates_record());
+        assert!(!OpKind::TblDeleteRow.creates_record());
+        assert!(!OpKind::TblContains.creates_record());
+    }
+
+    #[test]
+    fn names_intern_cheaply() {
+        let a = Name::new("Quiz");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Quiz");
+    }
+}

@@ -1,0 +1,473 @@
+//! Sequential semantics of the store operations.
+//!
+//! The paper builds on the operations' *sequential semantics*, specified as
+//! a prefix-closed set of legal event sequences. We realize that
+//! specification operationally: a [`StoreState`] applies updates in order
+//! and evaluates queries; a sequence is legal iff every query returns
+//! exactly what the state evaluation yields at its position.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::event::Event;
+use crate::op::{FieldName, ObjectName, OpKind, Operation};
+use crate::value::Value;
+
+/// State of a single named object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ObjectState {
+    /// Initial, untouched object; behaves as the data-type default.
+    #[default]
+    Initial,
+    /// Register state.
+    Register(Value),
+    /// Counter state.
+    Counter(i64),
+    /// Set state.
+    Set(HashSet<Value>),
+    /// Map state.
+    Map(HashMap<Value, Value>),
+    /// Log state: appended values in arbitration order.
+    Log(Vec<Value>),
+    /// Table state: the present rows and their field contents.
+    ///
+    /// Field contents persist per `(row, field)`; deleting a row clears its
+    /// fields (so a later field update on the same row *partially revives*
+    /// the record — the semantics responsible for bug categories 3 and 4 in
+    /// Section 9.5 of the paper).
+    Table(TableState),
+}
+
+/// State of a table object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableState {
+    /// Rows currently present.
+    pub present: HashSet<Value>,
+    /// Register-valued field contents.
+    pub regs: HashMap<(Value, FieldName), Value>,
+    /// Set-valued field contents.
+    pub sets: HashMap<(Value, FieldName), HashSet<Value>>,
+}
+
+/// The state of the whole store: one [`ObjectState`] per touched object.
+#[derive(Debug, Clone, Default)]
+pub struct StoreState {
+    objects: HashMap<ObjectName, ObjectState>,
+}
+
+/// Error produced when replaying an illegal sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllegalEvent {
+    /// Index of the offending event within the replayed sequence.
+    pub position: usize,
+    /// The value the sequential semantics yields at that position.
+    pub expected: Value,
+    /// The value the event actually returned.
+    pub actual: Value,
+}
+
+impl std::fmt::Display for IllegalEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "illegal event at position {}: query returned {} but sequential semantics yields {}",
+            self.position, self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for IllegalEvent {}
+
+impl StoreState {
+    /// Creates the initial (empty) store state.
+    pub fn new() -> Self {
+        StoreState::default()
+    }
+
+    /// Applies an update operation to the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is a query, or if the object is used at two different
+    /// data types within one replay.
+    pub fn apply(&mut self, op: &Operation) {
+        use OpKind::*;
+        assert!(op.is_update(), "apply expects an update, got {op}");
+        let entry = self.objects.entry(op.object.clone()).or_default();
+        match &op.kind {
+            RegPut => *entry = ObjectState::Register(op.args[0].clone()),
+            CtrInc => {
+                let c = match entry {
+                    ObjectState::Initial => 0,
+                    ObjectState::Counter(c) => *c,
+                    other => panic!("type confusion on {}: {other:?} used as counter", op.object),
+                };
+                *entry = ObjectState::Counter(c + op.args[0].as_int().expect("inc amount"));
+            }
+            SetAdd | SetRemove => {
+                let s = match entry {
+                    ObjectState::Initial => {
+                        *entry = ObjectState::Set(HashSet::new());
+                        match entry {
+                            ObjectState::Set(s) => s,
+                            _ => unreachable!(),
+                        }
+                    }
+                    ObjectState::Set(s) => s,
+                    other => panic!("type confusion on {}: {other:?} used as set", op.object),
+                };
+                if matches!(op.kind, SetAdd) {
+                    s.insert(op.args[0].clone());
+                } else {
+                    s.remove(&op.args[0]);
+                }
+            }
+            LogAppend => {
+                let l = match entry {
+                    ObjectState::Initial => {
+                        *entry = ObjectState::Log(Vec::new());
+                        match entry {
+                            ObjectState::Log(l) => l,
+                            _ => unreachable!(),
+                        }
+                    }
+                    ObjectState::Log(l) => l,
+                    other => panic!("type confusion on {}: {other:?} used as log", op.object),
+                };
+                l.push(op.args[0].clone());
+            }
+            MapPut | MapRemove | MapCopy => {
+                let m = match entry {
+                    ObjectState::Initial => {
+                        *entry = ObjectState::Map(HashMap::new());
+                        match entry {
+                            ObjectState::Map(m) => m,
+                            _ => unreachable!(),
+                        }
+                    }
+                    ObjectState::Map(m) => m,
+                    other => panic!("type confusion on {}: {other:?} used as map", op.object),
+                };
+                match &op.kind {
+                    MapPut => {
+                        m.insert(op.args[0].clone(), op.args[1].clone());
+                    }
+                    MapRemove => {
+                        m.remove(&op.args[0]);
+                    }
+                    MapCopy => {
+                        let v = m.get(&op.args[0]).cloned().unwrap_or_default();
+                        m.insert(op.args[1].clone(), v);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            TblAddRow | TblDeleteRow | FldSet(_) | FldAdd(_) | FldRemove(_) => {
+                let t = match entry {
+                    ObjectState::Initial => {
+                        *entry = ObjectState::Table(TableState::default());
+                        match entry {
+                            ObjectState::Table(t) => t,
+                            _ => unreachable!(),
+                        }
+                    }
+                    ObjectState::Table(t) => t,
+                    other => panic!("type confusion on {}: {other:?} used as table", op.object),
+                };
+                let row = op.args[0].clone();
+                match &op.kind {
+                    TblAddRow => {
+                        t.present.insert(row);
+                    }
+                    TblDeleteRow => {
+                        t.present.remove(&row);
+                        t.regs.retain(|(r, _), _| *r != row);
+                        t.sets.retain(|(r, _), _| *r != row);
+                    }
+                    FldSet(f) => {
+                        t.present.insert(row.clone());
+                        t.regs.insert((row, f.clone()), op.args[1].clone());
+                    }
+                    FldAdd(f) => {
+                        t.present.insert(row.clone());
+                        t.sets.entry((row, f.clone())).or_default().insert(op.args[1].clone());
+                    }
+                    FldRemove(f) => {
+                        t.present.insert(row.clone());
+                        t.sets.entry((row, f.clone())).or_default().remove(&op.args[1]);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            _ => unreachable!("update kinds covered above"),
+        }
+    }
+
+    /// Evaluates a query operation against the state, ignoring the recorded
+    /// return value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is an update or on data-type confusion.
+    pub fn eval(&self, op: &Operation) -> Value {
+        use OpKind::*;
+        assert!(op.is_query(), "eval expects a query, got {op}");
+        let state = self.objects.get(&op.object).unwrap_or(&ObjectState::Initial);
+        match (&op.kind, state) {
+            (RegGet, ObjectState::Initial) => Value::Unit,
+            (RegGet, ObjectState::Register(v)) => v.clone(),
+            (CtrGet, ObjectState::Initial) => Value::int(0),
+            (CtrGet, ObjectState::Counter(c)) => Value::int(*c),
+            (SetContains, ObjectState::Initial) => Value::bool(false),
+            (SetContains, ObjectState::Set(s)) => Value::bool(s.contains(&op.args[0])),
+            (SetSize, ObjectState::Initial) => Value::int(0),
+            (SetSize, ObjectState::Set(s)) => Value::int(s.len() as i64),
+            (MapGet, ObjectState::Initial) => Value::Unit,
+            (MapGet, ObjectState::Map(m)) => m.get(&op.args[0]).cloned().unwrap_or_default(),
+            (MapContains, ObjectState::Initial) => Value::bool(false),
+            (MapContains, ObjectState::Map(m)) => Value::bool(m.contains_key(&op.args[0])),
+            (MapSize, ObjectState::Initial) => Value::int(0),
+            (MapSize, ObjectState::Map(m)) => Value::int(m.len() as i64),
+            (LogLast, ObjectState::Initial) => Value::Unit,
+            (LogLast, ObjectState::Log(l)) => l.last().cloned().unwrap_or_default(),
+            (LogCount, ObjectState::Initial) => Value::int(0),
+            (LogCount, ObjectState::Log(l)) => Value::int(l.len() as i64),
+            (LogHas, ObjectState::Initial) => Value::bool(false),
+            (LogHas, ObjectState::Log(l)) => Value::bool(l.contains(&op.args[0])),
+            (TblContains, ObjectState::Initial) => Value::bool(false),
+            (TblContains, ObjectState::Table(t)) => Value::bool(t.present.contains(&op.args[0])),
+            (FldGet(_), ObjectState::Initial) => Value::Unit,
+            (FldGet(f), ObjectState::Table(t)) => t
+                .regs
+                .get(&(op.args[0].clone(), f.clone()))
+                .cloned()
+                .unwrap_or_default(),
+            (FldContains(_), ObjectState::Initial) => Value::bool(false),
+            (FldContains(f), ObjectState::Table(t)) => Value::bool(
+                t.sets
+                    .get(&(op.args[0].clone(), f.clone()))
+                    .is_some_and(|s| s.contains(&op.args[1])),
+            ),
+            (FldSize(_), ObjectState::Initial) => Value::int(0),
+            (FldSize(f), ObjectState::Table(t)) => Value::int(
+                t.sets.get(&(op.args[0].clone(), f.clone())).map_or(0, |s| s.len()) as i64,
+            ),
+            (k, s) => panic!("type confusion on {}: {s:?} queried with {k}", op.object),
+        }
+    }
+
+    /// Replays one event: updates are applied; for queries, the recorded
+    /// return value is checked against the evaluation.
+    pub fn step(&mut self, position: usize, ev: &Event) -> Result<(), IllegalEvent> {
+        if ev.is_update() {
+            self.apply(&ev.op);
+            Ok(())
+        } else {
+            let expected = self.eval(&ev.op);
+            let actual = ev.op.ret.clone().expect("query has a return value");
+            if expected == actual {
+                Ok(())
+            } else {
+                Err(IllegalEvent { position, expected, actual })
+            }
+        }
+    }
+}
+
+/// Whether a sequence of events is *legal*: every query returns what the
+/// sequential semantics yields at its position (prefix-closedness is then
+/// automatic).
+pub fn is_legal<'a>(seq: impl IntoIterator<Item = &'a Event>) -> bool {
+    check_legal(seq).is_ok()
+}
+
+/// Like [`is_legal`], but reports the first offending event.
+pub fn check_legal<'a>(seq: impl IntoIterator<Item = &'a Event>) -> Result<(), IllegalEvent> {
+    let mut st = StoreState::new();
+    for (i, ev) in seq.into_iter().enumerate() {
+        st.step(i, ev)?;
+    }
+    Ok(())
+}
+
+/// Whether two event sequences are *equivalent* with respect to a set of
+/// probe queries: replaying both and evaluating each probe yields the same
+/// results.
+///
+/// This is a sound, executable proxy for the paper's `α ≡ β` used by the
+/// property tests that validate the algebraic specifications: the
+/// specification claims `e f ≡ f e`, and the tests refute it by finding a
+/// probe distinguishing the two orders.
+pub fn equivalent_under_probes(
+    alpha: &[&Operation],
+    beta: &[&Operation],
+    probes: &[Operation],
+) -> bool {
+    let run = |ops: &[&Operation]| {
+        let mut st = StoreState::new();
+        for op in ops {
+            st.apply(op);
+        }
+        probes.iter().map(|p| st.eval(p)).collect::<Vec<_>>()
+    };
+    run(alpha) == run(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+
+    fn ev(id: u32, op: Operation) -> Event {
+        Event { id: EventId(id), op }
+    }
+
+    #[test]
+    fn register_put_get() {
+        let seq = [
+            ev(0, Operation::reg_put("R", Value::int(5))),
+            ev(1, Operation::reg_get("R", Value::int(5))),
+        ];
+        assert!(is_legal(&seq));
+        let bad = [
+            ev(0, Operation::reg_put("R", Value::int(5))),
+            ev(1, Operation::reg_get("R", Value::int(6))),
+        ];
+        let err = check_legal(&bad).unwrap_err();
+        assert_eq!(err.position, 1);
+        assert_eq!(err.expected, Value::int(5));
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let seq = [
+            ev(0, Operation::ctr_inc("C", 2)),
+            ev(1, Operation::ctr_inc("C", 3)),
+            ev(2, Operation::ctr_get("C", 5)),
+        ];
+        assert!(is_legal(&seq));
+    }
+
+    #[test]
+    fn initial_values() {
+        assert!(is_legal(&[ev(0, Operation::map_get("M", Value::str("A"), Value::Unit))]));
+        assert!(is_legal(&[ev(0, Operation::ctr_get("C", 0))]));
+        assert!(is_legal(&[ev(0, Operation::set_contains("S", Value::int(1), false))]));
+        assert!(is_legal(&[ev(0, Operation::tbl_contains("T", Value::row(0), false))]));
+    }
+
+    #[test]
+    fn figure3_history_is_legal_in_ar_order() {
+        // inc(a,1) get(a):1 put(a,2) get(a):2 — the schedule of Figure 3a.
+        let seq = [
+            ev(0, Operation::map_put("M", Value::str("a"), Value::int(0))),
+            ev(1, Operation::ctr_inc("C", 1)),
+            ev(2, Operation::ctr_get("C", 1)),
+        ];
+        assert!(is_legal(&seq));
+    }
+
+    #[test]
+    fn map_copy_copies_current_value() {
+        let mut st = StoreState::new();
+        st.apply(&Operation::map_put("M", Value::str("a"), Value::int(1)));
+        st.apply(&Operation::map_copy("M", Value::str("a"), Value::str("b")));
+        st.apply(&Operation::map_put("M", Value::str("a"), Value::int(2)));
+        assert_eq!(st.eval(&Operation::map_get("M", Value::str("b"), Value::Unit)), Value::int(1));
+        assert_eq!(st.eval(&Operation::map_get("M", Value::str("a"), Value::Unit)), Value::int(2));
+    }
+
+    #[test]
+    fn implicit_record_creation() {
+        let mut st = StoreState::new();
+        st.apply(&Operation::fld_add("Users", "flwrs", Value::str("A"), Value::str("B")));
+        assert_eq!(
+            st.eval(&Operation::tbl_contains("Users", Value::str("A"), false)),
+            Value::bool(true)
+        );
+    }
+
+    #[test]
+    fn delete_then_set_partially_revives() {
+        let mut st = StoreState::new();
+        st.apply(&Operation::fld_set("Quiz", "question", Value::row(1), Value::str("Q")));
+        st.apply(&Operation::fld_set("Quiz", "answer", Value::row(1), Value::str("A")));
+        st.apply(&Operation::tbl_delete_row("Quiz", Value::row(1)));
+        st.apply(&Operation::fld_set("Quiz", "question", Value::row(1), Value::str("Q2")));
+        // Row revived with only the question field.
+        assert_eq!(
+            st.eval(&Operation::tbl_contains("Quiz", Value::row(1), false)),
+            Value::bool(true)
+        );
+        assert_eq!(
+            st.eval(&Operation::fld_get("Quiz", "answer", Value::row(1), Value::Unit)),
+            Value::Unit
+        );
+        assert_eq!(
+            st.eval(&Operation::fld_get("Quiz", "question", Value::row(1), Value::Unit)),
+            Value::str("Q2")
+        );
+    }
+
+    #[test]
+    fn set_add_remove_and_size() {
+        let mut st = StoreState::new();
+        st.apply(&Operation::set_add("S", Value::int(1)));
+        st.apply(&Operation::set_add("S", Value::int(2)));
+        st.apply(&Operation::set_remove("S", Value::int(1)));
+        assert_eq!(st.eval(&Operation::set_size("S", 0)), Value::int(1));
+        assert_eq!(st.eval(&Operation::set_contains("S", Value::int(2), false)), Value::bool(true));
+    }
+
+    #[test]
+    fn probe_equivalence_detects_noncommutativity() {
+        let put1 = Operation::map_put("M", Value::str("a"), Value::int(1));
+        let put2 = Operation::map_put("M", Value::str("a"), Value::int(2));
+        let probe = Operation::map_get("M", Value::str("a"), Value::Unit);
+        assert!(!equivalent_under_probes(&[&put1, &put2], &[&put2, &put1], &[probe.clone()]));
+        let put_b = Operation::map_put("M", Value::str("b"), Value::int(2));
+        assert!(equivalent_under_probes(
+            &[&put1, &put_b],
+            &[&put_b, &put1],
+            std::slice::from_ref(&probe)
+        ));
+    }
+
+    #[test]
+    fn absorption_example_from_section_3() {
+        // put(a,2) absorbs inc(a,1) — on a counter-as-map model we use the
+        // map: put overwrites whatever the value was.
+        let inc = Operation::ctr_inc("C", 1);
+        let put = Operation::map_put("M", Value::str("a"), Value::int(2));
+        // Different objects commute trivially:
+        let probe_c = Operation::ctr_get("C", 0);
+        let probe_m = Operation::map_get("M", Value::str("a"), Value::Unit);
+        assert!(equivalent_under_probes(
+            &[&inc, &put],
+            &[&put, &inc],
+            &[probe_c.clone(), probe_m.clone()]
+        ));
+    }
+}
+
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+
+    #[test]
+    fn log_sequential_semantics() {
+        let mut st = StoreState::new();
+        st.apply(&Operation::log_append("L", Value::str("a")));
+        st.apply(&Operation::log_append("L", Value::str("b")));
+        assert_eq!(st.eval(&Operation::log_last("L", Value::Unit)), Value::str("b"));
+        assert_eq!(st.eval(&Operation::log_count("L", 0)), Value::int(2));
+        assert_eq!(st.eval(&Operation::log_has("L", Value::str("a"), false)), Value::bool(true));
+        assert_eq!(st.eval(&Operation::log_has("L", Value::str("z"), false)), Value::bool(false));
+    }
+
+    #[test]
+    fn log_initially_empty() {
+        let st = StoreState::new();
+        assert_eq!(st.eval(&Operation::log_last("L", Value::Unit)), Value::Unit);
+        assert_eq!(st.eval(&Operation::log_count("L", 0)), Value::int(0));
+    }
+}

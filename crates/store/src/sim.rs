@@ -1,0 +1,508 @@
+//! An executable multi-replica causally-consistent store simulator.
+//!
+//! The simulator produces histories together with legal schedules by
+//! construction:
+//!
+//! * transactions execute against a single replica and observe a causally
+//!   closed set of previously committed transactions (plus their own
+//!   session's past — the session guarantee), giving (S2);
+//! * transactions apply and replicate as indivisible batches, giving (S3);
+//! * query results are computed by replaying the visible updates in
+//!   arbitration order, giving (S1);
+//! * arbitration is a global commit counter, so `vı ⊆ ar` holds because a
+//!   transaction can only observe transactions that committed earlier.
+//!
+//! Delivery between replicas is asynchronous and *causal*: a transaction is
+//! applied at a remote replica only once everything it observed has been
+//! applied there. The driver (e.g. the dynamic analyzer) controls delivery
+//! timing, which is what surfaces non-serializable behaviors.
+//!
+//! # Example
+//!
+//! ```
+//! use c4_store::sim::CausalSim;
+//! use c4_store::{op::OpKind, Value};
+//!
+//! let mut sim = CausalSim::new(2);
+//! let a = sim.session(0);
+//! let b = sim.session(1);
+//!
+//! sim.begin(a);
+//! sim.update(a, "M", OpKind::MapPut, vec![Value::str("A"), Value::int(1)]);
+//! sim.commit(a);
+//!
+//! // Replica 1 has not received the put yet:
+//! sim.begin(b);
+//! let v = sim.query(b, "M", OpKind::MapGet, vec![Value::str("A")]);
+//! sim.commit(b);
+//! assert_eq!(v, Value::Unit);
+//!
+//! sim.deliver_all();
+//! let (history, schedule) = sim.into_history();
+//! schedule.check(&history).unwrap();
+//! ```
+
+use std::collections::HashSet;
+
+use crate::event::EventId;
+use crate::history::{History, HistoryBuilder, SessionId, TxId};
+use crate::op::{ObjectName, OpKind, Operation};
+use crate::schedule::{Relation, Schedule};
+use crate::semantics::StoreState;
+use crate::value::{RowId, Value};
+
+/// Handle to a client session of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimSession(usize);
+
+/// Index of a replica.
+pub type ReplicaId = usize;
+
+#[derive(Debug, Clone)]
+struct CommittedTx {
+    /// Events of the transaction (indices into `events`).
+    events: Vec<usize>,
+    /// Transactions visible when this one executed (causally closed).
+    visible: HashSet<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct SessionState {
+    replica: ReplicaId,
+    /// Committed transactions of this session, in order.
+    committed: Vec<usize>,
+    /// Open transaction buffer: (ops, visible set at begin).
+    open: Option<OpenTx>,
+}
+
+#[derive(Debug, Clone)]
+struct OpenTx {
+    ops: Vec<Operation>,
+    visible: HashSet<usize>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Replica {
+    /// Committed transactions applied at this replica (causally closed).
+    applied: HashSet<usize>,
+}
+
+/// A pending remote delivery: transaction `tx` towards replica `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingDelivery {
+    /// The global index of the committed transaction.
+    pub tx: usize,
+    /// The destination replica.
+    pub to: ReplicaId,
+}
+
+/// The multi-replica causal store simulator.
+#[derive(Debug)]
+pub struct CausalSim {
+    replicas: Vec<Replica>,
+    sessions: Vec<SessionState>,
+    /// Committed transactions in commit (= arbitration) order.
+    committed: Vec<CommittedTx>,
+    /// All events (operations of committed and open transactions), with the
+    /// op of event i at `events[i]`; queries carry their return value.
+    events: Vec<Operation>,
+    pending: Vec<PendingDelivery>,
+    next_row: u64,
+}
+
+impl CausalSim {
+    /// Creates a simulator with the given number of replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica_count` is zero.
+    pub fn new(replica_count: usize) -> Self {
+        assert!(replica_count > 0, "need at least one replica");
+        CausalSim {
+            replicas: vec![Replica::default(); replica_count],
+            sessions: Vec::new(),
+            committed: Vec::new(),
+            events: Vec::new(),
+            pending: Vec::new(),
+            next_row: 0,
+        }
+    }
+
+    /// Opens a new session pinned to the given replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica does not exist.
+    pub fn session(&mut self, replica: ReplicaId) -> SimSession {
+        assert!(replica < self.replicas.len(), "no such replica");
+        self.sessions.push(SessionState { replica, committed: Vec::new(), open: None });
+        SimSession(self.sessions.len() - 1)
+    }
+
+    /// Generates a fresh unique row identity.
+    pub fn fresh_row(&mut self) -> RowId {
+        let id = RowId(self.next_row);
+        self.next_row += 1;
+        id
+    }
+
+    /// Begins a transaction in the session. Its snapshot is the replica's
+    /// applied set plus the session's own past (closed under causality by
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already has an open transaction.
+    pub fn begin(&mut self, s: SimSession) {
+        let sess = &mut self.sessions[s.0];
+        assert!(sess.open.is_none(), "transaction already open");
+        let mut visible = self.replicas[sess.replica].applied.clone();
+        visible.extend(sess.committed.iter().copied());
+        // Close under causal predecessors (session past may not be applied
+        // at the replica yet if the session migrated).
+        let mut stack: Vec<usize> = visible.iter().copied().collect();
+        while let Some(t) = stack.pop() {
+            for &p in &self.committed[t].visible {
+                if visible.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        sess.open = Some(OpenTx { ops: Vec::new(), visible });
+    }
+
+    /// Issues an update inside the session's open transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open or the operation is not an update.
+    pub fn update(
+        &mut self,
+        s: SimSession,
+        object: impl Into<ObjectName>,
+        kind: OpKind,
+        args: Vec<Value>,
+    ) {
+        let op = Operation::new(object, kind, args, None);
+        let open = self.sessions[s.0].open.as_mut().expect("no open transaction");
+        open.ops.push(op);
+    }
+
+    /// Issues a query inside the session's open transaction and returns the
+    /// value the store yields: the replay of the visible updates in
+    /// arbitration order, followed by the transaction's own buffered
+    /// updates (read-your-writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open or the operation is not a query.
+    pub fn query(
+        &mut self,
+        s: SimSession,
+        object: impl Into<ObjectName>,
+        kind: OpKind,
+        args: Vec<Value>,
+    ) -> Value {
+        let open = self.sessions[s.0].open.as_ref().expect("no open transaction");
+        let mut st = StoreState::new();
+        let mut vis: Vec<usize> = open.visible.iter().copied().collect();
+        vis.sort_unstable(); // commit order = arbitration order
+        for t in vis {
+            for &e in &self.committed[t].events {
+                if self.events[e].is_update() {
+                    st.apply(&self.events[e]);
+                }
+            }
+        }
+        for op in &open.ops {
+            if op.is_update() {
+                st.apply(op);
+            }
+        }
+        let probe = Operation::new(object, kind.clone(), args.clone(), Some(Value::Unit));
+        let ret = st.eval(&probe);
+        let op = Operation::new(probe.object.clone(), kind, args, Some(ret.clone()));
+        self.sessions[s.0].open.as_mut().unwrap().ops.push(op);
+        ret
+    }
+
+    /// Commits the session's open transaction: it receives the next
+    /// arbitration stamp, is applied at the session's replica, and is
+    /// queued for delivery to all other replicas.
+    ///
+    /// Returns the committed transaction's global index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit(&mut self, s: SimSession) -> usize {
+        let replica = self.sessions[s.0].replica;
+        let open = self.sessions[s.0].open.take().expect("no open transaction");
+        let idx = self.committed.len();
+        let mut event_ids = Vec::with_capacity(open.ops.len());
+        for op in open.ops {
+            event_ids.push(self.events.len());
+            self.events.push(op);
+        }
+        self.committed.push(CommittedTx { events: event_ids, visible: open.visible });
+        self.sessions[s.0].committed.push(idx);
+        self.replicas[replica].applied.insert(idx);
+        for to in 0..self.replicas.len() {
+            if to != replica {
+                self.pending.push(PendingDelivery { tx: idx, to });
+            }
+        }
+        idx
+    }
+
+    /// Moves a session to another replica (its causal past travels with it).
+    pub fn migrate(&mut self, s: SimSession, to: ReplicaId) {
+        assert!(to < self.replicas.len(), "no such replica");
+        self.sessions[s.0].replica = to;
+    }
+
+    /// The deliveries currently deliverable (their causal dependencies are
+    /// satisfied at the destination).
+    pub fn deliverable(&self) -> Vec<PendingDelivery> {
+        self.pending
+            .iter()
+            .copied()
+            .filter(|d| {
+                self.committed[d.tx]
+                    .visible
+                    .iter()
+                    .all(|p| self.replicas[d.to].applied.contains(p))
+            })
+            .collect()
+    }
+
+    /// Delivers one specific pending delivery.
+    ///
+    /// Returns `false` if the delivery is not pending or not yet
+    /// deliverable under causal delivery.
+    pub fn deliver(&mut self, d: PendingDelivery) -> bool {
+        let Some(pos) = self.pending.iter().position(|&p| p == d) else {
+            return false;
+        };
+        let deps_ok = self.committed[d.tx]
+            .visible
+            .iter()
+            .all(|p| self.replicas[d.to].applied.contains(p));
+        if !deps_ok {
+            return false;
+        }
+        self.pending.swap_remove(pos);
+        self.replicas[d.to].applied.insert(d.tx);
+        true
+    }
+
+    /// Delivers everything, in causal order.
+    pub fn deliver_all(&mut self) {
+        loop {
+            let ds = self.deliverable();
+            if ds.is_empty() {
+                break;
+            }
+            for d in ds {
+                self.deliver(d);
+            }
+        }
+        assert!(self.pending.is_empty(), "causal delivery wedged");
+    }
+
+    /// Extracts the history and its (legal, causally-consistent) schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any session still has an open transaction.
+    pub fn into_history(self) -> (History, Schedule) {
+        for sess in &self.sessions {
+            assert!(sess.open.is_none(), "open transaction at extraction");
+        }
+        let mut b = HistoryBuilder::new();
+        let session_ids: Vec<SessionId> = self.sessions.iter().map(|_| b.session()).collect();
+        // Build per-session, transactions in each session's order; record
+        // the EventId assigned to each simulator event.
+        let mut event_map: Vec<Option<EventId>> = vec![None; self.events.len()];
+        let mut tx_map: Vec<Option<TxId>> = vec![None; self.committed.len()];
+        for (si, sess) in self.sessions.iter().enumerate() {
+            for &t in &sess.committed {
+                let tx = b.begin(session_ids[si]);
+                tx_map[t] = Some(tx);
+                for &e in &self.committed[t].events {
+                    event_map[e] = Some(b.push(tx, self.events[e].clone()));
+                }
+            }
+        }
+        let history = b.finish();
+        let n = history.len();
+        // Arbitration: commit order over transactions, session position
+        // within a transaction.
+        let mut ar_order: Vec<EventId> = Vec::with_capacity(n);
+        for (t, ct) in self.committed.iter().enumerate() {
+            let _ = t;
+            for &e in &ct.events {
+                ar_order.push(event_map[e].expect("event committed"));
+            }
+        }
+        // Visibility: tx-level visible sets, plus so within sessions (which
+        // is already included because a session's past is in `visible`),
+        // plus intra-transaction program order.
+        let mut vis = Relation::new(n);
+        for (t, ct) in self.committed.iter().enumerate() {
+            for &v in &ct.visible {
+                if v == t {
+                    continue;
+                }
+                for &ve in &self.committed[v].events {
+                    for &te in &ct.events {
+                        vis.insert(event_map[ve].unwrap(), event_map[te].unwrap());
+                    }
+                }
+            }
+            for (i, &e) in ct.events.iter().enumerate() {
+                for &f in &ct.events[i + 1..] {
+                    vis.insert(event_map[e].unwrap(), event_map[f].unwrap());
+                }
+            }
+        }
+        let schedule = Schedule::new(&history, ar_order, vis).expect("simulator schedule shape");
+        (history, schedule)
+    }
+
+    /// Number of committed transactions so far.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delayed_delivery_reproduces_figure1c1() {
+        let mut sim = CausalSim::new(2);
+        let a = sim.session(0);
+        let b = sim.session(1);
+        sim.begin(a);
+        sim.update(a, "M", OpKind::MapPut, vec![Value::str("A"), Value::int(1)]);
+        sim.commit(a);
+        sim.begin(b);
+        sim.update(b, "M", OpKind::MapPut, vec![Value::str("B"), Value::int(2)]);
+        sim.commit(b);
+        // No delivery: each session reads the other's key and misses it.
+        sim.begin(a);
+        let va = sim.query(a, "M", OpKind::MapGet, vec![Value::str("B")]);
+        sim.commit(a);
+        sim.begin(b);
+        let vb = sim.query(b, "M", OpKind::MapGet, vec![Value::str("A")]);
+        sim.commit(b);
+        assert_eq!(va, Value::Unit);
+        assert_eq!(vb, Value::Unit);
+        sim.deliver_all();
+        let (h, s) = sim.into_history();
+        s.check(&h).unwrap();
+        assert!(!crate::schedule::serializable_by_enumeration(&h));
+    }
+
+    #[test]
+    fn read_your_writes_within_transaction() {
+        let mut sim = CausalSim::new(1);
+        let a = sim.session(0);
+        sim.begin(a);
+        sim.update(a, "C", OpKind::CtrInc, vec![Value::int(5)]);
+        let v = sim.query(a, "C", OpKind::CtrGet, vec![]);
+        assert_eq!(v, Value::int(5));
+        sim.commit(a);
+        let (h, s) = sim.into_history();
+        s.check(&h).unwrap();
+    }
+
+    #[test]
+    fn session_reads_its_own_past_after_migration() {
+        let mut sim = CausalSim::new(2);
+        let a = sim.session(0);
+        sim.begin(a);
+        sim.update(a, "R", OpKind::RegPut, vec![Value::int(9)]);
+        sim.commit(a);
+        sim.migrate(a, 1);
+        sim.begin(a);
+        let v = sim.query(a, "R", OpKind::RegGet, vec![]);
+        sim.commit(a);
+        assert_eq!(v, Value::int(9));
+        sim.deliver_all();
+        let (h, s) = sim.into_history();
+        s.check(&h).unwrap();
+    }
+
+    #[test]
+    fn causal_delivery_orders_dependent_transactions() {
+        let mut sim = CausalSim::new(3);
+        let a = sim.session(0);
+        sim.begin(a);
+        sim.update(a, "R", OpKind::RegPut, vec![Value::int(1)]);
+        let t0 = sim.commit(a);
+        // Session b at replica 1 sees t0 after delivery and writes t1.
+        for d in sim.deliverable() {
+            if d.to == 1 {
+                sim.deliver(d);
+            }
+        }
+        let b = sim.session(1);
+        sim.begin(b);
+        let _ = sim.query(b, "R", OpKind::RegGet, vec![]);
+        sim.update(b, "R", OpKind::RegPut, vec![Value::int(2)]);
+        let t1 = sim.commit(b);
+        // t1 depends on t0; replica 2 cannot receive t1 before t0.
+        let d_t1 = PendingDelivery { tx: t1, to: 2 };
+        assert!(!sim.deliver(d_t1));
+        assert!(sim.deliver(PendingDelivery { tx: t0, to: 2 }));
+        assert!(sim.deliver(d_t1));
+        sim.deliver_all();
+        let (h, s) = sim.into_history();
+        s.check(&h).unwrap();
+    }
+
+    #[test]
+    fn fresh_rows_are_unique() {
+        let mut sim = CausalSim::new(1);
+        let r1 = sim.fresh_row();
+        let r2 = sim.fresh_row();
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn schedules_from_random_runs_are_always_legal() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..25 {
+            let mut sim = CausalSim::new(3);
+            let sessions: Vec<_> = (0..3).map(|r| sim.session(r)).collect();
+            for step in 0..20 {
+                let s = sessions[rng.gen_range(0..sessions.len())];
+                sim.begin(s);
+                if rng.gen_bool(0.6) {
+                    sim.update(
+                        s,
+                        "M",
+                        OpKind::MapPut,
+                        vec![Value::int(rng.gen_range(0..3)), Value::int(step)],
+                    );
+                } else {
+                    let _ = sim.query(s, "M", OpKind::MapGet, vec![Value::int(rng.gen_range(0..3))]);
+                }
+                sim.commit(s);
+                // Randomly deliver some messages.
+                for d in sim.deliverable() {
+                    if rng.gen_bool(0.5) {
+                        sim.deliver(d);
+                    }
+                }
+            }
+            sim.deliver_all();
+            let (h, sched) = sim.into_history();
+            sched.check(&h).unwrap();
+        }
+    }
+}

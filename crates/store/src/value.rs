@@ -1,0 +1,160 @@
+//! The value domain of the data store.
+
+use std::fmt;
+
+/// Identity of a table row created with a fresh-row operation.
+///
+/// Row identifiers are guaranteed unique by the store (akin to dynamic
+/// memory allocation in shared-memory environments, see Section 8 of the
+/// paper): two `add_row` events never produce the same [`RowId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A concrete value stored in, or passed to, the data store.
+///
+/// `Value` is the domain of operation arguments and query results. The
+/// initial value of every register-like location is [`Value::Unit`]; missing
+/// map entries read as `Unit`, absent counters as `Int(0)`, and membership
+/// queries return `Bool`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// The default/initial value, also used for "absent".
+    #[default]
+    Unit,
+    /// A boolean, produced by `contains`-style queries.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// An immutable string.
+    Str(String),
+    /// A table row identity (see [`RowId`]).
+    Row(RowId),
+}
+
+impl Value {
+    /// Convenience constructor for integer values.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(v: impl Into<String>) -> Self {
+        Value::Str(v.into())
+    }
+
+    /// Convenience constructor for boolean values.
+    pub fn bool(v: bool) -> Self {
+        Value::Bool(v)
+    }
+
+    /// Convenience constructor for row identities.
+    pub fn row(id: u64) -> Self {
+        Value::Row(RowId(id))
+    }
+
+    /// Returns the integer content, or 0 for `Unit` (the counter initial
+    /// value), or `None` for non-numeric values.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Unit => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is the unit/absent value.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<RowId> for Value {
+    fn from(v: RowId) -> Self {
+        Value::Row(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "ø"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Row(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_int_treats_unit_as_zero() {
+        assert_eq!(Value::Unit.as_int(), Some(0));
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "ø");
+        assert_eq!(Value::bool(true).to_string(), "true");
+        assert_eq!(Value::row(3).to_string(), "#3");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(RowId(9)), Value::Row(RowId(9)));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::int(2), Value::Unit, Value::str("b"), Value::bool(false)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Unit);
+    }
+}

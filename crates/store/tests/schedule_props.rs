@@ -1,0 +1,115 @@
+//! Property tests for histories and schedules driven through the causal
+//! simulator.
+
+use c4_store::op::OpKind;
+use c4_store::schedule::Relation;
+use c4_store::sim::CausalSim;
+use c4_store::{EventId, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Txn { session: usize, ops: Vec<(bool, i64, i64)> }, // (is_update, key, val)
+    DeliverSome(u64),
+    Migrate { session: usize, replica: usize },
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..3usize, proptest::collection::vec((any::<bool>(), 0..3i64, 0..5i64), 1..4))
+                .prop_map(|(session, ops)| Step::Txn { session, ops }),
+            any::<u64>().prop_map(Step::DeliverSome),
+            (0..3usize, 0..3usize).prop_map(|(session, replica)| Step::Migrate {
+                session,
+                replica
+            }),
+        ],
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Whatever the interleaving of transactions, migrations and partial
+    /// deliveries, the simulator produces a history with a fully legal
+    /// schedule: (S1) legality, (S2) causality, (S3) atomic visibility.
+    #[test]
+    fn simulator_schedules_are_always_legal(steps in arb_steps()) {
+        let mut sim = CausalSim::new(3);
+        let sessions: Vec<_> = (0..3).map(|r| sim.session(r)).collect();
+        for step in steps {
+            match step {
+                Step::Txn { session, ops } => {
+                    let s = sessions[session];
+                    sim.begin(s);
+                    for (is_update, key, val) in ops {
+                        if is_update {
+                            sim.update(s, "M", OpKind::MapPut,
+                                vec![Value::int(key), Value::int(val)]);
+                        } else {
+                            let _ = sim.query(s, "M", OpKind::MapGet, vec![Value::int(key)]);
+                        }
+                    }
+                    sim.commit(s);
+                }
+                Step::DeliverSome(bits) => {
+                    for (i, d) in sim.deliverable().into_iter().enumerate() {
+                        if bits & (1 << (i % 64)) != 0 {
+                            sim.deliver(d);
+                        }
+                    }
+                }
+                Step::Migrate { session, replica } => {
+                    sim.migrate(sessions[session], replica);
+                }
+            }
+        }
+        sim.deliver_all();
+        let (h, sched) = sim.into_history();
+        prop_assert!(sched.check(&h).is_ok());
+    }
+
+    /// Relation transitive closure is monotone, idempotent and sound.
+    #[test]
+    fn relation_closure_properties(
+        pairs in proptest::collection::vec((0u32..12, 0u32..12), 0..30)
+    ) {
+        let mut r = Relation::new(12);
+        for (a, b) in &pairs {
+            r.insert(EventId(*a), EventId(*b));
+        }
+        let mut closed = r.clone();
+        closed.close_transitively();
+        for (a, b) in &pairs {
+            prop_assert!(closed.contains(EventId(*a), EventId(*b)));
+        }
+        prop_assert!(closed.is_transitive());
+        let mut twice = closed.clone();
+        twice.close_transitively();
+        prop_assert_eq!(&twice, &closed);
+        // Soundness: every closed pair is connected in the original.
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                if closed.contains(EventId(a), EventId(b)) {
+                    let mut seen = vec![false; 12];
+                    let mut stack = vec![a];
+                    let mut reachable = false;
+                    while let Some(x) = stack.pop() {
+                        for y in r.successors(EventId(x)) {
+                            if y.0 == b {
+                                reachable = true;
+                            }
+                            if !seen[y.0 as usize] {
+                                seen[y.0 as usize] = true;
+                                stack.push(y.0);
+                            }
+                        }
+                    }
+                    prop_assert!(reachable, "{} → {} not justified", a, b);
+                }
+            }
+        }
+    }
+}

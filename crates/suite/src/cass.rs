@@ -1,0 +1,277 @@
+//! The 11 Cassandra benchmarks of Table 1, remodelled in CCL.
+//!
+//! These mirror the GitHub projects the paper analyzed: locks and queues,
+//! Twitter clones, a currency exchange, chat services, and a shopping
+//! cart. Each web request is one transaction (the paper's convention).
+
+use std::collections::BTreeSet;
+
+use crate::{Benchmark, Class, Domain, PaperRow};
+
+fn any(sig: &BTreeSet<String>, names: &[&str]) -> bool {
+    names.iter().any(|n| sig.contains(*n))
+}
+
+/// The Cassandra benchmarks, in Table 1 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "cassandra-lock",
+            domain: Domain::Cassandra,
+            source: r#"
+                store { map Leases; }
+                local me;
+                // Each client only ever manipulates its own lease entry
+                // (leases are keyed by owner): serializable, and provable
+                // thanks to the session-local constant.
+                txn acquire(t) { Leases.put(me, t); }
+                txn release() { Leases.remove(me); }
+                txn renew(t) { Leases.put(me, t); }
+            "#,
+            classify: |_| Class::FalseAlarm,
+            paper: PaperRow { t: 3, e: 3, unfiltered: (0, 0, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "cassandra-twitter",
+            domain: Domain::Cassandra,
+            source: r#"
+                store {
+                    table Users { flwrs: set }
+                    table Tweets { text: reg }
+                    map Names;
+                }
+                txn register(n, u) {
+                    if (!Names.contains(n)) { Names.put(n, u); }
+                }
+                txn tweet(t, x) { Tweets[t].text.set(x); }
+                txn follow(a, b) {
+                    if (Users.contains(a)) { Users[a].flwrs.add(b); }
+                }
+                txn timeline(t) { display Tweets[t].text.get(); }
+                txn followers(a, b) { Users[a].flwrs.contains(b); }
+                txn profile(n) { display Names.get(n); }
+            "#,
+            classify: |sig| {
+                if sig.len() == 1 && sig.contains("register") {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 5, e: 26, unfiltered: (1, 5, 0), filtered: (1, 1, 0) },
+        },
+        Benchmark {
+            name: "cassatwitter",
+            domain: Domain::Cassandra,
+            source: r#"
+                store {
+                    table Users { flwrs: set, tweets: set }
+                    map Handles;
+                }
+                txn signup(h, u) {
+                    if (!Handles.contains(h)) { Handles.put(h, u); }
+                }
+                txn post(u, t) { Users[u].tweets.add(t); }
+                txn follow(a, b) { Users[a].flwrs.add(b); }
+                txn unfollow(a, b) {
+                    if (Users[a].flwrs.contains(b)) { Users[a].flwrs.remove(b); }
+                }
+                txn feed(u, t) { display Users[u].tweets.contains(t); }
+                txn whom(a, b) { Users[a].flwrs.contains(b); }
+            "#,
+            classify: |sig| {
+                if sig.len() == 1 && sig.contains("signup") {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 6, e: 19, unfiltered: (1, 6, 0), filtered: (1, 1, 0) },
+        },
+        Benchmark {
+            name: "cassieq-core",
+            domain: Domain::Cassandra,
+            source: r#"
+                store { register ReaderPtr; register InvisPtr; table Queue { msg: reg } }
+                txn enqueue(n, m) { Queue[n].msg.set(m); }
+                txn dequeue(n) {
+                    // Advance the reader pointer: read-check-write (harmful).
+                    let p = ReaderPtr.get();
+                    if (p != n) { ReaderPtr.put(n); }
+                    display Queue[n].msg.get();
+                }
+                txn invis(n) {
+                    let p = InvisPtr.get();
+                    if (p != n) { InvisPtr.put(n); }
+                }
+                txn purge(n) { Queue.delete_row(n); }
+                txn peek(n) { display Queue[n].msg.get(); }
+                txn stats() { display ReaderPtr.get(); }
+                txn exists(n) { Queue.contains(n); }
+            "#,
+            classify: |sig| {
+                if sig.len() == 1 && (sig.contains("dequeue") || sig.contains("invis")) {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 7, e: 10, unfiltered: (2, 2, 0), filtered: (2, 1, 0) },
+        },
+        Benchmark {
+            name: "curr-exchange",
+            domain: Domain::Cassandra,
+            source: r#"
+                store { map Rates; }
+                txn setrate(c, r) { Rates.put(c, r); }
+                txn getrate(c) { display Rates.get(c); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 2, e: 2, unfiltered: (0, 1, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "dstax-queueing",
+            domain: Domain::Cassandra,
+            source: r#"
+                store { register Head; register Tail; }
+                txn push(n) {
+                    let t = Tail.get();
+                    if (t != n) { Tail.put(n); }
+                }
+                txn pop(n) {
+                    let h = Head.get();
+                    if (h != n) { Head.put(n); }
+                }
+            "#,
+            classify: |_| Class::Harmful,
+            paper: PaperRow { t: 2, e: 8, unfiltered: (2, 0, 0), filtered: (2, 0, 0) },
+        },
+        Benchmark {
+            name: "killrchat",
+            domain: Domain::Cassandra,
+            source: r#"
+                store {
+                    table Rooms { members: set, topic: reg }
+                    map Sessions;
+                    map Profiles;
+                }
+                // The service's front-end guarantees a user's session and
+                // profile keys never collide across request handlers, and
+                // room membership is managed by a single coordinator per
+                // room. The analysis cannot see those protocol invariants:
+                // its reports here are false alarms.
+                txn login(u, s) { Sessions.put(u, s); }
+                txn logout(u) { Sessions.remove(u); }
+                txn saveprofile(u, p) { Profiles.put(u, p); }
+                txn readprofile(u) { display Profiles.get(u); }
+                txn createroom(r, t) { Rooms[r].topic.set(t); }
+                txn settopic(r, t) {
+                    if (Rooms.contains(r)) { Rooms[r].topic.set(t); }
+                }
+                txn joinroom(r, u) { Rooms[r].members.add(u); }
+                txn quitroom(r, u) {
+                    if (Rooms[r].members.contains(u)) { Rooms[r].members.remove(u); }
+                }
+                txn deleteroom(r) { Rooms.delete_row(r); }
+                txn ismember(r, u) { Rooms[r].members.contains(u); }
+                txn sessionof(u) { display Sessions.get(u); }
+            "#,
+            classify: |sig| {
+                // Room management is protocol-coordinated (one coordinator
+                // per room): those alarms are false. Session/profile views
+                // race harmlessly.
+                if any(sig, &["createroom", "settopic", "joinroom", "quitroom", "deleteroom", "ismember"]) {
+                    Class::FalseAlarm
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 11, e: 20, unfiltered: (0, 31, 13), filtered: (0, 0, 4) },
+        },
+        Benchmark {
+            name: "playlist",
+            domain: Domain::Cassandra,
+            source: r#"
+                store {
+                    table Lists { tracks: set, name: reg }
+                    counter Plays;
+                }
+                txn createlist(l, n) { Lists[l].name.set(n); }
+                txn rename(l, n) {
+                    if (Lists.contains(l)) { Lists[l].name.set(n); }
+                }
+                txn addtrack(l, t) { Lists[l].tracks.add(t); }
+                txn deltrack(l, t) {
+                    if (Lists[l].tracks.contains(t)) { Lists[l].tracks.remove(t); }
+                }
+                txn dellist(l) { Lists.delete_row(l); }
+                txn play(l, t) { Plays.inc(1); display Lists[l].name.get(); }
+                txn hastrack(l, t) { display Lists[l].tracks.contains(t); }
+                txn viewname(l) { display Lists[l].name.get(); }
+                txn viewplays() { display Plays.get(); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 11, e: 34, unfiltered: (0, 13, 0), filtered: (0, 2, 0) },
+        },
+        Benchmark {
+            name: "roomstore",
+            domain: Domain::Cassandra,
+            source: r#"
+                store { table Log { line: reg } counter Lines; }
+                txn append(m, x) { Log[m].line.set(x); Lines.inc(1); }
+                txn viewline(m) { display Log[m].line.get(); }
+                txn viewcount() { display Lines.get(); }
+                txn trim(m) { Log.delete_row(m); Lines.inc(-1); }
+                txn exists(m) { Log.contains(m); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 5, e: 13, unfiltered: (0, 4, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "shopping-cart",
+            domain: Domain::Cassandra,
+            source: r#"
+                store { table Carts { items: set, note: reg } }
+                local me;
+                // Carts are keyed by the session's own user and synced
+                // write-only (reads happen on the session's device copy):
+                // serializable.
+                txn additem(i) { Carts[me].items.add(i); }
+                txn dropitem(i) { Carts[me].items.remove(i); }
+                txn setnote(n) { Carts[me].note.set(n); }
+                txn clearnote() { Carts[me].note.set(""); }
+            "#,
+            classify: |_| Class::FalseAlarm,
+            paper: PaperRow { t: 4, e: 5, unfiltered: (0, 0, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "twissandra",
+            domain: Domain::Cassandra,
+            source: r#"
+                store {
+                    table Users { friends: set }
+                    table Tweets { body: reg }
+                }
+                txn adduser(u) { let r = Users.add_row(); }
+                txn addfriend(a, b) {
+                    if (Users.contains(a)) { Users[a].friends.add(b); }
+                }
+                txn unfriend(a, b) {
+                    if (Users[a].friends.contains(b)) { Users[a].friends.remove(b); }
+                }
+                txn tweet(t, x) { Tweets[t].body.set(x); }
+                txn timeline(t) { display Tweets[t].body.get(); }
+                txn userline(a, b) { display Users[a].friends.contains(b); }
+                txn deluser(a) { Users.delete_row(a); }
+            "#,
+            classify: |sig| {
+                if any(sig, &["unused"]) {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 7, e: 20, unfiltered: (0, 7, 0), filtered: (0, 1, 0) },
+        },
+    ]
+}

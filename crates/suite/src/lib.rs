@@ -1,0 +1,238 @@
+//! The evaluation suite of the paper (Section 9), remodelled in CCL.
+//!
+//! Table 1 evaluates 17 TouchDevelop applications and 11 Cassandra-backed
+//! open-source projects. The original sources are unavailable
+//! (TouchDevelop is discontinued; the GitHub projects are Java), so each
+//! benchmark is re-modelled as a CCL program exhibiting the transaction
+//! and data-access patterns the paper describes for it, with a
+//! ground-truth classification of every detectable violation into
+//! **harmful** (a real bug), **harmless** (a benign serializability
+//! violation) or **false alarm** (the program is serializable but the
+//! analysis cannot prove it).
+//!
+//! [`analyze`] runs the full C4 pipeline on a benchmark — front end,
+//! unfiltered analysis, and the Section 9.1 filtered analysis (display
+//! code dropped, atomic sets analyzed independently) — and classifies the
+//! found violations, producing one Table 1 row.
+
+mod cass;
+mod td;
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use c4::{filter, AnalysisFeatures, AnalysisStats, Checker};
+
+/// Which evaluation domain a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Cloud-backed mobile applications (TouchDevelop).
+    TouchDevelop,
+    /// Distributed-database clients (Cassandra).
+    Cassandra,
+}
+
+/// Ground-truth classification of a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Clearly harmful behavior (an actual bug).
+    Harmful,
+    /// A real but harmless serializability violation.
+    Harmless,
+    /// A false alarm: the program is serializable.
+    FalseAlarm,
+}
+
+/// One benchmark of the suite.
+pub struct Benchmark {
+    /// Benchmark name (matches the Table 1 row).
+    pub name: &'static str,
+    /// Domain.
+    pub domain: Domain,
+    /// CCL source.
+    pub source: &'static str,
+    /// Ground-truth classifier: violation signature (set of transaction
+    /// names) → class.
+    pub classify: fn(&BTreeSet<String>) -> Class,
+    /// The paper's Table 1 numbers for comparison:
+    /// `(T, E, (E,H,F) unfiltered, (E,H,F) filtered)`.
+    pub paper: PaperRow,
+}
+
+/// The published Table 1 row of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Abstract transactions.
+    pub t: usize,
+    /// Abstract events.
+    pub e: usize,
+    /// Unfiltered (errors, harmless, false alarms).
+    pub unfiltered: (usize, usize, usize),
+    /// Filtered (errors, harmless, false alarms).
+    pub filtered: (usize, usize, usize),
+}
+
+/// All benchmarks, TouchDevelop first (Table 1 order).
+pub fn benchmarks() -> Vec<Benchmark> {
+    let mut v = td::benchmarks();
+    v.extend(cass::benchmarks());
+    v
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// Violation counts by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Harmful violations (the paper's `E` column).
+    pub errors: usize,
+    /// Harmless violations (`H`).
+    pub harmless: usize,
+    /// False alarms (`F`).
+    pub false_alarms: usize,
+}
+
+impl Counts {
+    /// Total violations.
+    pub fn total(&self) -> usize {
+        self.errors + self.harmless + self.false_alarms
+    }
+}
+
+/// The outcome of analyzing one benchmark (one Table 1 row).
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Abstract transactions (`T`).
+    pub t: usize,
+    /// Abstract events (`E`).
+    pub e: usize,
+    /// Front-end time (parse + abstract interpretation).
+    pub fe_time: Duration,
+    /// Back-end time (both analysis runs).
+    pub be_time: Duration,
+    /// Unfiltered classified violations.
+    pub unfiltered: Vec<(BTreeSet<String>, Class)>,
+    /// Filtered classified violations.
+    pub filtered: Vec<(BTreeSet<String>, Class)>,
+    /// Whether both runs generalized to unboundedly many sessions.
+    pub generalized: bool,
+    /// Largest `k` used.
+    pub max_k: usize,
+    /// Merged analysis statistics.
+    pub stats: AnalysisStats,
+}
+
+impl BenchOutcome {
+    /// Counts for the unfiltered run.
+    pub fn unfiltered_counts(&self) -> Counts {
+        count(&self.unfiltered)
+    }
+
+    /// Counts for the filtered run.
+    pub fn filtered_counts(&self) -> Counts {
+        count(&self.filtered)
+    }
+}
+
+fn count(vs: &[(BTreeSet<String>, Class)]) -> Counts {
+    let mut c = Counts::default();
+    for (_, class) in vs {
+        match class {
+            Class::Harmful => c.errors += 1,
+            Class::Harmless => c.harmless += 1,
+            Class::FalseAlarm => c.false_alarms += 1,
+        }
+    }
+    c
+}
+
+/// Runs the full pipeline on a benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark source fails to parse or interpret (suite
+/// sources are fixed and tested).
+pub fn analyze(b: &Benchmark, features: &AnalysisFeatures) -> BenchOutcome {
+    let fe_start = Instant::now();
+    let program = c4_lang::parse(b.source).expect("suite sources parse");
+    let history = c4_lang::abstract_history(&program).expect("suite sources interpret");
+    let fe_time = fe_start.elapsed();
+
+    let be_start = Instant::now();
+    let mut stats = AnalysisStats::default();
+    // Unfiltered run: everything analyzed together.
+    let unfiltered_res = Checker::new(history.clone(), features.clone()).run();
+    stats.absorb(&unfiltered_res.stats);
+    let name_of = |i: usize| history.txs[i].name.clone();
+    let mut unfiltered: Vec<(BTreeSet<String>, Class)> = Vec::new();
+    for v in &unfiltered_res.violations {
+        let sig: BTreeSet<String> = v.txs.iter().map(|&i| name_of(i)).collect();
+        if !unfiltered.iter().any(|(s, _)| *s == sig) {
+            let class = (b.classify)(&sig);
+            unfiltered.push((sig, class));
+        }
+    }
+    // Filtered run: display code dropped, atomic sets independent.
+    let base = filter::drop_display(&history);
+    let mut filtered: Vec<(BTreeSet<String>, Class)> = Vec::new();
+    let mut generalized = unfiltered_res.generalized;
+    let mut max_k = unfiltered_res.max_k;
+    for view in filter::atomic_set_views(&base) {
+        let res = Checker::new(view, features.clone()).run();
+        stats.absorb(&res.stats);
+        generalized &= res.generalized;
+        max_k = max_k.max(res.max_k);
+        for v in &res.violations {
+            let sig: BTreeSet<String> = v.txs.iter().map(|&i| name_of(i)).collect();
+            if !filtered.iter().any(|(s, _)| *s == sig) {
+                let class = (b.classify)(&sig);
+                filtered.push((sig, class));
+            }
+        }
+    }
+    BenchOutcome {
+        name: b.name,
+        t: history.txs.len(),
+        e: history.event_count(),
+        fe_time,
+        be_time: be_start.elapsed(),
+        unfiltered,
+        filtered,
+        generalized,
+        max_k,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse_and_interpret() {
+        for b in benchmarks() {
+            let p = c4_lang::parse(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let h = c4_lang::abstract_history(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!h.txs.is_empty(), "{} has no transactions", b.name);
+            assert!(h.event_count() > 0, "{} has no events", b.name);
+        }
+    }
+
+    #[test]
+    fn registry_matches_table1() {
+        let bs = benchmarks();
+        assert_eq!(bs.len(), 28);
+        assert_eq!(bs.iter().filter(|b| b.domain == Domain::TouchDevelop).count(), 17);
+        assert_eq!(bs.iter().filter(|b| b.domain == Domain::Cassandra).count(), 11);
+        assert!(benchmark("Tetris").is_some());
+        assert!(benchmark("killrchat").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,413 @@
+//! The 17 TouchDevelop benchmarks of Table 1, remodelled in CCL.
+//!
+//! Each program reproduces the data-access patterns the paper attributes
+//! to the app: cloud-synced user data, display-only views (the
+//! display-code heuristic's target), read-check-write races, and
+//! fresh-row creation. The ground-truth classifiers encode the manual
+//! inspection verdicts.
+
+use std::collections::BTreeSet;
+
+use crate::{Benchmark, Class, Domain, PaperRow};
+
+fn any(sig: &BTreeSet<String>, names: &[&str]) -> bool {
+    names.iter().any(|n| sig.contains(*n))
+}
+
+/// The TouchDevelop benchmarks, in Table 1 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Cloud List",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { table Items { text: reg } counter Count; }
+                txn additem(t) {
+                    let r = Items.add_row();
+                    Items[r].text.set(t);
+                    Count.inc(1);
+                }
+                txn removeitem(r) { Items.delete_row(r); Count.inc(-1); }
+                txn viewitem(r) { display Items[r].text.get(); }
+                txn viewcount() { display Count.get(); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 4, e: 7, unfiltered: (0, 3, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Super Chat",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store {
+                    table Msgs { text: reg, author: reg }
+                    table Rooms { members: set }
+                }
+                txn postmsg(m, a, t) {
+                    Msgs[m].text.set(t);
+                    Msgs[m].author.set(a);
+                }
+                txn editmsg(m, t) {
+                    if (Msgs.contains(m)) { Msgs[m].text.set(t); }
+                }
+                txn deletemsg(m) { Msgs.delete_row(m); }
+                txn joinroom(r, u) { Rooms[r].members.add(u); }
+                txn leaveroom(r, u) {
+                    if (Rooms[r].members.contains(u)) { Rooms[r].members.remove(u); }
+                }
+                txn viewmsg(m) { display Msgs[m].text.get(); display Msgs[m].author.get(); }
+                txn viewauthor(m) { display Msgs[m].author.get(); }
+                txn viewroom(r, u) { display Rooms[r].members.contains(u); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 8, e: 28, unfiltered: (0, 7, 0), filtered: (0, 3, 0) },
+        },
+        Benchmark {
+            name: "Save Passwords",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { map Pwds; set Tags; }
+                txn save(k, v) { Pwds.put(k, v); }
+                txn remove(k) { Pwds.remove(k); }
+                txn exists(k) { Pwds.contains(k); }
+                txn load(k) { display Pwds.get(k); }
+                txn tag(t) { Tags.add(t); }
+                txn viewtags(t) { display Tags.contains(t); }
+                txn rename(k, v) {
+                    if (Pwds.contains(k)) { Pwds.put(k, v); }
+                }
+                // The audit view only ever reads keys from the archived
+                // namespace, which the app never writes concurrently — a
+                // false alarm the display-code filter removes.
+                txn audit(k) { display Pwds.get(k); display Pwds.contains(k); }
+            "#,
+            classify: |sig| {
+                if any(sig, &["audit"]) {
+                    Class::FalseAlarm
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 7, e: 13, unfiltered: (0, 11, 2), filtered: (0, 1, 0) },
+        },
+        Benchmark {
+            name: "EC2 Demo Chat",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { table Msgs { text: reg, author: reg } }
+                txn post(m, t, a) { Msgs[m].text.set(t); Msgs[m].author.set(a); }
+                txn view(m) { display Msgs[m].text.get(); display Msgs[m].author.get(); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 2, e: 4, unfiltered: (0, 1, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Contest Voting",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { counter Tally; set Voters; }
+                txn vote(u) { Voters.add(u); Tally.inc(1); }
+                txn results() { display Tally.get(); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 2, e: 3, unfiltered: (0, 1, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Chatter Box",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { map Box; map Inbox; }
+                // The app keeps user messages and system notes in disjoint
+                // key namespaces of the same column family; the analysis
+                // cannot see the convention, so sysnote races are false
+                // alarms.
+                txn sendmsg(k, t) { Box.put(k, t); }
+                txn sysnote(k, t) { Box.put(k, t); }
+                txn purge(k) { Box.remove(k); }
+                txn peeksent(k) { display Box.get(k); }
+                txn recvmsg(k, t) { Inbox.put(k, t); }
+                txn peekinbox(k) { display Inbox.get(k); }
+            "#,
+            classify: |sig| {
+                if any(sig, &["sysnote"]) {
+                    Class::FalseAlarm
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 5, e: 19, unfiltered: (0, 5, 4), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Tetris",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { register Best; register Lines; register Level; }
+                txn submitscore(s) {
+                    if (Best.get() < s) { Best.put(s); }
+                }
+                txn savelines(n) {
+                    let old = Lines.get();
+                    if (old < n) { Lines.put(n); }
+                }
+                txn savelevel(l) {
+                    if (Level.get() != l) { Level.put(l); }
+                }
+            "#,
+            classify: |_| Class::Harmful,
+            paper: PaperRow { t: 3, e: 12, unfiltered: (3, 0, 0), filtered: (3, 0, 0) },
+        },
+        Benchmark {
+            name: "NuvolaList 2",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { table Todos { text: reg, done: reg } counter Left; }
+                txn additem(t) {
+                    let r = Todos.add_row();
+                    Todos[r].text.set(t);
+                    Left.inc(1);
+                }
+                txn checkitem(r) { Todos[r].done.set(true); Left.inc(-1); }
+                txn viewitem(r) { display Todos[r].text.get(); display Todos[r].done.get(); }
+                txn viewleft() { display Left.get(); }
+                txn cleardone(r) {
+                    if (Todos[r].done.get() == true) { Todos.delete_row(r); }
+                }
+                atomicset { Todos }
+                atomicset { Left }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 5, e: 9, unfiltered: (0, 8, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "FieldGPS",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { table Points { tag: set } register TrackName; }
+                txn addpoint() { let r = Points.add_row(); }
+                txn tagpoint(r, t) { Points[r].tag.add(t); }
+                txn renametrack(n) { TrackName.put(n); }
+                txn resettrack() { TrackName.put(""); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 4, e: 5, unfiltered: (0, 0, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Instant Poll",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { map Yes; map No; }
+                local dev;
+                txn voteyes() { Yes.put(dev, 1); display No.get(dev); }
+                txn voteno()  { No.put(dev, 1); display Yes.get(dev); }
+                txn viewyes() { display Yes.get(dev); }
+                txn viewno()  { display No.get(dev); }
+                atomicset { Yes }
+                atomicset { No }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 4, e: 6, unfiltered: (0, 2, 0), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Expense Rec.",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { table Expenses { amount: reg, note: reg } counter Total; }
+                txn addexpense(a, n) {
+                    let r = Expenses.add_row();
+                    Expenses[r].amount.set(a);
+                    Expenses[r].note.set(n);
+                    Total.inc(1);
+                }
+                txn editnote(r, n) { Expenses[r].note.set(n); }
+                txn viewexpense(r) { display Expenses[r].amount.get(); }
+                txn viewtotal() { display Total.get(); }
+                // Budget check against a threshold kept in an app-constant
+                // slot the app never writes concurrently (false alarm).
+                txn checkbudget(x) { display Total.get(); }
+            "#,
+            classify: |sig| {
+                if any(sig, &["checkbudget"]) {
+                    Class::FalseAlarm
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 5, e: 9, unfiltered: (0, 1, 1), filtered: (0, 0, 0) },
+        },
+        Benchmark {
+            name: "Sky Locale",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store {
+                    table Trans { text: reg, author: reg, votes: set }
+                    map Names;
+                    counter Edits;
+                }
+                txn claimname(n, u) {
+                    // User-name uniqueness without synchronization: harmful.
+                    if (!Names.contains(n)) { Names.put(n, u); }
+                }
+                txn addtrans(k, t, a) {
+                    Trans[k].text.set(t);
+                    Trans[k].author.set(a);
+                    Edits.inc(1);
+                }
+                txn edittrans(k, t) {
+                    if (Trans.contains(k)) { Trans[k].text.set(t); Edits.inc(1); }
+                }
+                txn deltrans(k) { Trans.delete_row(k); }
+                txn votetrans(k, u) { Trans[k].votes.add(u); }
+                txn unvote(k, u) {
+                    if (Trans[k].votes.contains(u)) { Trans[k].votes.remove(u); }
+                }
+                txn viewtrans(k) { display Trans[k].text.get(); }
+                txn viewauthor(k) { display Trans[k].author.get(); }
+                txn viewvotes(k, u) { display Trans[k].votes.contains(u); }
+                txn viewedits() { display Edits.get(); }
+                txn viewname(n) { display Names.get(n); }
+                txn checkname(n) { Names.contains(n); }
+            "#,
+            classify: |sig| {
+                if sig.len() == 1 && sig.contains("claimname") {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 12, e: 32, unfiltered: (1, 34, 0), filtered: (1, 4, 0) },
+        },
+        Benchmark {
+            name: "Events",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { table Log { text: reg } register NextId; }
+                txn append(t) {
+                    // Sequence-number allocation: read-increment-write.
+                    let n = NextId.get();
+                    NextId.put(n);
+                    Log[n].text.set(t);
+                }
+                txn viewlog(n) { display Log[n].text.get(); }
+                txn clearlog(n) { Log.delete_row(n); }
+                txn viewnext() { display NextId.get(); }
+            "#,
+            classify: |sig| {
+                if sig.contains("append") && sig.len() == 1 {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 4, e: 29, unfiltered: (1, 1, 0), filtered: (1, 0, 0) },
+        },
+        Benchmark {
+            name: "Cloud Card",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store {
+                    table Cards { name: reg, phone: reg, mail: reg }
+                    map Handles;
+                    map Bio;
+                }
+                local me;
+                txn claimhandle(h, u) {
+                    if (!Handles.contains(h)) { Handles.put(h, u); }
+                }
+                txn setname(c, n) { Cards[c].name.set(n); }
+                txn setphone(c, p) { Cards[c].phone.set(p); }
+                txn setmail(c, m) { Cards[c].mail.set(m); }
+                txn delcard(c) { Cards.delete_row(c); }
+                txn viewcard(c) {
+                    display Cards[c].name.get();
+                    display Cards[c].phone.get();
+                    display Cards[c].mail.get();
+                }
+                txn viewhandle(h) { display Handles.get(h); }
+                txn hashandle(h) { Handles.contains(h); }
+                txn syncbio(v) { Bio.put(me, ""); Bio.put(me, v); }
+                txn readbio() { display Bio.get(me); }
+            "#,
+            classify: |sig| {
+                if sig.len() == 1 && sig.contains("claimhandle") {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 9, e: 25, unfiltered: (1, 5, 0), filtered: (1, 0, 0) },
+        },
+        Benchmark {
+            name: "Relatd",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store {
+                    table Users { flwrs: set, posts: set, bio: reg }
+                    map Handles;
+                    counter Active;
+                }
+                txn register(h, u) {
+                    if (!Handles.contains(h)) { Handles.put(h, u); Active.inc(1); }
+                }
+                txn follow(a, b) {
+                    if (Users.contains(a)) { Users[a].flwrs.add(b); }
+                }
+                txn unfollow(a, b) {
+                    if (Users[a].flwrs.contains(b)) { Users[a].flwrs.remove(b); }
+                }
+                txn post(u, p) { Users[u].posts.add(p); }
+                txn unpost(u, p) { Users[u].posts.remove(p); }
+                txn setbio(u, b) { Users[u].bio.set(b); }
+                txn delaccount(u) { Users.delete_row(u); Active.inc(-1); }
+                txn viewbio(u) { display Users[u].bio.get(); }
+                txn viewposts(u, p) { display Users[u].posts.contains(p); }
+                txn viewflwrs(u, b) { display Users[u].flwrs.contains(b); }
+                txn viewactive() { display Active.get(); }
+                txn viewhandle(h) { display Handles.get(h); }
+                txn hashandle(h) { display Handles.contains(h); }
+                txn isuser(u) { display Users.contains(u); }
+                atomicset { Users }
+                atomicset { Handles }
+                atomicset { Active }
+            "#,
+            classify: |sig| {
+                if sig.len() == 1 && sig.contains("register") {
+                    Class::Harmful
+                } else {
+                    Class::Harmless
+                }
+            },
+            paper: PaperRow { t: 14, e: 69, unfiltered: (1, 18, 0), filtered: (1, 3, 0) },
+        },
+        Benchmark {
+            name: "Color Line",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { register Board; register Score; register Turn; }
+                txn moveball(b) {
+                    let cur = Board.get();
+                    Board.put(b);
+                }
+                txn addscore(s) {
+                    if (Score.get() < s) { Score.put(s); }
+                }
+                txn endturn(t) {
+                    if (Turn.get() != t) { Turn.put(t); }
+                }
+            "#,
+            classify: |_| Class::Harmful,
+            paper: PaperRow { t: 3, e: 10, unfiltered: (3, 0, 0), filtered: (3, 0, 0) },
+        },
+        Benchmark {
+            name: "Unique Poll",
+            domain: Domain::TouchDevelop,
+            source: r#"
+                store { set Voted; counter Yes; }
+                txn voteonce(u) { Voted.add(u); Yes.inc(1); }
+                txn retract(u) { Voted.remove(u); Yes.inc(-1); }
+                txn viewresult() { display Yes.get(); }
+                txn hasvoted(u) { display Voted.contains(u); }
+            "#,
+            classify: |_| Class::Harmless,
+            paper: PaperRow { t: 4, e: 4, unfiltered: (0, 4, 0), filtered: (0, 0, 0) },
+        },
+    ]
+}

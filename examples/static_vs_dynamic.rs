@@ -1,0 +1,45 @@
+//! Static analysis vs. dynamic exploration on a benchmark with a
+//! hard-to-trigger bug (Section 9.5).
+//!
+//! Run with `cargo run --release -p c4-examples --bin static_vs_dynamic [runs]`.
+
+use c4::AnalysisFeatures;
+use c4_dynamic::{explore, ExploreConfig};
+
+fn main() {
+    let runs: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let bench = c4_suite::benchmark("Sky Locale").expect("suite benchmark");
+    println!("benchmark: {} ({} runs of dynamic exploration)\n", bench.name, runs);
+
+    // Static analysis.
+    let outcome = c4_suite::analyze(&bench, &AnalysisFeatures::default());
+    println!("static analysis (filtered): {} violations", outcome.filtered.len());
+    for (sig, class) in &outcome.filtered {
+        println!("  {{{}}} — {:?}", sig.iter().cloned().collect::<Vec<_>>().join(","), class);
+    }
+
+    // Dynamic exploration.
+    let program = c4_lang::parse(bench.source).expect("parse");
+    let report = explore(&program, &ExploreConfig { runs, ..ExploreConfig::default() });
+    println!(
+        "\ndynamic exploration: {} cyclic runs out of {}, {} distinct violations",
+        report.cyclic_runs, report.runs, report.violations.len()
+    );
+    for v in &report.violations {
+        println!("  {{{}}}", v.iter().cloned().collect::<Vec<_>>().join(","));
+    }
+
+    let missed: Vec<_> = outcome
+        .filtered
+        .iter()
+        .filter(|(sig, _)| !report.violations.iter().any(|d| sig.is_subset(d)))
+        .collect();
+    println!(
+        "\nstatically-found violations missed by dynamic exploration: {}",
+        missed.len()
+    );
+    for (sig, class) in missed {
+        println!("  {{{}}} — {:?}", sig.iter().cloned().collect::<Vec<_>>().join(","), class);
+    }
+}

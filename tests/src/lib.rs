@@ -1,0 +1,27 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use c4::{AnalysisFeatures, AnalysisResult, Checker};
+use c4_lang::ast::Program;
+
+/// Parses, interprets and checks a CCL source with the given features.
+///
+/// # Panics
+///
+/// Panics if the source fails to parse or interpret.
+pub fn check_source(source: &str, features: AnalysisFeatures) -> (Program, AnalysisResult) {
+    let program = c4_lang::parse(source).expect("parse");
+    let history = c4_lang::abstract_history(&program).expect("interp");
+    let result = Checker::new(history, features).run();
+    (program, result)
+}
+
+/// Violation signatures as transaction-name sets.
+pub fn signatures(source: &str, result: &AnalysisResult) -> Vec<Vec<String>> {
+    let program = c4_lang::parse(source).expect("parse");
+    let history = c4_lang::abstract_history(&program).expect("interp");
+    result
+        .violations
+        .iter()
+        .map(|v| v.txs.iter().map(|&i| history.txs[i].name.clone()).collect())
+        .collect()
+}

@@ -1,0 +1,94 @@
+//! The evaluation suite reproduces the paper's headline shape (Section
+//! 9.2): low false-alarm rate, no harmful violation filtered away, and
+//! generalization at k = 2 for every benchmark.
+
+use c4::AnalysisFeatures;
+use c4_suite::{benchmarks, Class};
+
+#[test]
+fn headline_results_hold() {
+    let features = AnalysisFeatures::default();
+    let mut unf_total = 0usize;
+    let mut unf_fa = 0usize;
+    let mut fil_total = 0usize;
+    let mut fil_harmful = 0usize;
+    let mut fil_fa = 0usize;
+    for b in benchmarks() {
+        let out = c4_suite::analyze(&b, &features);
+        assert!(out.generalized, "{} must generalize", b.name);
+        assert_eq!(out.max_k, 2, "{} must finish at k = 2", b.name);
+        // Kind-match against the published row: harmful iff the paper
+        // reports harmful; clean iff the paper reports clean.
+        let f = out.filtered_counts();
+        assert_eq!(
+            f.errors > 0,
+            b.paper.filtered.0 > 0,
+            "{}: harmful-kind mismatch with the paper (ours {:?}, paper {:?})",
+            b.name,
+            f,
+            b.paper.filtered
+        );
+        let u = out.unfiltered_counts();
+        assert_eq!(
+            u.total() == 0,
+            b.paper.unfiltered == (0, 0, 0),
+            "{}: clean-kind mismatch with the paper",
+            b.name
+        );
+        // No harmful violation may be filtered away.
+        for (sig, class) in &out.unfiltered {
+            if *class == Class::Harmful {
+                assert!(
+                    out.filtered.iter().any(|(s, _)| s == sig),
+                    "{}: harmful violation {sig:?} lost by filtering",
+                    b.name
+                );
+            }
+        }
+        let u = out.unfiltered_counts();
+        let f = out.filtered_counts();
+        unf_total += u.total();
+        unf_fa += u.false_alarms;
+        fil_total += f.total();
+        fil_harmful += f.errors;
+        fil_fa += f.false_alarms;
+        // Filtering never increases the violation count.
+        assert!(f.total() <= u.total(), "{}: filtering increased violations", b.name);
+    }
+    // Shape of Section 9.2 (paper: 7% / 10% false alarms, 43% harmful
+    // after filtering). Generous envelopes keep the test robust.
+    let unf_fa_rate = unf_fa as f64 / unf_total as f64;
+    assert!(unf_fa_rate < 0.20, "unfiltered FA rate too high: {unf_fa_rate}");
+    let fil_fa_rate = fil_fa as f64 / fil_total as f64;
+    assert!(fil_fa_rate < 0.25, "filtered FA rate too high: {fil_fa_rate}");
+    let harmful_rate = fil_harmful as f64 / fil_total as f64;
+    assert!(harmful_rate > 0.20, "harmful share after filtering too low: {harmful_rate}");
+    // Filtering reduces the triage load substantially.
+    assert!(fil_total * 2 <= unf_total + fil_total, "filtering must reduce violations");
+}
+
+#[test]
+fn lock_and_cart_are_clean() {
+    let features = AnalysisFeatures::default();
+    for name in ["cassandra-lock", "shopping-cart", "FieldGPS"] {
+        let b = c4_suite::benchmark(name).unwrap();
+        let out = c4_suite::analyze(&b, &features);
+        assert_eq!(out.unfiltered_counts().total(), 0, "{name} must be clean");
+    }
+}
+
+#[test]
+fn known_harmful_benchmarks() {
+    let features = AnalysisFeatures::default();
+    for (name, expected) in
+        [("Tetris", 3), ("Color Line", 3), ("dstax-queueing", 2), ("cassieq-core", 2)]
+    {
+        let b = c4_suite::benchmark(name).unwrap();
+        let out = c4_suite::analyze(&b, &features);
+        assert_eq!(
+            out.filtered_counts().errors,
+            expected,
+            "{name} harmful count"
+        );
+    }
+}
