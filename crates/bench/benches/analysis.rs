@@ -90,6 +90,19 @@ fn bench_full_check(c: &mut Criterion) {
     });
 }
 
+fn bench_thread_scaling(c: &mut Criterion) {
+    let h = suite_history("Super Chat");
+    let mut g = c.benchmark_group("algorithm1_threads/super_chat");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let features = AnalysisFeatures { parallelism: threads, ..AnalysisFeatures::default() };
+        g.bench_function(&format!("{threads}"), |b| {
+            b.iter(|| c4::Checker::new(h.clone(), features.clone()).run().violations.len())
+        });
+    }
+    g.finish();
+}
+
 fn bench_simulator(c: &mut Criterion) {
     c.bench_function("causal_sim/100_txns_3_replicas", |b| {
         b.iter(|| {
@@ -138,6 +151,7 @@ criterion_group!(
     bench_ssg,
     bench_smt_query,
     bench_full_check,
+    bench_thread_scaling,
     bench_simulator,
     bench_concrete_dsg
 );

@@ -2,18 +2,54 @@
 //! violation counts, unfiltered and filtered, plus the Section 9.2
 //! aggregate statistics.
 //!
-//! Usage: `table1 [benchmark-name …]` (all benchmarks by default).
+//! Usage: `table1 [--threads N] [--budget SECS] [--stats]
+//! [benchmark-name …]` (all benchmarks by default). `--threads` sets
+//! `AnalysisFeatures::parallelism` (0 = one worker per hardware thread);
+//! results are identical for every setting. `--budget` caps each
+//! analysis run's wall clock (deadline hits are reported in the
+//! aggregates); `--stats` prints per-benchmark analysis statistics.
+//! Exits nonzero if any run reports counter-example validation failures.
 
 use c4::AnalysisFeatures;
 use c4_bench::secs;
 use c4_suite::{benchmarks, Counts, Domain};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let features = AnalysisFeatures::default();
-    let selected: Vec<_> = benchmarks()
+    let mut threads: Option<usize> = None;
+    let mut budget: Option<u64> = None;
+    let mut stats = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args.next().expect("--threads needs a value");
+            threads = Some(v.parse().expect("--threads value must be an integer"));
+        } else if a == "--budget" {
+            let v = args.next().expect("--budget needs a value");
+            budget = Some(v.parse().expect("--budget value must be an integer (seconds)"));
+        } else if a == "--stats" {
+            stats = true;
+        } else {
+            names.push(a);
+        }
+    }
+    let mut features = AnalysisFeatures::default();
+    if let Some(t) = threads {
+        features.parallelism = t;
+    }
+    if let Some(b) = budget {
+        features.time_budget_secs = b;
+    }
+    let all = benchmarks();
+    for name in &names {
+        assert!(
+            all.iter().any(|b| b.name == name),
+            "unknown benchmark {name:?} (see `benchmarks()` for the Table 1 names)"
+        );
+    }
+    let selected: Vec<_> = all
         .into_iter()
-        .filter(|b| args.is_empty() || args.iter().any(|a| a == b.name))
+        .filter(|b| names.is_empty() || names.iter().any(|a| a == b.name))
         .collect();
 
     println!(
@@ -24,6 +60,9 @@ fn main() {
     let mut totals_fil = Counts::default();
     let mut all_generalized = true;
     let mut max_k = 0;
+    let mut validation_failures = 0usize;
+    let mut deadline_hits = 0usize;
+    let mut workers = 0usize;
     let mut last_domain = None;
     for b in &selected {
         if last_domain != Some(b.domain) {
@@ -45,6 +84,33 @@ fn main() {
         totals_fil.false_alarms += f.false_alarms;
         all_generalized &= out.generalized;
         max_k = out.max_k.max(max_k);
+        validation_failures += out.stats.validation_failures;
+        deadline_hits += out.stats.deadline_hit as usize;
+        workers = workers.max(out.stats.workers);
+        if stats {
+            let s = &out.stats;
+            println!(
+                "    unfoldings {} ({} suspicious), queries {} ({} sat, {} refuted, {} gen), \
+                 subsumed {}, speculative {}, prepruned {} (+{} fallbacks), \
+                 per-worker {:?}",
+                s.unfoldings,
+                s.suspicious_unfoldings,
+                s.smt_queries,
+                s.smt_sat,
+                s.smt_refuted,
+                s.generalization_queries,
+                s.subsumed_candidates,
+                s.speculative_smt_queries,
+                s.preprune_skips,
+                s.preprune_fallbacks,
+                s.per_worker_queries,
+            );
+            let t = &s.timings;
+            println!(
+                "    timings: unfold {:?}, ssg-filter {:?}, smt {:?}, validate {:?}, merge {:?}",
+                t.unfold, t.ssg_filter, t.smt, t.validate, t.merge
+            );
+        }
         println!(
             "{:<18} {:>3} {:>3}  {:>6} {:>6} {:>6}   {:>4}/{}/{}/{:<2}  {:>4}/{}/{}/{:<2}  {} {}",
             out.name,
@@ -94,4 +160,11 @@ fn main() {
         "  generalization: {} (max k = {max_k})",
         if all_generalized { "succeeded for every benchmark" } else { "bounded fallback on some benchmarks" },
     );
+    println!(
+        "  workers: {workers}, validation failures: {validation_failures}, deadline hits: {deadline_hits}"
+    );
+    if validation_failures > 0 {
+        eprintln!("error: {validation_failures} counter-example(s) failed concrete validation");
+        std::process::exit(1);
+    }
 }

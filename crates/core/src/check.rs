@@ -6,16 +6,47 @@
 //! `Check(H)` iterates `k = 2, 3, …` until the Section 7.2 generalization
 //! establishes that the found violations subsume all cycles on any number
 //! of sessions, or the `k` bound is reached.
+//!
+//! # Parallel driver
+//!
+//! Per-unfolding work — SC1 pre-filter, SSG construction, candidate-cycle
+//! enumeration, SMT solving, and counter-example validation — is
+//! independent across unfoldings except for the violation subsumption
+//! set. The driver therefore splits the bounded search into two phases:
+//!
+//! 1. **Parallel discovery.** A scoped worker pool pulls
+//!    `(unfolding_index, Unfolding)` items from a shared dispenser and
+//!    evaluates them against the shared read-only [`PairTables`] and
+//!    [`FarSpec`], emitting one [`WorkRecord`] per unfolding with the
+//!    per-candidate SMT verdicts. Workers consult a best-effort snapshot
+//!    of the merged subsumption set to skip already-covered candidates
+//!    early; the snapshot only ever prunes work, never changes output.
+//! 2. **Sequential merge.** The driver thread replays records in
+//!    ascending `unfolding_index`, applying exactly the sequential
+//!    subsumption logic (`subsumes`/`retain`). Because a candidate's SMT
+//!    verdict depends only on the unfolding and the candidate — not on
+//!    the violation set — the merged `AnalysisResult` is identical to the
+//!    sequential run's.
+//!
+//! The snapshot-prune is sound for the replay because subsumption is
+//! *monotone*: the merged set only ever replaces a violation by a
+//! transaction-subset of itself, so a candidate subsumed by any merged
+//! prefix stays subsumed at its own replay point. Cancellation is
+//! cooperative: a wall-clock [`Deadline`] is checked per unfolding and
+//! per SMT query by every worker and by the sequential path, so a single
+//! expensive round can no longer blow the budget unboundedly.
 
-use std::collections::BTreeSet;
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use c4_algebra::{FarSpec, RewriteSpec};
 
-use crate::abstract_history::{AbsArg, AbstractHistory};
+use crate::abstract_history::{AbsArg, AbsTx, AbstractHistory};
 use crate::counterexample::CounterExample;
 use crate::report::{AnalysisResult, AnalysisStats, Violation};
-use crate::ssg::{candidate_cycles_with, PairLookup, PairTables, Ssg, SsgLabel};
+use crate::ssg::{candidate_cycles_with, CandidateCycle, PairLookup, PairTables, Ssg, SsgLabel};
 use crate::unfold::{unfold_all, unfoldings, Unfolding, UnfoldingInstance};
 
 /// Feature toggles of the analysis (Section 9.3 ablations plus the
@@ -43,11 +74,18 @@ pub struct AnalysisFeatures {
     /// Largest number of sessions to try before giving the bounded answer.
     pub max_k: usize,
     /// Wall-clock budget in seconds; when exhausted the checker returns
-    /// the bounded result obtained so far.
+    /// the bounded result obtained so far (checked per unfolding and per
+    /// SMT query, so even a single `k` round is cancelled promptly).
     pub time_budget_secs: u64,
     /// Re-validate every counter-example against the concrete DSG
     /// machinery (defense against encoding bugs).
     pub validate_counterexamples: bool,
+    /// Worker threads for the bounded search: `0` = one per available
+    /// hardware thread, `1` = the exact legacy sequential path, `n > 1`
+    /// = a pool of `n` workers. Every setting produces the same
+    /// violations, `generalized` flag, `max_k` and counter-example
+    /// renderings (see the module docs for the determinism argument).
+    pub parallelism: usize,
 }
 
 impl Default for AnalysisFeatures {
@@ -63,8 +101,88 @@ impl Default for AnalysisFeatures {
             max_k: 4,
             time_budget_secs: 120,
             validate_counterexamples: true,
+            parallelism: 0,
         }
     }
+}
+
+/// Cooperative cancellation: a wall-clock budget shared by the driver
+/// and all workers. `expired` latches into an [`AtomicBool`] so that
+/// once any thread observes exhaustion, every subsequent check is a
+/// single relaxed load.
+#[derive(Debug)]
+struct Deadline {
+    start: Instant,
+    budget: Duration,
+    hit: AtomicBool,
+}
+
+impl Deadline {
+    fn new(budget_secs: u64) -> Self {
+        Deadline {
+            start: Instant::now(),
+            budget: Duration::from_secs(budget_secs),
+            hit: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the budget is exhausted (latches on first observation).
+    fn expired(&self) -> bool {
+        if self.hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.budget.is_zero() || self.start.elapsed() > self.budget {
+            self.hit.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether any thread ever observed exhaustion.
+    fn was_hit(&self) -> bool {
+        self.hit.load(Ordering::Relaxed)
+    }
+}
+
+/// Worker verdict for one candidate cycle.
+enum CandOutcome {
+    /// Skipped early: the best-effort subsumption snapshot covered it.
+    Pruned,
+    /// The SMT stage refuted the cycle.
+    Refuted,
+    /// The SMT stage found a model. `rendered` is the counter-example
+    /// rendering, `None` when validation was requested and failed.
+    Sat { rendered: Option<String> },
+}
+
+/// One candidate cycle's worker result, replayed by the merge.
+struct CandidateRecord {
+    txs: BTreeSet<usize>,
+    labels: Vec<SsgLabel>,
+    cand: CandidateCycle,
+    outcome: CandOutcome,
+}
+
+/// One unfolding's worker result.
+struct WorkRecord {
+    index: usize,
+    /// SC1 passed and at least one candidate cycle exists.
+    suspicious: bool,
+    /// The unfolding, kept for suspicious records so the merge can
+    /// re-solve a pre-pruned candidate if the replay ever needs it.
+    unfolding: Option<Unfolding>,
+    cands: Vec<CandidateRecord>,
+}
+
+/// Per-worker counters and stage clocks, folded into [`AnalysisStats`]
+/// after the pool drains.
+#[derive(Default)]
+struct WorkerLocal {
+    queries: usize,
+    preprune_skips: usize,
+    ssg_filter: Duration,
+    smt: Duration,
+    validate: Duration,
 }
 
 /// The Algorithm 1 driver.
@@ -97,26 +215,54 @@ impl Checker {
         &self.far
     }
 
+    /// The resolved worker count: `parallelism`, with `0` mapped to the
+    /// available hardware parallelism.
+    pub fn effective_parallelism(&self) -> usize {
+        match self.features.parallelism {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Runs the full check (Algorithm 1).
     pub fn run(&self) -> AnalysisResult {
-        let start = Instant::now();
-        let budget = std::time::Duration::from_secs(self.features.time_budget_secs);
+        let deadline = Deadline::new(self.features.time_budget_secs);
+        let workers = self.effective_parallelism();
         let mut result = AnalysisResult::default();
+        result.stats.workers = workers;
+        result.stats.per_worker_queries = vec![0; workers];
+        let t0 = Instant::now();
         let unfolded = unfold_all(&self.h);
         let tables = PairTables::compute(&unfolded, &self.far);
+        result.stats.timings.unfold += t0.elapsed();
         let mut k = 2usize;
         loop {
-            self.check_bounded(&unfolded, &tables, k, &mut result);
+            if workers <= 1 {
+                self.check_bounded(&unfolded, &tables, k, &deadline, &mut result);
+            } else {
+                self.check_bounded_parallel(&unfolded, &tables, k, workers, &deadline, &mut result);
+            }
             result.max_k = k;
-            if self.generalizes(&unfolded, &tables, k, &result.violations, &mut result.stats) {
+            if !deadline.expired()
+                && self.generalizes(
+                    &unfolded,
+                    &tables,
+                    k,
+                    &deadline,
+                    &result.violations,
+                    &mut result.stats,
+                )
+            {
                 result.generalized = true;
-                return result;
+                break;
             }
             k += 1;
-            if k > self.features.max_k || start.elapsed() > budget {
-                return result;
+            if k > self.features.max_k || deadline.expired() {
+                break;
             }
         }
+        result.stats.deadline_hit = deadline.was_hit();
+        result
     }
 
     /// Fast rejection: SC1 needs anti-dependency capability between the
@@ -143,21 +289,111 @@ impl Checker {
         anti >= 2 || (anti >= 1 && conflict >= 1)
     }
 
-    /// `CheckBounded`: finds all unsubsumed violations on `k` sessions.
-    fn check_bounded(
+    /// SC1 pre-filter + SSG + candidate enumeration for one unfolding.
+    fn filter_candidates(
         &self,
-        unfolded: &[crate::abstract_history::AbsTx],
+        u: &Unfolding,
         tables: &PairTables,
+        local: &mut WorkerLocal,
+    ) -> Vec<CandidateCycle> {
+        let t0 = Instant::now();
+        let cands = if self.sc1_possible(u, tables) {
+            let ssg = Ssg::of_unfolding_cached(u, tables);
+            candidate_cycles_with(u, &ssg, PairLookup::Cached(tables))
+        } else {
+            Vec::new()
+        };
+        local.ssg_filter += t0.elapsed();
+        cands
+    }
+
+    /// Solves one candidate cycle: SMT query plus counter-example
+    /// decoding, validation and rendering. Independent of the violation
+    /// set, hence safe to run on any worker in any order.
+    fn solve_candidate(
+        &self,
+        u: &Unfolding,
+        cand: &CandidateCycle,
+        local: &mut WorkerLocal,
+    ) -> CandOutcome {
+        let t0 = Instant::now();
+        let enc = crate::encode::CycleEncoder::new(u, &self.far, &self.features);
+        let model = enc.check(cand);
+        local.smt += t0.elapsed();
+        local.queries += 1;
+        match model {
+            None => CandOutcome::Refuted,
+            Some(model) => {
+                let t1 = Instant::now();
+                let ce = CounterExample::build(u, &model);
+                let rendered = if self.features.validate_counterexamples {
+                    match ce.validate(&self.far, cand, u, self.features.asymmetric) {
+                        Ok(()) => Some(ce.render_with_cycle(u, cand)),
+                        Err(_) => None,
+                    }
+                } else {
+                    Some(ce.render_with_cycle(u, cand))
+                };
+                local.validate += t1.elapsed();
+                CandOutcome::Sat { rendered }
+            }
+        }
+    }
+
+    /// Commits one candidate verdict to the result with the sequential
+    /// subsumption semantics. Shared between the legacy sequential path
+    /// and the parallel merge so both produce identical results.
+    fn commit_outcome(
+        &self,
+        txs: BTreeSet<usize>,
+        labels: Vec<SsgLabel>,
+        outcome: CandOutcome,
         k: usize,
         result: &mut AnalysisResult,
     ) {
-        for u in unfoldings(&self.h, unfolded, k) {
-            result.stats.unfoldings += 1;
-            if !self.sc1_possible(&u, tables) {
-                continue;
+        match outcome {
+            CandOutcome::Pruned => unreachable!("pruned candidates are re-solved before commit"),
+            CandOutcome::Refuted => result.stats.smt_refuted += 1,
+            CandOutcome::Sat { rendered } => {
+                result.stats.smt_sat += 1;
+                if rendered.is_none() && self.features.validate_counterexamples {
+                    result.stats.validation_failures += 1;
+                }
+                // Subsumption housekeeping: drop previously found
+                // violations strictly subsumed by this one? No —
+                // a *smaller* cycle subsumes a larger one, so keep
+                // the new one only; existing entries were not
+                // subsumed by it (checked above in reverse), but
+                // the new one might subsume older larger entries.
+                result.violations.retain(|v| !(txs.is_subset(&v.txs) && txs != v.txs));
+                result.violations.push(Violation {
+                    txs,
+                    labels,
+                    sessions: k,
+                    counterexample: rendered,
+                });
             }
-            let ssg = Ssg::of_unfolding_cached(&u, tables);
-            let cands = candidate_cycles_with(&u, &ssg, PairLookup::Cached(tables));
+        }
+    }
+
+    /// `CheckBounded`: finds all unsubsumed violations on `k` sessions —
+    /// the exact legacy sequential path (`parallelism = 1`), with
+    /// per-unfolding and per-query deadline checks.
+    fn check_bounded(
+        &self,
+        unfolded: &[AbsTx],
+        tables: &PairTables,
+        k: usize,
+        deadline: &Deadline,
+        result: &mut AnalysisResult,
+    ) {
+        let mut local = WorkerLocal::default();
+        for u in unfoldings(&self.h, unfolded, k) {
+            if deadline.expired() {
+                break;
+            }
+            result.stats.unfoldings += 1;
+            let cands = self.filter_candidates(&u, tables, &mut local);
             if cands.is_empty() {
                 continue;
             }
@@ -169,42 +405,206 @@ impl Checker {
                     result.stats.subsumed_candidates += 1;
                     continue;
                 }
+                if deadline.expired() {
+                    break;
+                }
                 result.stats.smt_queries += 1;
-                let enc = crate::encode::CycleEncoder::new(&u, &self.far, &self.features);
-                match enc.check(&cand) {
-                    None => result.stats.smt_refuted += 1,
-                    Some(model) => {
-                        result.stats.smt_sat += 1;
-                        let ce = CounterExample::build(&u, &model);
-                        let rendered = if self.features.validate_counterexamples {
-                            match ce.validate(&self.far, &cand, &u, self.features.asymmetric) {
-                                Ok(()) => Some(ce.render_with_cycle(&u, &cand)),
-                                Err(_) => {
-                                    result.stats.validation_failures += 1;
-                                    None
+                let labels = cand.steps.iter().map(|s| s.label).collect();
+                let outcome = self.solve_candidate(&u, &cand, &mut local);
+                self.commit_outcome(txs, labels, outcome, k, result);
+            }
+        }
+        result.stats.speculative_smt_queries += local.queries;
+        result.stats.preprune_skips += local.preprune_skips;
+        if let Some(q) = result.stats.per_worker_queries.get_mut(0) {
+            *q += local.queries;
+        }
+        result.stats.timings.ssg_filter += local.ssg_filter;
+        result.stats.timings.smt += local.smt;
+        result.stats.timings.validate += local.validate;
+    }
+
+    /// Worker body: evaluates one unfolding into a [`WorkRecord`].
+    fn process_unfolding(
+        &self,
+        index: usize,
+        u: Unfolding,
+        tables: &PairTables,
+        snapshot: &RwLock<Vec<BTreeSet<usize>>>,
+        deadline: &Deadline,
+        local: &mut WorkerLocal,
+    ) -> WorkRecord {
+        let found = self.filter_candidates(&u, tables, local);
+        if found.is_empty() {
+            return WorkRecord { index, suspicious: false, unfolding: None, cands: Vec::new() };
+        }
+        let mut cands = Vec::with_capacity(found.len());
+        for cand in found {
+            if deadline.expired() {
+                // Truncated record: the merge replays only what exists.
+                break;
+            }
+            let txs: BTreeSet<usize> =
+                cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+            let labels = cand.steps.iter().map(|s| s.label).collect();
+            let pruned = snapshot
+                .read()
+                .expect("subsumption snapshot lock")
+                .iter()
+                .any(|v| v.is_subset(&txs));
+            let outcome = if pruned {
+                local.preprune_skips += 1;
+                CandOutcome::Pruned
+            } else {
+                self.solve_candidate(&u, &cand, local)
+            };
+            cands.push(CandidateRecord { txs, labels, cand, outcome });
+        }
+        WorkRecord { index, suspicious: true, unfolding: Some(u), cands }
+    }
+
+    /// Merge phase: replays one record with the sequential semantics and
+    /// refreshes the shared subsumption snapshot.
+    fn merge_record(
+        &self,
+        rec: WorkRecord,
+        k: usize,
+        snapshot: &RwLock<Vec<BTreeSet<usize>>>,
+        result: &mut AnalysisResult,
+    ) {
+        result.stats.unfoldings += 1;
+        if !rec.suspicious {
+            return;
+        }
+        result.stats.suspicious_unfoldings += 1;
+        let u = rec.unfolding.expect("suspicious record carries its unfolding");
+        let mut pushed = false;
+        for c in rec.cands {
+            if result.violations.iter().any(|v| v.subsumes(&c.txs)) {
+                result.stats.subsumed_candidates += 1;
+                continue;
+            }
+            result.stats.smt_queries += 1;
+            let outcome = match c.outcome {
+                CandOutcome::Pruned => {
+                    // The worker's snapshot claimed subsumption but the
+                    // replay set does not — impossible while the snapshot
+                    // holds only merged violations (monotonicity), so this
+                    // is a self-check path; re-solve to stay exact.
+                    result.stats.preprune_fallbacks += 1;
+                    let mut local = WorkerLocal::default();
+                    let o = self.solve_candidate(&u, &c.cand, &mut local);
+                    result.stats.timings.smt += local.smt;
+                    result.stats.timings.validate += local.validate;
+                    o
+                }
+                o => o,
+            };
+            if matches!(outcome, CandOutcome::Sat { .. }) {
+                pushed = true;
+            }
+            self.commit_outcome(c.txs, c.labels, outcome, k, result);
+        }
+        if pushed {
+            *snapshot.write().expect("subsumption snapshot lock") =
+                result.violations.iter().map(|v| v.txs.clone()).collect();
+        }
+    }
+
+    /// `CheckBounded`, parallel flavor: work-stealing discovery over a
+    /// shared dispenser plus deterministic in-order merge on this thread.
+    fn check_bounded_parallel(
+        &self,
+        unfolded: &[AbsTx],
+        tables: &PairTables,
+        k: usize,
+        workers: usize,
+        deadline: &Deadline,
+        result: &mut AnalysisResult,
+    ) {
+        let snapshot: RwLock<Vec<BTreeSet<usize>>> =
+            RwLock::new(result.violations.iter().map(|v| v.txs.clone()).collect());
+        let dispenser = Mutex::new(unfoldings(&self.h, unfolded, k).enumerate());
+        // Bounded channel: backpressure keeps workers close to the merge
+        // frontier, so the subsumption snapshot stays fresh and little
+        // speculative SMT work is wasted on candidates the merge will
+        // skip as subsumed. The merge never blocks on a *specific* index
+        // (out-of-order records are stashed), so a full buffer cannot
+        // deadlock — workers just wait for the merge to drain.
+        let (record_tx, record_rx) = mpsc::sync_channel::<WorkRecord>(workers * 2);
+        // Unfoldings are cheap to reject individually, so workers claim
+        // them in small chunks to keep dispenser-lock traffic low without
+        // widening the in-flight window.
+        const CHUNK: usize = 4;
+        let locals: Vec<WorkerLocal> = std::thread::scope(|scope| {
+            let snapshot = &snapshot;
+            let dispenser = &dispenser;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let record_tx = record_tx.clone();
+                    scope.spawn(move || {
+                        let mut local = WorkerLocal::default();
+                        let mut chunk = Vec::with_capacity(CHUNK);
+                        'pull: loop {
+                            if deadline.expired() {
+                                break;
+                            }
+                            {
+                                let mut it = dispenser.lock().expect("dispenser lock");
+                                chunk.extend(it.by_ref().take(CHUNK));
+                            }
+                            if chunk.is_empty() {
+                                break;
+                            }
+                            for (index, u) in chunk.drain(..) {
+                                let rec = self.process_unfolding(
+                                    index, u, tables, snapshot, deadline, &mut local,
+                                );
+                                if record_tx.send(rec).is_err() {
+                                    break 'pull;
                                 }
                             }
-                        } else {
-                            Some(ce.render_with_cycle(&u, &cand))
-                        };
-                        // Subsumption housekeeping: drop previously found
-                        // violations strictly subsumed by this one? No —
-                        // a *smaller* cycle subsumes a larger one, so keep
-                        // the new one only; existing entries were not
-                        // subsumed by it (checked above in reverse), but
-                        // the new one might subsume older larger entries.
-                        result
-                            .violations
-                            .retain(|v| !(txs.is_subset(&v.txs) && txs != v.txs));
-                        result.violations.push(Violation {
-                            txs,
-                            labels: cand.steps.iter().map(|s| s.label).collect(),
-                            sessions: k,
-                            counterexample: rendered,
-                        });
-                    }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            drop(record_tx);
+            // Deterministic replay, concurrent with discovery: records
+            // merge strictly in ascending unfolding index, so the
+            // published snapshot is always a fully merged prefix.
+            let mut stash: BTreeMap<usize, WorkRecord> = BTreeMap::new();
+            let mut next_merge = 0usize;
+            let mut merge_clock = Duration::ZERO;
+            while let Ok(rec) = record_rx.recv() {
+                stash.insert(rec.index, rec);
+                while let Some(rec) = stash.remove(&next_merge) {
+                    let t0 = Instant::now();
+                    self.merge_record(rec, k, snapshot, result);
+                    merge_clock += t0.elapsed();
+                    next_merge += 1;
                 }
             }
+            // A deadline abort can leave index gaps; replay stragglers in
+            // ascending order (exactness is moot once the budget fired,
+            // but partial results must still be well-formed).
+            for (_, rec) in std::mem::take(&mut stash) {
+                let t0 = Instant::now();
+                self.merge_record(rec, k, snapshot, result);
+                merge_clock += t0.elapsed();
+            }
+            result.stats.timings.merge += merge_clock;
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        for (w, local) in locals.iter().enumerate() {
+            result.stats.speculative_smt_queries += local.queries;
+            result.stats.preprune_skips += local.preprune_skips;
+            if let Some(q) = result.stats.per_worker_queries.get_mut(w) {
+                *q += local.queries;
+            }
+            result.stats.timings.ssg_filter += local.ssg_filter;
+            result.stats.timings.smt += local.smt;
+            result.stats.timings.validate += local.validate;
         }
     }
 
@@ -223,9 +623,10 @@ impl Checker {
     /// paper); larger `k` falls back to the bounded guarantee.
     fn generalizes(
         &self,
-        unfolded: &[crate::abstract_history::AbsTx],
+        unfolded: &[AbsTx],
         tables: &PairTables,
         k: usize,
+        deadline: &Deadline,
         violations: &[Violation],
         stats: &mut AnalysisStats,
     ) -> bool {
@@ -244,6 +645,11 @@ impl Checker {
         };
         for t1 in 0..n_tx {
             for chain in &chains {
+                if deadline.expired() {
+                    // Cannot finish the proof within budget: fall back to
+                    // the bounded guarantee.
+                    return false;
+                }
                 let mids: Vec<usize> = match *chain {
                     crate::unfold::SessionChoice::Single(m) => vec![m],
                     crate::unfold::SessionChoice::Pair(a, b) => vec![a, b],
@@ -268,6 +674,9 @@ impl Checker {
                     txs.insert(t3);
                     if violations.iter().any(|v| v.subsumes(&txs)) {
                         continue;
+                    }
+                    if deadline.expired() {
+                        return false;
                     }
                     // Build the segment unfolding plus the mirror ghost.
                     let mut instances = vec![UnfoldingInstance {
@@ -301,13 +710,17 @@ impl Checker {
                     });
                     let u = Unfolding { instances, k: 3 };
                     stats.smt_queries += 1;
+                    stats.generalization_queries += 1;
+                    let t0 = Instant::now();
                     let mut enc =
                         crate::encode::CycleEncoder::new(&u, &self.far, &features);
                     enc.assert_some_dependency(0, 1);
                     enc.assert_step(m_last_idx, t3_idx, SsgLabel::Anti);
                     enc.assert_mirror(ghost_idx, m_last_idx);
                     enc.assert_no_anti_args(ghost_idx, t3_idx);
-                    if enc.solve().is_some() {
+                    let sat = enc.solve().is_some();
+                    stats.timings.smt += t0.elapsed();
+                    if sat {
                         // Some model of the segment admits no short-cut.
                         return false;
                     }
@@ -323,7 +736,7 @@ impl Checker {
 /// different sessions.
 fn any_dep_between(
     tables: &PairTables,
-    unfolded: &[crate::abstract_history::AbsTx],
+    unfolded: &[AbsTx],
     a: usize,
     b: usize,
 ) -> bool {
@@ -341,7 +754,7 @@ fn any_dep_between(
 
 /// Whether a transaction references session-local constants (and is thus
 /// pinned to its session).
-pub fn references_locals(tx: &crate::abstract_history::AbsTx) -> bool {
+pub fn references_locals(tx: &AbsTx) -> bool {
     let is_local = |a: &AbsArg| matches!(a, AbsArg::Local(_));
     tx.events.iter().any(|e| e.args.iter().any(is_local))
         || tx.edges.iter().any(|e| e.cond.iter().any(|c| is_local(&c.lhs) || is_local(&c.rhs)))
@@ -350,7 +763,7 @@ pub fn references_locals(tx: &crate::abstract_history::AbsTx) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::abstract_history::{ev, straight_line_tx, AbsEventSpec, AbsTx, Cond, EoEdge, Node, RelOp};
+    use crate::abstract_history::{ev, straight_line_tx, AbsEventSpec, Cond, EoEdge, Node, RelOp};
     use c4_store::op::OpKind;
     use c4_store::Value;
 
@@ -482,5 +895,42 @@ mod tests {
         assert!(references_locals(&tx));
         let tx2 = straight_line_tx("t2", vec![], vec![ev("M", OpKind::MapGet, vec![AbsArg::Wild])]);
         assert!(!references_locals(&tx2));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_on_figure1a() {
+        let h = figure1a(AbsArg::Wild, AbsArg::Wild);
+        let seq = Checker::new(
+            h.clone(),
+            AnalysisFeatures { parallelism: 1, ..AnalysisFeatures::default() },
+        )
+        .run();
+        let par = Checker::new(
+            h,
+            AnalysisFeatures { parallelism: 4, ..AnalysisFeatures::default() },
+        )
+        .run();
+        assert!(seq.same_verdict(&par));
+        assert_eq!(seq.stats.replay_counters(), par.stats.replay_counters());
+        assert_eq!(par.stats.workers, 4);
+        assert_eq!(par.stats.preprune_fallbacks, 0);
+    }
+
+    #[test]
+    fn zero_budget_returns_partial_result_quickly() {
+        for parallelism in [1usize, 4] {
+            let h = figure1a(AbsArg::Wild, AbsArg::Wild);
+            let features = AnalysisFeatures {
+                time_budget_secs: 0,
+                parallelism,
+                ..AnalysisFeatures::default()
+            };
+            let start = Instant::now();
+            let res = Checker::new(h, features).run();
+            assert!(start.elapsed() < Duration::from_secs(2));
+            assert!(res.stats.deadline_hit, "parallelism {parallelism} must flag the deadline");
+            assert!(!res.generalized, "an exhausted budget cannot prove generalization");
+            assert_eq!(res.max_k, 2, "partial results still report the k they attempted");
+        }
     }
 }

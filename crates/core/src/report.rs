@@ -1,11 +1,12 @@
 //! Violation reports and analysis statistics.
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 use crate::ssg::SsgLabel;
 
 /// A detected (potential) serializability violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// The set of original abstract transactions on the cycle.
     pub txs: BTreeSet<usize>,
@@ -28,7 +29,54 @@ impl Violation {
     }
 }
 
+/// Cumulative wall-clock time per analysis stage.
+///
+/// Sequential runs measure each stage inline, so the stage times sum to
+/// (roughly) the total wall-clock time. Parallel runs accumulate the
+/// per-worker time of the `ssg_filter` / `smt` / `validate` stages, so
+/// their sum is *CPU* time and can exceed the wall clock; `unfold` and
+/// `merge` always run on the driver thread and remain wall-clock times.
+/// Timings are inherently non-deterministic and excluded from the
+/// [`AnalysisResult::same_verdict`] comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Definition 4 unfolding of all transactions plus pair-table
+    /// precomputation (once per run, before the `k` loop).
+    pub unfold: Duration,
+    /// SC1 pre-filter, SSG construction, and candidate-cycle enumeration.
+    pub ssg_filter: Duration,
+    /// SMT encoding and solving (bounded search plus generalization).
+    pub smt: Duration,
+    /// Counter-example decoding, concrete validation, and rendering.
+    pub validate: Duration,
+    /// Deterministic in-order replay of worker records (parallel runs
+    /// only; zero on the exact sequential path).
+    pub merge: Duration,
+}
+
+impl StageTimings {
+    /// Accumulates another timing record into this one.
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.unfold += other.unfold;
+        self.ssg_filter += other.ssg_filter;
+        self.smt += other.smt;
+        self.validate += other.validate;
+        self.merge += other.merge;
+    }
+}
+
 /// Statistics of one analysis run.
+///
+/// **Determinism contract.** The counters through
+/// `generalization_queries` are *replay counters*: in parallel runs they
+/// are computed by the deterministic in-order merge with exactly the
+/// sequential semantics, so for any fixed history and feature set they
+/// are identical across `parallelism` settings (as long as no deadline
+/// fires). The fields from `speculative_smt_queries` on are
+/// *scheduling-dependent*: they describe how much work the workers
+/// actually performed, which varies with thread interleaving (a worker
+/// may speculatively solve a candidate that the merge later discards as
+/// subsumed, or skip one via a snapshot that arrived just in time).
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisStats {
     /// Unfoldings enumerated.
@@ -47,6 +95,33 @@ pub struct AnalysisStats {
     /// Counter-examples that failed concrete validation (should be zero;
     /// reported for diagnostics).
     pub validation_failures: usize,
+    /// SMT probes issued by the Section 7.2 generalization (these count
+    /// toward `smt_queries` but are neither `smt_sat` nor `smt_refuted`:
+    /// a probe's verdict is about short-cuttability, not feasibility).
+    pub generalization_queries: usize,
+    /// SMT queries the workers actually solved, including speculative
+    /// ones whose result the merge discarded as subsumed
+    /// (scheduling-dependent; `>= smt_sat + smt_refuted`).
+    pub speculative_smt_queries: usize,
+    /// Candidates a worker skipped early because the best-effort merged
+    /// subsumption snapshot already covered them (scheduling-dependent).
+    pub preprune_skips: usize,
+    /// Candidates the merge had to re-solve because a worker pre-pruned
+    /// them but the deterministic replay still needed their verdict.
+    /// Structurally impossible when the snapshot holds only merged
+    /// violations (subsumption is monotone); reported as a self-check.
+    pub preprune_fallbacks: usize,
+    /// Whether the wall-clock budget expired and the run returned a
+    /// partial (still well-formed) result.
+    pub deadline_hit: bool,
+    /// Worker threads used by the bounded search (1 on the exact
+    /// sequential path).
+    pub workers: usize,
+    /// SMT queries solved per worker, indexed by worker id
+    /// (scheduling-dependent; sums to `speculative_smt_queries`).
+    pub per_worker_queries: Vec<usize>,
+    /// Cumulative per-stage timings.
+    pub timings: StageTimings,
 }
 
 impl AnalysisStats {
@@ -59,6 +134,37 @@ impl AnalysisStats {
         self.smt_sat += other.smt_sat;
         self.smt_refuted += other.smt_refuted;
         self.validation_failures += other.validation_failures;
+        self.generalization_queries += other.generalization_queries;
+        self.speculative_smt_queries += other.speculative_smt_queries;
+        self.preprune_skips += other.preprune_skips;
+        self.preprune_fallbacks += other.preprune_fallbacks;
+        self.deadline_hit |= other.deadline_hit;
+        self.workers = self.workers.max(other.workers);
+        for (i, q) in other.per_worker_queries.iter().enumerate() {
+            if i < self.per_worker_queries.len() {
+                self.per_worker_queries[i] += q;
+            } else {
+                self.per_worker_queries.push(*q);
+            }
+        }
+        self.timings.absorb(&other.timings);
+    }
+
+    /// The replay counters, i.e. the scheduling-independent prefix of the
+    /// stats (everything workers may legitimately vary on is excluded).
+    /// Two runs of the same analysis at different `parallelism` settings
+    /// agree on this tuple whenever neither hit its deadline.
+    pub fn replay_counters(&self) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
+        (
+            self.unfoldings,
+            self.suspicious_unfoldings,
+            self.subsumed_candidates,
+            self.smt_queries,
+            self.smt_sat,
+            self.smt_refuted,
+            self.validation_failures,
+            self.generalization_queries,
+        )
     }
 }
 
@@ -81,6 +187,18 @@ impl AnalysisResult {
     /// generalization succeeded).
     pub fn serializable(&self) -> bool {
         self.violations.is_empty() && self.generalized
+    }
+
+    /// Whether two results report the same analysis verdict: identical
+    /// violations (transaction sets, labels, session counts, and rendered
+    /// counter-examples, in the same order), `generalized` flag and
+    /// `max_k`. Stats are excluded: timings are non-deterministic and the
+    /// scheduling-dependent counters legitimately differ across
+    /// `parallelism` settings (see [`AnalysisStats`]).
+    pub fn same_verdict(&self, other: &AnalysisResult) -> bool {
+        self.violations == other.violations
+            && self.generalized == other.generalized
+            && self.max_k == other.max_k
     }
 }
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI entry point: release build, full test suite, and a Table 1 smoke run
+# at 1 and N worker threads. Fails on any build/test failure, on panics,
+# and on nonzero counter-example validation failures (table1 exits
+# nonzero for those itself).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+# Smoke the parallel driver on a small Table 1 slice: once sequential,
+# once with N workers (N = hardware threads, min 4 so the pool machinery
+# is exercised even on small CI boxes).
+N="$(nproc 2>/dev/null || echo 4)"
+if [ "$N" -lt 4 ]; then N=4; fi
+SLICE=("Super Chat" "Sky Locale" "cassandra-lock")
+
+echo "==> table1 smoke, --threads 1"
+t1_start=$(date +%s)
+./target/release/table1 --threads 1 "${SLICE[@]}"
+t1_end=$(date +%s)
+
+echo "==> table1 smoke, --threads ${N}"
+tn_start=$(date +%s)
+./target/release/table1 --threads "$N" "${SLICE[@]}"
+tn_end=$(date +%s)
+
+t1=$((t1_end - t1_start))
+tn=$((tn_end - tn_start))
+echo "==> table1 slice wall time: ${t1}s at 1 thread, ${tn}s at ${N} threads"
+
+# The determinism suite guarantees identical results at any thread count;
+# speedup is only observable with real hardware parallelism, so the
+# scaling expectation is informational on single-core machines.
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -gt 1 ] && [ "$tn" -gt 0 ] && [ "$tn" -gt "$t1" ]; then
+    echo "warning: ${N}-thread run slower than sequential (${tn}s > ${t1}s)" >&2
+fi
+
+echo "==> ci.sh OK"

@@ -1,0 +1,78 @@
+//! Cooperative cancellation: a zero wall-clock budget must return a
+//! well-formed partial result promptly on both the sequential and the
+//! parallel path, even for the largest suite program. The deadline is
+//! checked per unfolding and per SMT query, so no single `k` round can
+//! overshoot the budget by more than one candidate's work.
+
+use std::time::{Duration, Instant};
+
+use c4::{AnalysisFeatures, Checker};
+use c4_suite::benchmarks;
+
+#[test]
+fn zero_budget_is_prompt_and_well_formed() {
+    // The largest program by the paper's own size columns (T × E).
+    let largest = benchmarks()
+        .into_iter()
+        .max_by_key(|b| b.paper.t * b.paper.e)
+        .expect("suite is non-empty");
+    let p = c4_lang::parse(largest.source).expect("parse");
+    let h = c4_lang::abstract_history(&p).expect("interp");
+    for parallelism in [1usize, 4] {
+        let features = AnalysisFeatures {
+            time_budget_secs: 0,
+            parallelism,
+            ..AnalysisFeatures::default()
+        };
+        let start = Instant::now();
+        let res = Checker::new(h.clone(), features).run();
+        let elapsed = start.elapsed();
+        // The pre-loop unfolding + pair-table setup is not budgeted;
+        // allow unoptimized builds more room for it.
+        let limit = Duration::from_secs(if cfg!(debug_assertions) { 10 } else { 2 });
+        assert!(
+            elapsed < limit,
+            "{} (parallelism {parallelism}): zero budget took {elapsed:?}",
+            largest.name
+        );
+        assert!(res.stats.deadline_hit, "the exhausted budget must be flagged");
+        assert!(!res.generalized, "an aborted run cannot claim the unbounded proof");
+        assert_eq!(res.max_k, 2, "partial results still report the k they attempted");
+        // Whatever was merged before the abort must be well-formed.
+        for v in &res.violations {
+            assert!(!v.txs.is_empty());
+            assert!(!v.labels.is_empty());
+            assert_eq!(v.sessions, 2);
+        }
+        assert!(res.stats.unfoldings >= res.stats.suspicious_unfoldings);
+    }
+}
+
+/// A budget generous enough for the first candidates but not the full
+/// run still yields a well-formed partial result (exercises mid-round
+/// cancellation rather than the immediate-bail path).
+#[test]
+fn partial_budget_yields_partial_but_consistent_results() {
+    let largest = benchmarks()
+        .into_iter()
+        .max_by_key(|b| b.paper.t * b.paper.e)
+        .expect("suite is non-empty");
+    let p = c4_lang::parse(largest.source).expect("parse");
+    let h = c4_lang::abstract_history(&p).expect("interp");
+    for parallelism in [1usize, 4] {
+        let features = AnalysisFeatures {
+            time_budget_secs: 1,
+            parallelism,
+            ..AnalysisFeatures::default()
+        };
+        let res = Checker::new(h.clone(), features).run();
+        // Whether or not the deadline fired on this machine, the result
+        // must be internally consistent.
+        let s = &res.stats;
+        assert!(s.suspicious_unfoldings <= s.unfoldings);
+        assert_eq!(s.smt_sat + s.smt_refuted, s.smt_queries - s.generalization_queries);
+        if !s.deadline_hit {
+            assert!(res.generalized, "{}: an unconstrained run generalizes", largest.name);
+        }
+    }
+}

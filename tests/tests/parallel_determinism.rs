@@ -1,0 +1,135 @@
+//! The parallel driver's determinism contract: for every program,
+//! `parallelism = 1` (the exact legacy sequential path) and
+//! `parallelism = 4` produce identical violations (transaction sets,
+//! labels, session counts, rendered counter-examples, in the same
+//! order), the same `generalized` flag and `max_k`, and identical
+//! replay counters.
+
+use c4::{AnalysisFeatures, Checker};
+use c4_suite::benchmarks;
+use proptest::prelude::*;
+
+fn features(parallelism: usize) -> AnalysisFeatures {
+    AnalysisFeatures { parallelism, ..AnalysisFeatures::default() }
+}
+
+/// Unoptimized builds pay roughly an order of magnitude per SMT query;
+/// keep the differential sweep representative but bounded there. Release
+/// builds (CI, `scripts/ci.sh` runs tests via the default profile; the
+/// recorded runs use `--release`) cover the full suite.
+fn selection() -> Vec<c4_suite::Benchmark> {
+    let mut bs = benchmarks();
+    if cfg!(debug_assertions) {
+        bs.retain(|b| b.paper.t * b.paper.e <= 60);
+    }
+    bs
+}
+
+/// Every suite program, full default feature set, 1 vs 4 workers.
+#[test]
+fn suite_programs_agree_across_parallelism() {
+    for b in selection() {
+        let p = c4_lang::parse(b.source).expect("parse");
+        let h = c4_lang::abstract_history(&p).expect("interp");
+        let seq = Checker::new(h.clone(), features(1)).run();
+        let par = Checker::new(h, features(4)).run();
+        assert!(
+            seq.same_verdict(&par),
+            "{}: parallel verdict diverged\nseq: {seq}\npar: {par}",
+            b.name
+        );
+        // `same_verdict` covers the rendered counter-examples via
+        // `Violation: PartialEq`; spell the label/rendering comparison out
+        // anyway so a future weakening of `same_verdict` fails loudly here.
+        for (vs, vp) in seq.violations.iter().zip(&par.violations) {
+            assert_eq!(vs.txs, vp.txs, "{}: transaction sets differ", b.name);
+            assert_eq!(vs.labels, vp.labels, "{}: cycle labels differ", b.name);
+            assert_eq!(vs.sessions, vp.sessions, "{}: session counts differ", b.name);
+            assert_eq!(
+                vs.counterexample, vp.counterexample,
+                "{}: counter-example renderings differ",
+                b.name
+            );
+        }
+        assert_eq!(
+            seq.stats.replay_counters(),
+            par.stats.replay_counters(),
+            "{}: replay counters diverged",
+            b.name
+        );
+        assert!(!seq.stats.deadline_hit && !par.stats.deadline_hit, "{}: budget fired", b.name);
+        assert_eq!(
+            par.stats.preprune_fallbacks, 0,
+            "{}: the merge should never need to re-solve a pre-pruned candidate",
+            b.name
+        );
+        assert_eq!(par.stats.workers, 4, "{}: worker count not recorded", b.name);
+    }
+}
+
+/// Random small abstract histories: 1–3 straight-line transactions over a
+/// shared map with randomly chosen key arguments and free session order.
+fn arb_history() -> impl Strategy<Value = c4::abstract_history::AbstractHistory> {
+    use c4::abstract_history::{ev, straight_line_tx, AbsArg, AbstractHistory};
+    use c4_store::op::OpKind;
+    use c4_store::Value;
+    let arb_key = prop_oneof![
+        Just(0u8), // Wild
+        Just(1u8), // Param(0)
+        Just(2u8), // session-local constant
+        Just(3u8), // literal constant
+    ];
+    let arb_ev = (arb_key, 0u8..4);
+    proptest::collection::vec(proptest::collection::vec(arb_ev, 1..=3), 1..=3).prop_map(
+        |txs| {
+            let mut h = AbstractHistory::new();
+            let local = h.local("u");
+            for (ti, events) in txs.into_iter().enumerate() {
+                let events = events
+                    .into_iter()
+                    .map(|(key, op)| {
+                        let key = match key {
+                            0 => AbsArg::Wild,
+                            1 => AbsArg::Param(0),
+                            2 => local.clone(),
+                            _ => AbsArg::Const(Value::int(7)),
+                        };
+                        match op {
+                            0 => ev("M", OpKind::MapPut, vec![key, AbsArg::Wild]),
+                            1 => ev("M", OpKind::MapGet, vec![key]),
+                            2 => ev("S", OpKind::SetAdd, vec![key]),
+                            _ => ev("S", OpKind::SetContains, vec![key]),
+                        }
+                    })
+                    .collect();
+                h.add_tx(straight_line_tx(format!("t{ti}"), vec!["p".into()], events));
+            }
+            h.free_session_order();
+            h
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 8 } else { 24 }))]
+
+    /// Differential check on random histories. A short feature set keeps
+    /// each case cheap; `max_k = 3` exercises the cross-round snapshot
+    /// carry-over in the parallel path.
+    #[test]
+    fn random_histories_agree_across_parallelism(h in arb_history()) {
+        let f = |parallelism| AnalysisFeatures {
+            max_k: 3,
+            parallelism,
+            ..AnalysisFeatures::default()
+        };
+        let seq = Checker::new(h.clone(), f(1)).run();
+        let par = Checker::new(h, f(4)).run();
+        prop_assert!(
+            seq.same_verdict(&par),
+            "parallel verdict diverged\nseq: {}\npar: {}", seq, par
+        );
+        prop_assert_eq!(seq.stats.replay_counters(), par.stats.replay_counters());
+        prop_assert_eq!(par.stats.preprune_fallbacks, 0);
+    }
+}
