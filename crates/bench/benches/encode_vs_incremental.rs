@@ -1,0 +1,44 @@
+//! Full-check wall-clock with `incremental_smt` on vs. off on the two
+//! suite benchmarks with the heaviest SMT stages (Relatd and Sky
+//! Locale — see EXPERIMENTS.md "Incremental SMT"). Both modes produce
+//! byte-identical results; the benchmark isolates the cost of rebuilding
+//! the structural encoding and a cold solver for every candidate query
+//! against solving under assumption literals in a per-unfolding session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::check::AnalysisFeatures;
+
+fn history(name: &str) -> c4::AbstractHistory {
+    let b = c4_suite::benchmark(name).expect("benchmark exists");
+    let p = c4_lang::parse(b.source).expect("parse");
+    c4_lang::abstract_history(&p).expect("interp")
+}
+
+fn bench_encode_vs_incremental(c: &mut Criterion) {
+    for name in ["Relatd", "Sky Locale"] {
+        let h = history(name);
+        let mut group = c.benchmark_group(format!("encode_vs_incremental/{name}"));
+        group.sample_size(10);
+        for (label, incremental_smt) in [("incremental", true), ("fresh_per_query", false)] {
+            let features = AnalysisFeatures {
+                incremental_smt,
+                parallelism: 1,
+                ..AnalysisFeatures::default()
+            };
+            group.bench_function(label, |bencher| {
+                bencher.iter(|| {
+                    c4::Checker::new(h.clone(), features.clone()).run().violations.len()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode_vs_incremental
+}
+criterion_main!(benches);

@@ -3,12 +3,14 @@
 //! aggregate statistics.
 //!
 //! Usage: `table1 [--threads N] [--budget SECS] [--stats]
-//! [benchmark-name …]` (all benchmarks by default). `--threads` sets
-//! `AnalysisFeatures::parallelism` (0 = one worker per hardware thread);
-//! results are identical for every setting. `--budget` caps each
-//! analysis run's wall clock (deadline hits are reported in the
-//! aggregates); `--stats` prints per-benchmark analysis statistics.
-//! Exits nonzero if any run reports counter-example validation failures.
+//! [--no-incremental] [benchmark-name …]` (all benchmarks by default).
+//! `--threads` sets `AnalysisFeatures::parallelism` (0 = one worker per
+//! hardware thread); results are identical for every setting. `--budget`
+//! caps each analysis run's wall clock (deadline hits are reported in
+//! the aggregates); `--stats` prints per-benchmark analysis statistics;
+//! `--no-incremental` falls back to the legacy fresh-encoder-per-query
+//! SMT path (results are identical, only timing differs). Exits nonzero
+//! if any run reports counter-example validation failures.
 
 use c4::AnalysisFeatures;
 use c4_bench::secs;
@@ -18,6 +20,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut budget: Option<u64> = None;
     let mut stats = false;
+    let mut incremental = true;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,6 +32,8 @@ fn main() {
             budget = Some(v.parse().expect("--budget value must be an integer (seconds)"));
         } else if a == "--stats" {
             stats = true;
+        } else if a == "--no-incremental" {
+            incremental = false;
         } else {
             names.push(a);
         }
@@ -40,6 +45,7 @@ fn main() {
     if let Some(b) = budget {
         features.time_budget_secs = b;
     }
+    features.incremental_smt = incremental;
     let all = benchmarks();
     for name in &names {
         assert!(
@@ -105,10 +111,15 @@ fn main() {
                 s.preprune_fallbacks,
                 s.per_worker_queries,
             );
+            println!(
+                "    incremental: {} assumption solves ({} sat re-solves), {} learnt clauses retained",
+                s.assumption_solves, s.sat_resolves, s.learnt_clauses,
+            );
             let t = &s.timings;
             println!(
-                "    timings: unfold {:?}, ssg-filter {:?}, smt {:?}, validate {:?}, merge {:?}",
-                t.unfold, t.ssg_filter, t.smt, t.validate, t.merge
+                "    timings: unfold {:?}, ssg-filter {:?}, smt {:?} (build {:?} + solve {:?}), \
+                 validate {:?}, merge {:?}",
+                t.unfold, t.ssg_filter, t.smt, t.encoder_build, t.query_solve, t.validate, t.merge
             );
         }
         println!(

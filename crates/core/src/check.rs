@@ -80,6 +80,15 @@ pub struct AnalysisFeatures {
     /// Re-validate every counter-example against the concrete DSG
     /// machinery (defense against encoding bugs).
     pub validate_counterexamples: bool,
+    /// Incremental SMT: one shared encoder per suspicious unfolding, with
+    /// candidate queries solved under assumption literals so learnt
+    /// clauses, the Tseitin table and theory blocking clauses carry over
+    /// between candidates. Off: the legacy fresh-encoder-per-candidate
+    /// path. Both modes produce byte-identical results (SAT verdicts are
+    /// re-solved on a fresh encoder for the canonical counter-example
+    /// model); the toggle exists for differential testing and
+    /// benchmarking.
+    pub incremental_smt: bool,
     /// Worker threads for the bounded search: `0` = one per available
     /// hardware thread, `1` = the exact legacy sequential path, `n > 1`
     /// = a pool of `n` workers. Every setting produces the same
@@ -101,6 +110,7 @@ impl Default for AnalysisFeatures {
             max_k: 4,
             time_budget_secs: 120,
             validate_counterexamples: true,
+            incremental_smt: true,
             parallelism: 0,
         }
     }
@@ -180,8 +190,13 @@ struct WorkRecord {
 struct WorkerLocal {
     queries: usize,
     preprune_skips: usize,
+    assumption_solves: usize,
+    sat_resolves: usize,
+    learnt_clauses: usize,
     ssg_filter: Duration,
     smt: Duration,
+    encoder_build: Duration,
+    query_solve: Duration,
     validate: Duration,
 }
 
@@ -310,15 +325,39 @@ impl Checker {
     /// Solves one candidate cycle: SMT query plus counter-example
     /// decoding, validation and rendering. Independent of the violation
     /// set, hence safe to run on any worker in any order.
+    ///
+    /// With a `shared` incremental encoder, the candidate is first decided
+    /// through the persistent session under an assumption literal; only a
+    /// SAT verdict falls through to a fresh encoder, which produces the
+    /// canonical counter-example model. The fresh path is authoritative:
+    /// its outcome is what gets committed, so both modes yield
+    /// byte-identical results.
     fn solve_candidate(
         &self,
         u: &Unfolding,
         cand: &CandidateCycle,
+        shared: Option<&mut crate::encode::CycleEncoder>,
         local: &mut WorkerLocal,
     ) -> CandOutcome {
+        if let Some(enc) = shared {
+            let t0 = Instant::now();
+            let sat = enc.check_shared(cand);
+            let dt = t0.elapsed();
+            local.smt += dt;
+            local.query_solve += dt;
+            local.queries += 1;
+            local.assumption_solves += 1;
+            if !sat {
+                return CandOutcome::Refuted;
+            }
+            local.sat_resolves += 1;
+        }
         let t0 = Instant::now();
         let enc = crate::encode::CycleEncoder::new(u, &self.far, &self.features);
+        local.encoder_build += t0.elapsed();
+        let t1 = Instant::now();
         let model = enc.check(cand);
+        local.query_solve += t1.elapsed();
         local.smt += t0.elapsed();
         local.queries += 1;
         match model {
@@ -398,6 +437,9 @@ impl Checker {
                 continue;
             }
             result.stats.suspicious_unfoldings += 1;
+            // One shared incremental encoder per suspicious unfolding,
+            // built lazily at the first candidate that actually solves.
+            let mut shared: Option<crate::encode::CycleEncoder> = None;
             for cand in cands {
                 let txs: BTreeSet<usize> =
                     cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
@@ -408,19 +450,35 @@ impl Checker {
                 if deadline.expired() {
                     break;
                 }
+                if self.features.incremental_smt && shared.is_none() {
+                    let t0 = Instant::now();
+                    shared =
+                        Some(crate::encode::CycleEncoder::new(&u, &self.far, &self.features));
+                    let dt = t0.elapsed();
+                    local.encoder_build += dt;
+                    local.smt += dt;
+                }
                 result.stats.smt_queries += 1;
                 let labels = cand.steps.iter().map(|s| s.label).collect();
-                let outcome = self.solve_candidate(&u, &cand, &mut local);
+                let outcome = self.solve_candidate(&u, &cand, shared.as_mut(), &mut local);
                 self.commit_outcome(txs, labels, outcome, k, result);
+            }
+            if let Some(enc) = &shared {
+                local.learnt_clauses += enc.session_stats().2;
             }
         }
         result.stats.speculative_smt_queries += local.queries;
         result.stats.preprune_skips += local.preprune_skips;
+        result.stats.assumption_solves += local.assumption_solves;
+        result.stats.sat_resolves += local.sat_resolves;
+        result.stats.learnt_clauses += local.learnt_clauses;
         if let Some(q) = result.stats.per_worker_queries.get_mut(0) {
             *q += local.queries;
         }
         result.stats.timings.ssg_filter += local.ssg_filter;
         result.stats.timings.smt += local.smt;
+        result.stats.timings.encoder_build += local.encoder_build;
+        result.stats.timings.query_solve += local.query_solve;
         result.stats.timings.validate += local.validate;
     }
 
@@ -439,6 +497,10 @@ impl Checker {
             return WorkRecord { index, suspicious: false, unfolding: None, cands: Vec::new() };
         }
         let mut cands = Vec::with_capacity(found.len());
+        // One shared incremental encoder per suspicious unfolding; the
+        // session is worker-private, so determinism of the merge is
+        // untouched.
+        let mut shared: Option<crate::encode::CycleEncoder> = None;
         for cand in found {
             if deadline.expired() {
                 // Truncated record: the merge replays only what exists.
@@ -456,10 +518,22 @@ impl Checker {
                 local.preprune_skips += 1;
                 CandOutcome::Pruned
             } else {
-                self.solve_candidate(&u, &cand, local)
+                if self.features.incremental_smt && shared.is_none() {
+                    let t0 = Instant::now();
+                    shared =
+                        Some(crate::encode::CycleEncoder::new(&u, &self.far, &self.features));
+                    let dt = t0.elapsed();
+                    local.encoder_build += dt;
+                    local.smt += dt;
+                }
+                self.solve_candidate(&u, &cand, shared.as_mut(), local)
             };
             cands.push(CandidateRecord { txs, labels, cand, outcome });
         }
+        if let Some(enc) = &shared {
+            local.learnt_clauses += enc.session_stats().2;
+        }
+        drop(shared);
         WorkRecord { index, suspicious: true, unfolding: Some(u), cands }
     }
 
@@ -490,10 +564,11 @@ impl Checker {
                     // The worker's snapshot claimed subsumption but the
                     // replay set does not — impossible while the snapshot
                     // holds only merged violations (monotonicity), so this
-                    // is a self-check path; re-solve to stay exact.
+                    // is a self-check path; re-solve (on the legacy fresh
+                    // path) to stay exact.
                     result.stats.preprune_fallbacks += 1;
                     let mut local = WorkerLocal::default();
-                    let o = self.solve_candidate(&u, &c.cand, &mut local);
+                    let o = self.solve_candidate(&u, &c.cand, None, &mut local);
                     result.stats.timings.smt += local.smt;
                     result.stats.timings.validate += local.validate;
                     o
@@ -599,11 +674,16 @@ impl Checker {
         for (w, local) in locals.iter().enumerate() {
             result.stats.speculative_smt_queries += local.queries;
             result.stats.preprune_skips += local.preprune_skips;
+            result.stats.assumption_solves += local.assumption_solves;
+            result.stats.sat_resolves += local.sat_resolves;
+            result.stats.learnt_clauses += local.learnt_clauses;
             if let Some(q) = result.stats.per_worker_queries.get_mut(w) {
                 *q += local.queries;
             }
             result.stats.timings.ssg_filter += local.ssg_filter;
             result.stats.timings.smt += local.smt;
+            result.stats.timings.encoder_build += local.encoder_build;
+            result.stats.timings.query_solve += local.query_solve;
             result.stats.timings.validate += local.validate;
         }
     }

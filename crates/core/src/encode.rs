@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use c4_algebra::{ArgTerm, FarSpec, Side, SpecFormula};
-use c4_smt::{Context, SatResult, Sort, TermId};
+use c4_smt::{Context, Incremental, SatResult, Sort, TermId};
 use c4_store::Value;
 
 use crate::abstract_history::{AbsArg, Cond, RelOp, TxPath};
@@ -64,6 +64,13 @@ pub struct CycleEncoder<'a> {
     vis_vars: HashMap<(usize, usize), TermId>,
     assertions: Vec<TermId>,
     eo_reach: Vec<Vec<Vec<bool>>>,
+    /// Incremental mode: a persistent solver session holding the shared
+    /// structural encoding; candidate step assertions are guarded behind
+    /// activation literals and solved under assumptions.
+    session: Option<Incremental>,
+    /// How many of `assertions` have been permanently asserted into the
+    /// session so far.
+    session_cursor: usize,
 }
 
 impl<'a> CycleEncoder<'a> {
@@ -91,6 +98,8 @@ impl<'a> CycleEncoder<'a> {
             vis_vars: HashMap::new(),
             assertions: Vec::new(),
             eo_reach: Vec::new(),
+            session: None,
+            session_cursor: 0,
         };
         enc.declare();
         enc.assert_paths();
@@ -139,8 +148,9 @@ impl<'a> CycleEncoder<'a> {
                 (0..l_count).map(|l| self.ctx.var(format!("s{s}_l{l}"), Sort::Int)).collect()
             })
             .collect();
+        let u = self.u;
         for i in 0..n {
-            let inst = self.u.instances[i].clone();
+            let inst = &u.instances[i];
             self.params.push(
                 (0..inst.tx.params.len())
                     .map(|p| self.ctx.var(format!("i{i}_p{p}"), Sort::Int))
@@ -166,7 +176,7 @@ impl<'a> CycleEncoder<'a> {
         let t = self.const_int(&Value::Bool(true));
         let f = self.const_int(&Value::Bool(false));
         for i in 0..n {
-            let events = self.u.instances[i].tx.events.clone();
+            let events = &u.instances[i].tx.events;
             for (e, ev) in events.iter().enumerate() {
                 if returns_bool(&ev.kind) {
                     let r = self.rets[i][e];
@@ -255,8 +265,9 @@ impl<'a> CycleEncoder<'a> {
 
     /// Control flow: path selection and guard conditions per instance.
     fn assert_paths(&mut self) {
-        for i in 0..self.u.instances.len() {
-            let tx = self.u.instances[i].tx.clone();
+        let u = self.u;
+        for i in 0..u.instances.len() {
+            let tx = &u.instances[i].tx;
             let paths: Vec<TxPath> = if self.features.control_flow {
                 tx.paths()
             } else {
@@ -400,13 +411,14 @@ impl<'a> CycleEncoder<'a> {
         let d = self.ctx.distinct(terms);
         self.assertions.push(d);
         // Access implies observed creation.
+        let u = self.u;
         for &(ci, ce, row) in &all_fresh {
-            let n = self.u.instances.len();
+            let n = u.instances.len();
             for j in 0..n {
                 if j == ci {
                     continue;
                 }
-                let tx = self.u.instances[j].tx.clone();
+                let tx = &u.instances[j].tx;
                 for (fe, ev) in tx.events.iter().enumerate() {
                     for (pos, arg) in ev.args.iter().enumerate() {
                         if matches!(arg, AbsArg::RowOf(_) | AbsArg::Const(_)) {
@@ -440,11 +452,12 @@ impl<'a> CycleEncoder<'a> {
     /// they never hide a real violation.
     fn assert_ret_justification(&mut self) {
         use c4_store::op::OpKind::*;
-        let n = self.u.instances.len();
+        let u = self.u;
+        let n = u.instances.len();
         let t_sent = self.const_int(&Value::Bool(true));
         let f_sent = self.const_int(&Value::Bool(false));
         for qi in 0..n {
-            let q_events = self.u.instances[qi].tx.events.clone();
+            let q_events = &u.instances[qi].tx.events;
             for (qe, qev) in q_events.iter().enumerate() {
                 if !returns_bool(&qev.kind) {
                     continue;
@@ -453,7 +466,7 @@ impl<'a> CycleEncoder<'a> {
                 let mut creators: Vec<TermId> = Vec::new();
                 let mut removal_exists = false;
                 for ci in 0..n {
-                    let c_events = self.u.instances[ci].tx.events.clone();
+                    let c_events = &u.instances[ci].tx.events;
                     for (ce, cev) in c_events.iter().enumerate() {
                         if cev.object != qev.object {
                             continue;
@@ -490,10 +503,10 @@ impl<'a> CycleEncoder<'a> {
                         }
                         let mut parts = vec![self.act[ci][ce]];
                         for (qp, cp) in pairs {
-                            let qa = qev.args[qp].clone();
-                            let ca = c_events[ce].args[cp].clone();
-                            let qt = self.arg_term(qi, qe, qp, &qa);
-                            let ct = self.arg_term(ci, ce, cp, &ca);
+                            let qa = &qev.args[qp];
+                            let ca = &c_events[ce].args[cp];
+                            let qt = self.arg_term(qi, qe, qp, qa);
+                            let ct = self.arg_term(ci, ce, cp, ca);
                             parts.push(self.ctx.eq(qt, ct));
                         }
                         if ci != qi {
@@ -552,8 +565,8 @@ impl<'a> CycleEncoder<'a> {
         match t {
             ArgTerm::Arg(side, pos) => {
                 let (inst, ev) = if *side == Side::Src { src } else { tgt };
-                let arg = self.u.instances[inst].tx.events[ev].args[*pos].clone();
-                self.arg_term(inst, ev, *pos, &arg)
+                let arg = &self.u.instances[inst].tx.events[ev].args[*pos];
+                self.arg_term(inst, ev, *pos, arg)
             }
             ArgTerm::Ret(side) => {
                 let (inst, ev) = if *side == Side::Src { src } else { tgt };
@@ -570,16 +583,17 @@ impl<'a> CycleEncoder<'a> {
     /// toggle (with the toggle off, only Kleene satisfiability is used —
     /// the SSG-level precision).
     fn not_com_term(&mut self, src: (usize, usize), tgt: (usize, usize)) -> TermId {
-        let se = self.u.instances[src.0].tx.events[src.1].clone();
-        let te = self.u.instances[tgt.0].tx.events[tgt.1].clone();
+        let u = self.u;
+        let se = &u.instances[src.0].tx.events[src.1];
+        let te = &u.instances[tgt.0].tx.events[tgt.1];
         let f = self.far.far_commutes(&se.sig(), &te.sig());
         if !self.features.commutativity {
             let ctx = PairCtx {
                 same_instance: src.0 == tgt.0,
-                same_session: self.u.instances[src.0].session == self.u.instances[tgt.0].session,
+                same_session: u.instances[src.0].session == u.instances[tgt.0].session,
                 same_event: src == tgt,
             };
-            return if tv_eval(&f, &se, &te, ctx) != Tv::True {
+            return if tv_eval(&f, se, te, ctx) != Tv::True {
                 self.ctx.tru()
             } else {
                 self.ctx.fls()
@@ -597,14 +611,15 @@ impl<'a> CycleEncoder<'a> {
             return self.ctx.tru();
         }
         let mut conj = Vec::new();
-        let n = self.u.instances.len();
+        let uf = self.u;
+        let n = uf.instances.len();
         for k in 0..n {
-            let tx = self.u.instances[k].tx.clone();
+            let tx = &uf.instances[k].tx;
             for (vi, vev) in tx.events.iter().enumerate() {
                 if !vev.kind.is_update() || (k, vi) == u || (k, vi) == q {
                     continue;
                 }
-                let u_ev = self.u.instances[u.0].tx.events[u.1].clone();
+                let u_ev = &uf.instances[u.0].tx.events[u.1];
                 let absf = self.far.far_absorbs(&u_ev.sig(), &vev.sig());
                 if absf.is_false() {
                     continue;
@@ -644,11 +659,12 @@ impl<'a> CycleEncoder<'a> {
         if label == SsgLabel::So {
             return if self.u.so(a, b) { self.ctx.tru() } else { self.ctx.fls() };
         }
-        let ea = self.u.instances[a].tx.events.clone();
-        let eb = self.u.instances[b].tx.events.clone();
+        let u = self.u;
+        let ea = &u.instances[a].tx.events;
+        let eb = &u.instances[b].tx.events;
         let ctx_pair = PairCtx {
             same_instance: false,
-            same_session: self.u.instances[a].session == self.u.instances[b].session,
+            same_session: u.instances[a].session == u.instances[b].session,
             same_event: false,
         };
         let mut disjuncts = Vec::new();
@@ -739,8 +755,8 @@ impl<'a> CycleEncoder<'a> {
     /// their parameter values (the ghost-copy instantiation of the
     /// short-cut check).
     pub fn assert_params_equal(&mut self, i: usize, j: usize) {
-        let (pi, pj) = (self.params[i].clone(), self.params[j].clone());
-        for (a, b) in pi.into_iter().zip(pj) {
+        for p in 0..self.params[i].len().min(self.params[j].len()) {
+            let (a, b) = (self.params[i][p], self.params[j][p]);
             let e = self.ctx.eq(a, b);
             self.assertions.push(e);
         }
@@ -775,7 +791,7 @@ impl<'a> CycleEncoder<'a> {
                 let eq = self.ctx.eq(fi, fj);
                 self.assertions.push(eq);
             }
-            let args = self.u.instances[i].tx.events[e].args.clone();
+            let args = &self.u.instances[i].tx.events[e].args;
             for (pos, arg) in args.iter().enumerate() {
                 if matches!(arg, AbsArg::Wild) {
                     let (wi, wj) =
@@ -786,7 +802,8 @@ impl<'a> CycleEncoder<'a> {
             }
         }
         // Same chosen path.
-        for (pi, pj) in self.path_vars[i].clone().into_iter().zip(self.path_vars[j].clone()) {
+        for p in 0..self.path_vars[i].len().min(self.path_vars[j].len()) {
+            let (pi, pj) = (self.path_vars[i][p], self.path_vars[j][p]);
             let iff = self.ctx.iff(pi, pj);
             self.assertions.push(iff);
         }
@@ -809,11 +826,12 @@ impl<'a> CycleEncoder<'a> {
     /// re-chooses visibility and arbitration, so only the argument
     /// constraints (non-commutativity, asymmetric exemption) are kept.
     pub fn assert_no_anti_args(&mut self, a: usize, b: usize) {
-        let ea = self.u.instances[a].tx.events.clone();
-        let eb = self.u.instances[b].tx.events.clone();
+        let u = self.u;
+        let ea = &u.instances[a].tx.events;
+        let eb = &u.instances[b].tx.events;
         let ctx_pair = PairCtx {
             same_instance: false,
-            same_session: self.u.instances[a].session == self.u.instances[b].session,
+            same_session: u.instances[a].session == u.instances[b].session,
             same_event: false,
         };
         let mut disjuncts = Vec::new();
@@ -863,6 +881,52 @@ impl<'a> CycleEncoder<'a> {
         self.solve()
     }
 
+    /// Checks a candidate cycle through the persistent incremental
+    /// session, returning only the SAT/UNSAT verdict.
+    ///
+    /// The shared structural encoding is asserted into the session once
+    /// (lazily, on first call); each candidate's step assertions are
+    /// guarded behind a fresh activation literal, solved under that single
+    /// assumption, and retired afterwards, so learnt clauses, the Tseitin
+    /// term table and theory blocking clauses all carry over to the next
+    /// candidate of the same unfolding. Callers that need a decoded
+    /// counter-example re-check with a fresh encoder via
+    /// [`CycleEncoder::check`] — the fresh path stays the canonical source
+    /// of models, which keeps analysis results byte-identical with the
+    /// legacy mode.
+    pub fn check_shared(&mut self, cand: &CandidateCycle) -> bool {
+        let m = cand.nodes.len();
+        let mut step_terms = Vec::with_capacity(m);
+        for (s, step) in cand.steps.iter().enumerate() {
+            let a = cand.nodes[s];
+            let b = cand.nodes[(s + 1) % m];
+            step_terms.push(self.step_term(a, b, step.label));
+        }
+        let session = self.session.get_or_insert_with(Incremental::new);
+        // Structural assertions added since the last call become permanent.
+        for &t in &self.assertions[self.session_cursor..] {
+            session.assert(&mut self.ctx, t);
+        }
+        self.session_cursor = self.assertions.len();
+        let g = session.activation();
+        for t in step_terms {
+            session.assert_under(&mut self.ctx, g, t);
+        }
+        let sat = session.check_sat_assuming(&mut self.ctx, &[g]);
+        session.retire(g);
+        sat
+    }
+
+    /// Incremental-session counters: `(assumption solves, theory blocking
+    /// clauses, retained learnt clauses)`. All zero before the first
+    /// [`CycleEncoder::check_shared`] call.
+    pub fn session_stats(&self) -> (u64, u64, usize) {
+        match &self.session {
+            Some(s) => (s.solves(), s.blocking_clauses(), s.learnt_count()),
+            None => (0, 0, 0),
+        }
+    }
+
     fn decode(&mut self, model: &c4_smt::Model) -> CycleModel {
         let n = self.u.instances.len();
         let mut paths = Vec::with_capacity(n);
@@ -900,12 +964,13 @@ impl<'a> CycleEncoder<'a> {
             }
             Value::Int(v)
         };
+        let u = self.u;
         for i in 0..n {
-            let tx_events = self.u.instances[i].tx.events.clone();
+            let tx_events = &u.instances[i].tx.events;
             let path = paths[i].clone();
             for &e in &path {
                 let e = e as usize;
-                for (pos, arg) in tx_events[e].args.clone().iter().enumerate() {
+                for (pos, arg) in tx_events[e].args.iter().enumerate() {
                     let term = self.arg_term(i, e, pos, arg);
                     let v = model.int_value(term).map(&decode_int).unwrap_or_else(|| match arg {
                         AbsArg::Const(c) => c.clone(),

@@ -52,6 +52,13 @@ pub struct StageTimings {
     /// Deterministic in-order replay of worker records (parallel runs
     /// only; zero on the exact sequential path).
     pub merge: Duration,
+    /// Constructing `CycleEncoder`s — symbol declarations plus structural
+    /// axiom assertion (a sub-span of `smt`; with `incremental_smt` this
+    /// is paid once per suspicious unfolding instead of once per query).
+    pub encoder_build: Duration,
+    /// Solving candidate queries against an already-built encoder — the
+    /// per-candidate marginal cost (a sub-span of `smt`).
+    pub query_solve: Duration,
 }
 
 impl StageTimings {
@@ -62,6 +69,8 @@ impl StageTimings {
         self.smt += other.smt;
         self.validate += other.validate;
         self.merge += other.merge;
+        self.encoder_build += other.encoder_build;
+        self.query_solve += other.query_solve;
     }
 }
 
@@ -111,6 +120,20 @@ pub struct AnalysisStats {
     /// Structurally impossible when the snapshot holds only merged
     /// violations (subsumption is monotone); reported as a self-check.
     pub preprune_fallbacks: usize,
+    /// Bounded-search queries answered through a shared incremental
+    /// encoder session under an assumption literal (scheduling-dependent:
+    /// like `speculative_smt_queries`, this counts work actually
+    /// performed by workers; zero with `incremental_smt` off).
+    pub assumption_solves: usize,
+    /// Incremental-SAT verdicts re-solved with a fresh encoder for the
+    /// canonical counter-example model (scheduling-dependent; a subset of
+    /// `assumption_solves`).
+    pub sat_resolves: usize,
+    /// Learnt clauses retained in incremental sessions, summed over the
+    /// per-unfolding encoders at their retirement (scheduling-dependent;
+    /// after learnt-database reduction, so a bounded measure of solver
+    /// state carried between queries).
+    pub learnt_clauses: usize,
     /// Whether the wall-clock budget expired and the run returned a
     /// partial (still well-formed) result.
     pub deadline_hit: bool,
@@ -138,6 +161,9 @@ impl AnalysisStats {
         self.speculative_smt_queries += other.speculative_smt_queries;
         self.preprune_skips += other.preprune_skips;
         self.preprune_fallbacks += other.preprune_fallbacks;
+        self.assumption_solves += other.assumption_solves;
+        self.sat_resolves += other.sat_resolves;
+        self.learnt_clauses += other.learnt_clauses;
         self.deadline_hit |= other.deadline_hit;
         self.workers = self.workers.max(other.workers);
         for (i, q) in other.per_worker_queries.iter().enumerate() {

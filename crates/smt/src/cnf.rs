@@ -1,133 +1,125 @@
 //! Tseitin transformation: boolean term DAG → CNF, with an atom map for
 //! the lazy theory layer.
+//!
+//! The worker type, [`Tseitin`], is a *persistent* term→literal cache: it
+//! does not borrow the term context, so an incremental session can keep
+//! it alive across solve calls and only pay for subterms it has never
+//! encoded before. Definition clauses are full equivalences, hence valid
+//! independent of which assertions are currently active — they never need
+//! to be guarded or retracted.
 
 use std::collections::HashMap;
 
 use crate::sat::{Cnf, Lit, Var};
 use crate::term::{Context, Sort, TermData, TermId};
 
-/// The result of encoding a set of assertions.
-#[derive(Debug)]
-pub struct Encoded {
-    /// The CNF to hand to the SAT core.
-    pub cnf: Cnf,
-    /// Boolean term → its SAT literal (every boolean subterm appears).
-    pub lit_of_term: HashMap<TermId, Lit>,
-    /// Theory atoms (`Eq`, `Le`, `Lt`) and their SAT variables.
-    pub atoms: Vec<(TermId, Var)>,
-}
-
-/// Encodes the conjunction of `assertions`.
-///
-/// # Panics
-///
-/// Panics if an assertion is not of boolean sort, or contains a construct
-/// the preprocessor should have removed (see `solver::preprocess`).
-pub fn encode(ctx: &Context, assertions: &[TermId]) -> Encoded {
-    let mut enc = Encoder {
-        ctx,
-        cnf: Cnf::new(),
-        map: HashMap::new(),
-        atoms: Vec::new(),
-        const_true: None,
-    };
-    for &a in assertions {
-        assert_eq!(ctx.sort(a), Sort::Bool, "assertions must be boolean");
-        let l = enc.lit(a);
-        enc.cnf.add([l]);
-    }
-    Encoded { cnf: enc.cnf, lit_of_term: enc.map, atoms: enc.atoms }
-}
-
-struct Encoder<'a> {
-    ctx: &'a Context,
-    cnf: Cnf,
+/// Persistent Tseitin state: term → literal cache, collected theory
+/// atoms, and the reserved "true" literal. Fresh variables and definition
+/// clauses are emitted into the `Cnf` passed to [`Tseitin::lit`]; an
+/// incremental caller seeds that `Cnf`'s `n_vars` with the solver's
+/// current variable count so numbering stays aligned.
+#[derive(Debug, Default)]
+pub(crate) struct Tseitin {
     map: HashMap<TermId, Lit>,
     atoms: Vec<(TermId, Var)>,
     const_true: Option<Lit>,
 }
 
-impl Encoder<'_> {
-    fn true_lit(&mut self) -> Lit {
+impl Tseitin {
+    pub fn new() -> Self {
+        Tseitin::default()
+    }
+
+    /// The theory atoms encoded so far, in first-encounter order.
+    pub fn atoms(&self) -> &[(TermId, Var)] {
+        &self.atoms
+    }
+
+    /// The term → literal cache.
+    pub fn map(&self) -> &HashMap<TermId, Lit> {
+        &self.map
+    }
+
+    fn true_lit(&mut self, cnf: &mut Cnf) -> Lit {
         if let Some(l) = self.const_true {
             return l;
         }
-        let v = self.cnf.fresh();
-        self.cnf.add([v.positive()]);
+        let v = cnf.fresh();
+        cnf.add([v.positive()]);
         self.const_true = Some(v.positive());
         v.positive()
     }
 
-    fn lit(&mut self, t: TermId) -> Lit {
+    /// The literal of boolean term `t`, encoding it (and any not-yet-seen
+    /// subterms) into `cnf` on first encounter.
+    pub fn lit(&mut self, ctx: &Context, t: TermId, cnf: &mut Cnf) -> Lit {
         if let Some(&l) = self.map.get(&t) {
             return l;
         }
-        let l = match self.ctx.data(t) {
-            TermData::BoolConst(true) => self.true_lit(),
-            TermData::BoolConst(false) => self.true_lit().negate(),
-            TermData::Var(_) if self.ctx.sort(t) == Sort::Bool => {
-                self.cnf.fresh().positive()
-            }
+        let l = match ctx.data(t) {
+            TermData::BoolConst(true) => self.true_lit(cnf),
+            TermData::BoolConst(false) => self.true_lit(cnf).negate(),
+            TermData::Var(_) if ctx.sort(t) == Sort::Bool => cnf.fresh().positive(),
             TermData::Eq(_, _) | TermData::Le(_, _) | TermData::Lt(_, _) => {
-                let v = self.cnf.fresh();
+                let v = cnf.fresh();
                 self.atoms.push((t, v));
                 v.positive()
             }
             TermData::Not(a) => {
                 let a = *a;
-                self.lit(a).negate()
+                self.lit(ctx, a, cnf).negate()
             }
             TermData::And(xs) => {
                 let xs = xs.clone();
-                let lits: Vec<Lit> = xs.iter().map(|&x| self.lit(x)).collect();
-                let v = self.cnf.fresh().positive();
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.lit(ctx, x, cnf)).collect();
+                let v = cnf.fresh().positive();
                 for &x in &lits {
-                    self.cnf.add([v.negate(), x]);
+                    cnf.add([v.negate(), x]);
                 }
                 let mut big: Vec<Lit> = lits.iter().map(|x| x.negate()).collect();
                 big.push(v);
-                self.cnf.add(big);
+                cnf.add(big);
                 v
             }
             TermData::Or(xs) => {
                 let xs = xs.clone();
-                let lits: Vec<Lit> = xs.iter().map(|&x| self.lit(x)).collect();
-                let v = self.cnf.fresh().positive();
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.lit(ctx, x, cnf)).collect();
+                let v = cnf.fresh().positive();
                 for &x in &lits {
-                    self.cnf.add([v, x.negate()]);
+                    cnf.add([v, x.negate()]);
                 }
                 let mut big: Vec<Lit> = lits.clone();
                 big.push(v.negate());
-                self.cnf.add(big);
+                cnf.add(big);
                 v
             }
             TermData::Implies(a, b) => {
                 let (a, b) = (*a, *b);
-                let la = self.lit(a);
-                let lb = self.lit(b);
-                let v = self.cnf.fresh().positive();
+                let la = self.lit(ctx, a, cnf);
+                let lb = self.lit(ctx, b, cnf);
+                let v = cnf.fresh().positive();
                 // v ↔ (¬a ∨ b)
-                self.cnf.add([v.negate(), la.negate(), lb]);
-                self.cnf.add([v, la]);
-                self.cnf.add([v, lb.negate()]);
+                cnf.add([v.negate(), la.negate(), lb]);
+                cnf.add([v, la]);
+                cnf.add([v, lb.negate()]);
                 v
             }
             TermData::Iff(a, b) => {
                 let (a, b) = (*a, *b);
-                let la = self.lit(a);
-                let lb = self.lit(b);
-                let v = self.cnf.fresh().positive();
-                self.cnf.add([v.negate(), la.negate(), lb]);
-                self.cnf.add([v.negate(), la, lb.negate()]);
-                self.cnf.add([v, la, lb]);
-                self.cnf.add([v, la.negate(), lb.negate()]);
+                let la = self.lit(ctx, a, cnf);
+                let lb = self.lit(ctx, b, cnf);
+                let v = cnf.fresh().positive();
+                cnf.add([v.negate(), la.negate(), lb]);
+                cnf.add([v.negate(), la, lb.negate()]);
+                cnf.add([v, la, lb]);
+                cnf.add([v, la.negate(), lb.negate()]);
                 v
             }
             TermData::Distinct(_) => {
                 panic!("distinct must be expanded by preprocessing")
             }
             TermData::Var(_) | TermData::App(_, _) | TermData::IntConst(_) => {
-                panic!("non-boolean term in boolean position: {}", self.ctx.display(t))
+                panic!("non-boolean term in boolean position: {}", ctx.display(t))
             }
         };
         self.map.insert(t, l);
@@ -141,8 +133,13 @@ mod tests {
     use crate::sat::{SatOutcome, SatSolver};
 
     fn solve_terms(ctx: &Context, assertions: &[TermId]) -> SatOutcome {
-        let enc = encode(ctx, assertions);
-        SatSolver::from_cnf(&enc.cnf).solve()
+        let mut ts = Tseitin::new();
+        let mut cnf = Cnf::new();
+        for &a in assertions {
+            let l = ts.lit(ctx, a, &mut cnf);
+            cnf.add([l]);
+        }
+        SatSolver::from_cnf(&cnf).solve()
     }
 
     #[test]
@@ -172,9 +169,11 @@ mod tests {
         let e = ctx.eq(x, y);
         let a = ctx.var("a", Sort::Bool);
         let f = ctx.or([e, a]);
-        let enc = encode(&ctx, &[f]);
-        assert_eq!(enc.atoms.len(), 1);
-        assert_eq!(enc.atoms[0].0, e);
+        let mut ts = Tseitin::new();
+        let mut cnf = Cnf::new();
+        ts.lit(&ctx, f, &mut cnf);
+        assert_eq!(ts.atoms().len(), 1);
+        assert_eq!(ts.atoms()[0].0, e);
     }
 
     #[test]
@@ -184,5 +183,29 @@ mod tests {
         let f = ctx.fls();
         assert!(matches!(solve_terms(&ctx, &[t]), SatOutcome::Sat(_)));
         assert!(matches!(solve_terms(&ctx, &[f]), SatOutcome::Unsat));
+    }
+
+    #[test]
+    fn persistent_cache_encodes_each_subterm_once() {
+        let mut ctx = Context::new();
+        let a = ctx.var("a", Sort::Bool);
+        let b = ctx.var("b", Sort::Bool);
+        let ab = ctx.and([a, b]);
+        let mut ts = Tseitin::new();
+        let mut cnf = Cnf::new();
+        let l1 = ts.lit(&ctx, ab, &mut cnf);
+        let clauses_after_first = cnf.clauses.len();
+        let vars_after_first = cnf.n_vars;
+        // Re-encoding the same term (or a superterm sharing it) adds no
+        // definition clauses for the cached part.
+        let l2 = ts.lit(&ctx, ab, &mut cnf);
+        assert_eq!(l1, l2);
+        assert_eq!(cnf.clauses.len(), clauses_after_first);
+        assert_eq!(cnf.n_vars, vars_after_first);
+        let nab = ctx.not(ab);
+        let or = ctx.or([nab, a]);
+        ts.lit(&ctx, or, &mut cnf);
+        // Only the Or node is new: one fresh var, three clauses (2 + big).
+        assert_eq!(cnf.n_vars, vars_after_first + 1);
     }
 }

@@ -50,6 +50,6 @@ mod solver;
 mod term;
 mod theory;
 
-pub use sat::{Cnf, Lit, SatOutcome, SatSolver, Var};
-pub use solver::{Model, SatResult};
+pub use sat::{AssumeOutcome, Cnf, Lit, SatOutcome, SatSolver, Var};
+pub use solver::{Incremental, Model, SatResult};
 pub use term::{Context, FuncId, Sort, TermData, TermId, VarId};

@@ -1,11 +1,19 @@
 //! The lazy DPLL(T) loop and models.
+//!
+//! [`Incremental`] is the persistent entry point: one session owns a SAT
+//! solver, the preprocess rewrite cache and the Tseitin term→literal
+//! table, and answers a *sequence* of queries over a growing assertion
+//! set. Queries are posed as assumption literals, so retired assertions
+//! cost nothing, and everything learnt — CDCL clauses and theory-conflict
+//! blocking clauses alike — carries over to later queries.
+//! [`Context::solve`] is the one-shot convenience wrapper.
 
 use std::collections::HashMap;
 
 use crate::cnf;
-use crate::sat::{SatOutcome, SatSolver};
+use crate::sat::{AssumeOutcome, Cnf, Lit, SatSolver};
 use crate::term::{Context, Sort, TermData, TermId};
-use crate::theory::{self, TheoryResult};
+use crate::theory::{self, TheoryModel, TheoryResult};
 
 /// A first-order model of the assertions.
 #[derive(Debug, Default)]
@@ -60,52 +68,178 @@ impl SatResult {
 }
 
 impl Context {
-    /// Decides the conjunction of `assertions`.
+    /// Decides the conjunction of `assertions` (one-shot: a fresh
+    /// [`Incremental`] session per call).
     ///
     /// # Panics
     ///
     /// Panics if an assertion is not boolean.
     pub fn solve(&mut self, assertions: &[TermId]) -> SatResult {
-        let rewritten: Vec<TermId> = {
-            let mut cache = HashMap::new();
-            assertions.iter().map(|&a| preprocess(self, a, &mut cache)).collect()
-        };
-        let encoded = cnf::encode(self, &rewritten);
-        let mut sat = SatSolver::from_cnf(&encoded.cnf);
+        let mut session = Incremental::new();
+        for &a in assertions {
+            session.assert(self, a);
+        }
+        session.solve_under(self, &[])
+    }
+}
+
+/// A persistent incremental solving session over one term context.
+///
+/// The session caches, across solve calls:
+///
+/// * the preprocess rewrite map (term → theory-normal form),
+/// * the Tseitin term → literal table (each boolean subterm is encoded
+///   into CNF exactly once, ever),
+/// * the CDCL solver itself, with its learnt clauses and variable
+///   activities, and
+/// * every theory-conflict blocking clause — theory lemmas are valid
+///   formulas, so once learnt they refute the same boolean assignment in
+///   every later query.
+///
+/// Queries follow the MiniSat assumption discipline: permanent facts go
+/// in with [`Incremental::assert`]; retractable facts are guarded by an
+/// [`Incremental::activation`] literal via [`Incremental::assert_under`]
+/// and enabled by passing the guard to [`Incremental::solve_under`] /
+/// [`Incremental::check_sat_assuming`]. Retiring a guard
+/// ([`Incremental::retire`]) permanently deactivates its assertions.
+#[derive(Debug)]
+pub struct Incremental {
+    sat: SatSolver,
+    tseitin: cnf::Tseitin,
+    pre_cache: HashMap<TermId, TermId>,
+    n_solves: u64,
+    n_blocking: u64,
+}
+
+impl Default for Incremental {
+    fn default() -> Self {
+        Incremental::new()
+    }
+}
+
+impl Incremental {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Incremental {
+            sat: SatSolver::new(0),
+            tseitin: cnf::Tseitin::new(),
+            pre_cache: HashMap::new(),
+            n_solves: 0,
+            n_blocking: 0,
+        }
+    }
+
+    /// Preprocesses and Tseitin-encodes `t`, flushing any new variables
+    /// and definition clauses into the solver, and returns its literal.
+    fn encode_lit(&mut self, ctx: &mut Context, t: TermId) -> Lit {
+        assert_eq!(ctx.sort(t), Sort::Bool, "assertions must be boolean");
+        let r = preprocess(ctx, t, &mut self.pre_cache);
+        let mut delta = Cnf { n_vars: self.sat.num_vars(), clauses: Vec::new() };
+        let l = self.tseitin.lit(ctx, r, &mut delta);
+        self.sat.ensure_vars(delta.n_vars);
+        for c in delta.clauses {
+            self.sat.add_clause(c);
+        }
+        l
+    }
+
+    /// Asserts `t` permanently (all later queries see it).
+    pub fn assert(&mut self, ctx: &mut Context, t: TermId) {
+        let l = self.encode_lit(ctx, t);
+        self.sat.add_clause([l]);
+    }
+
+    /// A fresh activation literal, not tied to any term.
+    pub fn activation(&mut self) -> Lit {
+        self.sat.new_var().positive()
+    }
+
+    /// Asserts `guard → t`: the assertion is active exactly in queries
+    /// that assume `guard`.
+    pub fn assert_under(&mut self, ctx: &mut Context, guard: Lit, t: TermId) {
+        let l = self.encode_lit(ctx, t);
+        self.sat.add_clause([guard.negate(), l]);
+    }
+
+    /// Permanently deactivates a guard's assertions (unit `¬guard`; the
+    /// solver simplifies the guarded clauses away).
+    pub fn retire(&mut self, guard: Lit) {
+        self.sat.add_clause([guard.negate()]);
+    }
+
+    /// Satisfiability of the permanent assertions plus the assumptions.
+    /// Cheaper than [`Incremental::solve_under`]: no model is built.
+    pub fn check_sat_assuming(&mut self, ctx: &Context, assumptions: &[Lit]) -> bool {
+        self.solve_internal(ctx, assumptions).is_some()
+    }
+
+    /// Decides the permanent assertions plus the assumptions, with a
+    /// model on `Sat`.
+    pub fn solve_under(&mut self, ctx: &Context, assumptions: &[Lit]) -> SatResult {
+        match self.solve_internal(ctx, assumptions) {
+            None => SatResult::Unsat,
+            Some((assignment, tm)) => {
+                let mut bools = HashMap::new();
+                for (&t, &l) in self.tseitin.map() {
+                    let v = assignment[l.var().0 as usize];
+                    bools.insert(t, if l.is_positive() { v } else { !v });
+                }
+                SatResult::Sat(Model { bools, ints: tm.ints, classes: tm.classes })
+            }
+        }
+    }
+
+    /// The DPLL(T) loop: boolean models from the SAT core, refuted by the
+    /// theories until one is consistent or the core runs dry.
+    fn solve_internal(
+        &mut self,
+        ctx: &Context,
+        assumptions: &[Lit],
+    ) -> Option<(Vec<bool>, TheoryModel)> {
+        self.n_solves += 1;
         loop {
-            match sat.solve() {
-                SatOutcome::Unsat => return SatResult::Unsat,
-                SatOutcome::Sat(assignment) => {
-                    let asserted: Vec<(TermId, bool)> = encoded
-                        .atoms
-                        .iter()
-                        .map(|&(t, v)| (t, assignment[v.0 as usize]))
-                        .collect();
-                    match theory::check(self, &asserted) {
-                        TheoryResult::Consistent(tm) => {
-                            let mut bools = HashMap::new();
-                            for (&t, &l) in &encoded.lit_of_term {
-                                let v = assignment[l.var().0 as usize];
-                                bools.insert(t, if l.is_positive() { v } else { !v });
-                            }
-                            return SatResult::Sat(Model {
-                                bools,
-                                ints: tm.ints,
-                                classes: tm.classes,
-                            });
-                        }
+            match self.sat.solve_under_assumptions(assumptions) {
+                AssumeOutcome::Unsat(_) => return None,
+                AssumeOutcome::Sat(assignment) => {
+                    let atoms = self.tseitin.atoms();
+                    let asserted: Vec<(TermId, bool)> =
+                        atoms.iter().map(|&(t, v)| (t, assignment[v.0 as usize])).collect();
+                    match theory::check(ctx, &asserted) {
+                        TheoryResult::Consistent(tm) => return Some((assignment, tm)),
                         TheoryResult::Conflict(core) => {
                             // Block this combination of theory literals.
-                            sat.add_clause(core.iter().map(|&i| {
-                                let (_, var) = encoded.atoms[i];
-                                let (_, polarity) = (encoded.atoms[i].0, asserted[i].1);
-                                var.lit(!polarity)
+                            // The lemma is valid, not query-specific: it
+                            // stays unguarded and serves every later query.
+                            self.n_blocking += 1;
+                            self.sat.add_clause(core.iter().map(|&i| {
+                                let (_, var) = atoms[i];
+                                var.lit(!asserted[i].1)
                             }));
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Solve calls answered so far.
+    pub fn solves(&self) -> u64 {
+        self.n_solves
+    }
+
+    /// Theory-conflict blocking clauses learnt so far (persistent).
+    pub fn blocking_clauses(&self) -> u64 {
+        self.n_blocking
+    }
+
+    /// Learnt CDCL clauses currently retained by the SAT core.
+    pub fn learnt_count(&self) -> usize {
+        self.sat.learnt_count()
+    }
+
+    /// The underlying SAT solver (for diagnostics and tests).
+    pub fn sat(&self) -> &SatSolver {
+        &self.sat
     }
 }
 
@@ -280,6 +414,111 @@ mod tests {
         let nefxfy = ctx.not(efxfy);
         assert!(!ctx.solve(&[exy, nefxfy]).is_sat());
         assert!(ctx.solve(&[efxfy, exy]).is_sat());
+    }
+
+    #[test]
+    fn incremental_session_guards_and_retires() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let x = ctx.var("x", s);
+        let y = ctx.var("y", s);
+        let z = ctx.var("z", s);
+        let xy = ctx.eq(x, y);
+        let yz = ctx.eq(y, z);
+        let xz = ctx.eq(x, z);
+        let nxz = ctx.not(xz);
+        let mut session = Incremental::new();
+        // Permanent: x = y and y = z.
+        session.assert(&mut ctx, xy);
+        session.assert(&mut ctx, yz);
+        // Query 1 under guard g1: x ≠ z — transitivity refutes it.
+        let g1 = session.activation();
+        session.assert_under(&mut ctx, g1, nxz);
+        assert!(!session.solve_under(&ctx, &[g1]).is_sat());
+        session.retire(g1);
+        // Query 2 under guard g2: x = z — consistent; the retired g1
+        // assertion must not leak in.
+        let g2 = session.activation();
+        session.assert_under(&mut ctx, g2, xz);
+        let SatResult::Sat(m) = session.solve_under(&ctx, &[g2]) else {
+            panic!("retired guard must not constrain later queries")
+        };
+        assert_eq!(m.eval_eq(x, z), Some(true));
+        assert_eq!(session.solves(), 2);
+    }
+
+    /// Theory-conflict blocking clauses persist across incremental calls:
+    /// a lemma learnt refuting one query's boolean model is not
+    /// re-derived when a later query proposes the same assignment.
+    #[test]
+    fn theory_blocking_clauses_survive_across_calls() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let vs: Vec<TermId> = (0..5).map(|i| ctx.var(format!("v{i}"), s)).collect();
+        // Permanent chain v0 = v1 = … = v4 plus a free boolean choice the
+        // guards toggle, so each query re-enumerates boolean models.
+        let mut session = Incremental::new();
+        for w in vs.windows(2) {
+            let e = ctx.eq(w[0], w[1]);
+            session.assert(&mut ctx, e);
+        }
+        let e04 = ctx.eq(vs[0], vs[4]);
+        let ne04 = ctx.not(e04);
+        let g1 = session.activation();
+        session.assert_under(&mut ctx, g1, ne04);
+        assert!(!session.solve_under(&ctx, &[g1]).is_sat());
+        let after_first = session.blocking_clauses();
+        assert!(after_first > 0, "refuting the chain needs theory lemmas");
+        // The same query under a fresh guard: every boolean model it could
+        // propose is already blocked, so no new lemmas are learnt.
+        let g2 = session.activation();
+        session.assert_under(&mut ctx, g2, ne04);
+        assert!(!session.solve_under(&ctx, &[g2]).is_sat());
+        assert_eq!(
+            session.blocking_clauses(),
+            after_first,
+            "persisted blocking clauses must not be re-derived"
+        );
+    }
+
+    /// The one-shot `Context::solve` and a reused incremental session give
+    /// the same verdicts over a mixed query sequence.
+    #[test]
+    fn incremental_agrees_with_one_shot() {
+        let mut ctx = Context::new();
+        let s = ctx.uninterpreted_sort("k");
+        let x = ctx.var("x", s);
+        let y = ctx.var("y", s);
+        let i = ctx.var("i", Sort::Int);
+        let ten = ctx.int(10);
+        let exy = ctx.eq(x, y);
+        let nexy = ctx.not(exy);
+        let lt = ctx.lt(i, ten);
+        let nlt = ctx.not(lt);
+        let base = vec![ctx.implies(exy, lt)];
+        let queries: Vec<Vec<TermId>> = vec![
+            vec![exy, nlt],
+            vec![exy, lt],
+            vec![nexy, nlt],
+            vec![exy],
+            vec![exy, nlt],
+        ];
+        let mut session = Incremental::new();
+        for &b in &base {
+            session.assert(&mut ctx, b);
+        }
+        for q in &queries {
+            let guard = session.activation();
+            for &t in q {
+                session.assert_under(&mut ctx, guard, t);
+            }
+            let inc = session.check_sat_assuming(&ctx, &[guard]);
+            session.retire(guard);
+            let mut all = base.clone();
+            all.extend(q.iter().copied());
+            let one_shot = ctx.solve(&all).is_sat();
+            assert_eq!(inc, one_shot, "verdicts diverged on {q:?}");
+        }
     }
 
     #[test]

@@ -34,6 +34,15 @@ t1=$((t1_end - t1_start))
 tn=$((tn_end - tn_start))
 echo "==> table1 slice wall time: ${t1}s at 1 thread, ${tn}s at ${N} threads"
 
+# The legacy fresh-encoder SMT path must stay green (the differential
+# suite checks byte-identical results; this smokes the flag end-to-end).
+echo "==> table1 smoke, --no-incremental"
+./target/release/table1 --threads 1 --no-incremental "${SLICE[@]}"
+
+# Smoke the incremental-vs-fresh criterion bench (runs each closure once).
+echo "==> encode_vs_incremental bench smoke"
+cargo bench -p c4-bench --bench encode_vs_incremental -- --test
+
 # The determinism suite guarantees identical results at any thread count;
 # speedup is only observable with real hardware parallelism, so the
 # scaling expectation is informational on single-core machines.

@@ -50,6 +50,14 @@ fn check_invariants(name: &str, res: &c4::AnalysisResult) {
         "{name}: committed verdicts nobody solved"
     );
     assert_eq!(s.preprune_fallbacks, 0, "{name}: monotone snapshot violated");
+    // Incremental-session ledger: every canonical re-solve follows an
+    // assumption-solve SAT verdict, and assumption solves are a subset of
+    // the work the pool performed.
+    assert!(s.sat_resolves <= s.assumption_solves, "{name}: resolves without assumption SATs");
+    assert!(
+        s.assumption_solves + s.sat_resolves <= s.speculative_smt_queries,
+        "{name}: session solves exceed total solves"
+    );
     assert!(!s.deadline_hit, "{name}: default budget must suffice");
 }
 
@@ -82,11 +90,26 @@ fn stats_are_coherent_and_replay_counters_agree() {
             b.name
         );
         // The sequential path never speculates or prunes: its worker
-        // solved exactly the queries the replay committed.
+        // solved exactly the queries the replay committed, plus one
+        // canonical fresh re-solve per incremental SAT verdict.
         assert_eq!(
             seq.stats.speculative_smt_queries,
-            seq.stats.smt_sat + seq.stats.smt_refuted,
+            seq.stats.smt_sat + seq.stats.smt_refuted + seq.stats.sat_resolves,
             "{}: sequential speculation must be zero",
+            b.name
+        );
+        // With `incremental_smt` on (the default), every bounded verdict
+        // of the sequential run goes through the shared session, and every
+        // SAT is re-derived on the canonical fresh path.
+        assert_eq!(
+            seq.stats.assumption_solves,
+            seq.stats.smt_sat + seq.stats.smt_refuted,
+            "{}: sequential bounded queries must all use the session",
+            b.name
+        );
+        assert_eq!(
+            seq.stats.sat_resolves, seq.stats.smt_sat,
+            "{}: every SAT verdict is re-solved fresh",
             b.name
         );
         assert_eq!(seq.stats.preprune_skips, 0, "{}: sequential path cannot pre-prune", b.name);
