@@ -1,0 +1,74 @@
+//! Warm-daemon vs. cold-analysis latency on the heaviest Table 1
+//! benchmark (by `T × E`, the paper's size proxy).
+//!
+//! `cold_direct` runs the full in-process pipeline (parse → abstract
+//! interpretation → bounded search) the way a one-shot CLI invocation
+//! would. `daemon_warm` submits the same program to a running `c4d`
+//! whose verdict cache already holds the verdict, so the measured cost
+//! is one TCP round-trip plus parse + canonicalization + a memory-LRU
+//! lookup. The served bytes are identical in both paths (asserted
+//! before measuring); the contract tracked in EXPERIMENTS.md is a ≥10×
+//! speedup for the warm path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::AnalysisFeatures;
+use c4_service::client::{Client, Endpoint};
+use c4_service::proto::JobState;
+use c4_service::server::{serve, ServerConfig};
+
+fn heaviest_benchmark() -> c4_suite::Benchmark {
+    c4_suite::benchmarks()
+        .into_iter()
+        .max_by_key(|b| b.paper.t * b.paper.e)
+        .expect("suite is nonempty")
+}
+
+fn bench_daemon_throughput(c: &mut Criterion) {
+    let b = heaviest_benchmark();
+    let features = AnalysisFeatures::default();
+
+    let handle = serve(ServerConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let client = Client::new(Endpoint::Tcp(handle.tcp_addr.clone().expect("tcp bound")));
+
+    // Pre-warm the cache and pin down the contract the speedup relies
+    // on: the warm path serves exactly the cold verdict's bytes.
+    let direct = c4_service::run_analysis(b.source, &features).expect("direct run");
+    let (_, state) = client.submit_wait(b.source, &features).expect("warming submit");
+    match state {
+        JobState::Done { report, .. } => {
+            assert_eq!(report, direct.encode_report(), "daemon verdict differs")
+        }
+        other => panic!("warming submit did not finish: {other:?}"),
+    }
+
+    let mut group = c.benchmark_group(format!("daemon_throughput/{}", b.name));
+    group.sample_size(10);
+    group.bench_function("cold_direct", |bencher| {
+        bencher.iter(|| {
+            c4_service::run_analysis(b.source, &features).expect("direct run").violations.len()
+        })
+    });
+    group.bench_function("daemon_warm", |bencher| {
+        bencher.iter(|| match client.submit_wait(b.source, &features) {
+            Ok((_, JobState::Done { report, .. })) => report.len(),
+            other => panic!("warm submit failed: {other:?}"),
+        })
+    });
+    group.finish();
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_daemon_throughput
+}
+criterion_main!(benches);

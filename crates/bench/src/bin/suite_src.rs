@@ -1,0 +1,27 @@
+//! Dumps a suite benchmark's CCL source to stdout, so shell scripts can
+//! feed Table 1 programs to the `c4d` daemon (`scripts/ci.sh` does this
+//! for the cache smoke test).
+//!
+//! Usage: `suite_src <benchmark-name>` or `suite_src --list`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--list" => {
+            for b in c4_suite::benchmarks() {
+                println!("{}", b.name);
+            }
+        }
+        [name] => match c4_suite::benchmark(name) {
+            Some(b) => print!("{}", b.source),
+            None => {
+                eprintln!("unknown benchmark {name:?} (try --list)");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: suite_src <benchmark-name> | --list");
+            std::process::exit(2);
+        }
+    }
+}

@@ -2,24 +2,32 @@
 //! violation counts, unfiltered and filtered, plus the Section 9.2
 //! aggregate statistics.
 //!
-//! Usage: `table1 [--threads N] [--budget SECS] [--stats]
-//! [--no-incremental] [benchmark-name …]` (all benchmarks by default).
-//! `--threads` sets `AnalysisFeatures::parallelism` (0 = one worker per
-//! hardware thread); results are identical for every setting. `--budget`
-//! caps each analysis run's wall clock (deadline hits are reported in
-//! the aggregates); `--stats` prints per-benchmark analysis statistics;
+//! Usage: `table1 [--threads N] [--budget SECS] [--stats] [--json]
+//! [--cache-dir DIR] [--no-incremental] [benchmark-name …]` (all
+//! benchmarks by default). `--threads` sets
+//! `AnalysisFeatures::parallelism` (0 = one worker per hardware
+//! thread); results are identical for every setting. `--budget` caps
+//! each analysis run's wall clock (deadline hits are reported in the
+//! aggregates); `--stats` prints per-benchmark analysis statistics;
+//! `--json` emits one machine-readable JSON object per benchmark
+//! (verdict counts, stage timings, cache counters) instead of the
+//! table; `--cache-dir` routes every checker run through a persistent
+//! content-addressed verdict cache rooted at DIR (verdicts are
+//! byte-stable, so cached rows are identical to computed ones);
 //! `--no-incremental` falls back to the legacy fresh-encoder-per-query
 //! SMT path (results are identical, only timing differs). Exits nonzero
 //! if any run reports counter-example validation failures.
 
-use c4::AnalysisFeatures;
+use c4::{AnalysisFeatures, VerdictCache};
 use c4_bench::secs;
-use c4_suite::{benchmarks, Counts, Domain};
+use c4_suite::{benchmarks, BenchOutcome, Counts, Domain};
 
 fn main() {
     let mut threads: Option<usize> = None;
     let mut budget: Option<u64> = None;
     let mut stats = false;
+    let mut json = false;
+    let mut cache_dir: Option<String> = None;
     let mut incremental = true;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -32,12 +40,19 @@ fn main() {
             budget = Some(v.parse().expect("--budget value must be an integer (seconds)"));
         } else if a == "--stats" {
             stats = true;
+        } else if a == "--json" {
+            json = true;
+        } else if a == "--cache-dir" {
+            cache_dir = Some(args.next().expect("--cache-dir needs a value"));
         } else if a == "--no-incremental" {
             incremental = false;
         } else {
             names.push(a);
         }
     }
+    let cache = cache_dir.map(|dir| {
+        VerdictCache::open(&dir, 1024).unwrap_or_else(|e| panic!("opening cache at {dir}: {e}"))
+    });
     let mut features = AnalysisFeatures::default();
     if let Some(t) = threads {
         features.parallelism = t;
@@ -58,10 +73,12 @@ fn main() {
         .filter(|b| names.is_empty() || names.iter().any(|a| a == b.name))
         .collect();
 
-    println!(
-        "{:<18} {:>3} {:>3}  {:>6} {:>6} {:>6}   {:>11}   {:>11}  gen k",
-        "Program", "T", "E", "FE[s]", "BE[s]", "Σ[s]", "unfilt E/H/F", "filt E/H/F"
-    );
+    if !json {
+        println!(
+            "{:<18} {:>3} {:>3}  {:>6} {:>6} {:>6}   {:>11}   {:>11}  gen k",
+            "Program", "T", "E", "FE[s]", "BE[s]", "Σ[s]", "unfilt E/H/F", "filt E/H/F"
+        );
+    }
     let mut totals_unf = Counts::default();
     let mut totals_fil = Counts::default();
     let mut all_generalized = true;
@@ -71,7 +88,7 @@ fn main() {
     let mut workers = 0usize;
     let mut last_domain = None;
     for b in &selected {
-        if last_domain != Some(b.domain) {
+        if !json && last_domain != Some(b.domain) {
             let name = match b.domain {
                 Domain::TouchDevelop => "— TouchDevelop —",
                 Domain::Cassandra => "— Cassandra —",
@@ -79,7 +96,7 @@ fn main() {
             println!("{name}");
             last_domain = Some(b.domain);
         }
-        let out = c4_suite::analyze(b, &features);
+        let out = c4_suite::analyze_with_cache(b, &features, cache.as_ref());
         let u = out.unfiltered_counts();
         let f = out.filtered_counts();
         totals_unf.errors += u.errors;
@@ -93,6 +110,10 @@ fn main() {
         validation_failures += out.stats.validation_failures;
         deadline_hits += out.stats.deadline_hit as usize;
         workers = workers.max(out.stats.workers);
+        if json {
+            println!("{}", json_line(b.domain, &out));
+            continue;
+        }
         if stats {
             let s = &out.stats;
             println!(
@@ -142,6 +163,16 @@ fn main() {
             out.max_k,
         );
     }
+    if let Some(cache) = &cache {
+        cache.flush_index().expect("flushing the cache index");
+    }
+    if json {
+        if validation_failures > 0 {
+            eprintln!("error: {validation_failures} counter-example(s) failed concrete validation");
+            std::process::exit(1);
+        }
+        return;
+    }
     println!();
     let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
     println!("Section 9.2 aggregates:");
@@ -178,4 +209,70 @@ fn main() {
         eprintln!("error: {validation_failures} counter-example(s) failed concrete validation");
         std::process::exit(1);
     }
+}
+
+/// One benchmark as a single JSON line. The workspace is offline
+/// (no serde), and the shapes here are flat enough that assembling the
+/// object by hand stays readable; benchmark names are ASCII
+/// identifiers, so no string escaping is needed.
+fn json_line(domain: Domain, out: &BenchOutcome) -> String {
+    let counts = |c: Counts| {
+        format!(
+            r#"{{"errors":{},"harmless":{},"false_alarms":{}}}"#,
+            c.errors, c.harmless, c.false_alarms
+        )
+    };
+    let s = &out.stats;
+    let t = &s.timings;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    format!(
+        concat!(
+            r#"{{"name":"{name}","domain":"{domain}","t":{t},"e":{e},"#,
+            r#""fe_ms":{fe_ms:.3},"be_ms":{be_ms:.3},"#,
+            r#""unfiltered":{unf},"filtered":{fil},"#,
+            r#""generalized":{gen},"max_k":{max_k},"deadline_hit":{dl},"#,
+            r#""stats":{{"unfoldings":{unfold},"suspicious_unfoldings":{susp},"#,
+            r#""smt_queries":{queries},"smt_sat":{sat},"smt_refuted":{refuted},"#,
+            r#""generalization_queries":{genq},"subsumed_candidates":{subsumed},"#,
+            r#""validation_failures":{vfail},"workers":{workers}}},"#,
+            r#""timings_ms":{{"unfold":{t_unfold:.3},"ssg_filter":{t_ssg:.3},"#,
+            r#""smt":{t_smt:.3},"validate":{t_val:.3},"merge":{t_merge:.3}}},"#,
+            r#""cache":{{"mem_hits":{c_mem},"disk_hits":{c_disk},"misses":{c_miss},"#,
+            r#""stores":{c_stores},"evictions":{c_evict},"stale_drops":{c_stale}}}}}"#,
+        ),
+        name = out.name,
+        domain = match domain {
+            Domain::TouchDevelop => "touchdevelop",
+            Domain::Cassandra => "cassandra",
+        },
+        t = out.t,
+        e = out.e,
+        fe_ms = ms(out.fe_time),
+        be_ms = ms(out.be_time),
+        unf = counts(out.unfiltered_counts()),
+        fil = counts(out.filtered_counts()),
+        gen = out.generalized,
+        max_k = out.max_k,
+        dl = s.deadline_hit,
+        unfold = s.unfoldings,
+        susp = s.suspicious_unfoldings,
+        queries = s.smt_queries,
+        sat = s.smt_sat,
+        refuted = s.smt_refuted,
+        genq = s.generalization_queries,
+        subsumed = s.subsumed_candidates,
+        vfail = s.validation_failures,
+        workers = s.workers,
+        t_unfold = ms(t.unfold),
+        t_ssg = ms(t.ssg_filter),
+        t_smt = ms(t.smt),
+        t_val = ms(t.validate),
+        t_merge = ms(t.merge),
+        c_mem = out.cache.mem_hits,
+        c_disk = out.cache.disk_hits,
+        c_miss = out.cache.misses,
+        c_stores = out.cache.stores,
+        c_evict = out.cache.evictions,
+        c_stale = out.cache.stale_drops,
+    )
 }

@@ -51,7 +51,7 @@ use crate::unfold::{unfold_all, unfoldings, Unfolding, UnfoldingInstance};
 
 /// Feature toggles of the analysis (Section 9.3 ablations plus the
 /// Section 8 extensions).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisFeatures {
     /// Argument-sensitive commutativity formulas in the SMT stage (off:
     /// SSG-level yes/no commutativity only).
@@ -116,32 +116,68 @@ impl Default for AnalysisFeatures {
     }
 }
 
+/// An externally owned cancellation handle for a running analysis.
+///
+/// Cloning shares the flag: the owner calls [`cancel`](Self::cancel)
+/// from any thread, and a [`Checker`] built with
+/// [`Checker::with_cancel`] observes it through the same [`Deadline`]
+/// checks that implement the wall-clock budget (per unfolding and per
+/// SMT query). A cancelled run returns promptly with the partial — still
+/// well-formed — result obtained so far and `stats.deadline_hit` set, so
+/// callers (e.g. the `c4-service` daemon) can distinguish a complete
+/// verdict from an interrupted one and must not cache the latter.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent; visible to all clones).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Cooperative cancellation: a wall-clock budget shared by the driver
-/// and all workers. `expired` latches into an [`AtomicBool`] so that
-/// once any thread observes exhaustion, every subsequent check is a
-/// single relaxed load.
+/// and all workers, plus an optional external [`CancelToken`].
+/// `expired` latches into an [`AtomicBool`] so that once any thread
+/// observes exhaustion, every subsequent check is a single relaxed load.
 #[derive(Debug)]
 struct Deadline {
     start: Instant,
     budget: Duration,
     hit: AtomicBool,
+    cancel: Option<CancelToken>,
 }
 
 impl Deadline {
-    fn new(budget_secs: u64) -> Self {
+    fn new(budget_secs: u64, cancel: Option<CancelToken>) -> Self {
         Deadline {
             start: Instant::now(),
             budget: Duration::from_secs(budget_secs),
             hit: AtomicBool::new(false),
+            cancel,
         }
     }
 
-    /// Whether the budget is exhausted (latches on first observation).
+    /// Whether the budget is exhausted or cancellation was requested
+    /// (latches on first observation).
     fn expired(&self) -> bool {
         if self.hit.load(Ordering::Relaxed) {
             return true;
         }
-        if self.budget.is_zero() || self.start.elapsed() > self.budget {
+        if self.budget.is_zero()
+            || self.start.elapsed() > self.budget
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        {
             self.hit.store(true, Ordering::Relaxed);
             return true;
         }
@@ -206,6 +242,7 @@ pub struct Checker {
     h: AbstractHistory,
     far: FarSpec,
     features: AnalysisFeatures,
+    cancel: Option<CancelToken>,
 }
 
 impl Checker {
@@ -217,7 +254,16 @@ impl Checker {
     pub fn new(h: AbstractHistory, features: AnalysisFeatures) -> Self {
         h.validate().expect("well-formed abstract history");
         let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
-        Checker { h, far, features }
+        Checker { h, far, features, cancel: None }
+    }
+
+    /// Attaches an external cancellation token: [`run`](Self::run)
+    /// observes it at every deadline checkpoint (per unfolding, per SMT
+    /// query, on the driver and on every worker) and returns the partial
+    /// result with `stats.deadline_hit` set.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The abstract history under analysis.
@@ -241,7 +287,7 @@ impl Checker {
 
     /// Runs the full check (Algorithm 1).
     pub fn run(&self) -> AnalysisResult {
-        let deadline = Deadline::new(self.features.time_budget_secs);
+        let deadline = Deadline::new(self.features.time_budget_secs, self.cancel.clone());
         let workers = self.effective_parallelism();
         let mut result = AnalysisResult::default();
         result.stats.workers = workers;

@@ -28,6 +28,7 @@
 //!    Section 9.1.
 
 pub mod abstract_history;
+pub mod cache;
 pub mod check;
 pub mod counterexample;
 pub mod encode;
@@ -38,7 +39,8 @@ pub mod ssg;
 pub mod unfold;
 
 pub use abstract_history::{AbsArg, AbsEventSpec, AbsTx, AbstractHistory, Cond, Node, RelOp};
-pub use check::{AnalysisFeatures, Checker};
-pub use report::{AnalysisResult, AnalysisStats, Violation};
+pub use cache::{CacheCounters, CacheKey, CacheTier, VerdictCache};
+pub use check::{AnalysisFeatures, CancelToken, Checker};
+pub use report::{AnalysisResult, AnalysisStats, DecodeError, Violation};
 pub use ssg::{Ssg, SsgLabel};
 pub use unfold::{Unfolding, UnfoldingInstance};

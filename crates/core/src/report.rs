@@ -228,6 +228,262 @@ impl AnalysisResult {
     }
 }
 
+/// Version of the report wire format produced by
+/// [`AnalysisResult::encode_report`]. Bumped on any change to the byte
+/// layout; decoders reject other versions with
+/// [`DecodeError::VersionMismatch`], which cache layers treat as a miss
+/// (a stale on-disk entry must never turn into a wrong verdict).
+pub const REPORT_WIRE_VERSION: u16 = 1;
+
+/// Magic prefix of an encoded report.
+pub const REPORT_MAGIC: [u8; 4] = *b"C4RP";
+
+/// Why a report failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bytes carry a different (older or newer) format version.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// Structurally invalid bytes (bad magic, truncation, bad tag, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::VersionMismatch { found } => write!(
+                f,
+                "report wire version {found} (this build speaks {REPORT_WIRE_VERSION})"
+            ),
+            DecodeError::Malformed(what) => write!(f, "malformed report bytes: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Byte-oriented primitives of the report wire format. All integers are
+/// big-endian; strings are UTF-8 with a `u32` byte-length prefix.
+mod wire {
+    use super::DecodeError;
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+        put_u64(out, v as u64);
+    }
+
+    pub fn put_str(out: &mut Vec<u8>, s: &str) {
+        put_u32(out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// A checked cursor over encoded bytes.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+            let end = self
+                .pos
+                .checked_add(n)
+                .filter(|&e| e <= self.buf.len())
+                .ok_or(DecodeError::Malformed("truncated"))?;
+            let s = &self.buf[self.pos..end];
+            self.pos = end;
+            Ok(s)
+        }
+
+        pub fn u8(&mut self) -> Result<u8, DecodeError> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub fn u16(&mut self) -> Result<u16, DecodeError> {
+            Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        }
+
+        pub fn u32(&mut self) -> Result<u32, DecodeError> {
+            Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        }
+
+        pub fn u64(&mut self) -> Result<u64, DecodeError> {
+            Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        pub fn usize(&mut self) -> Result<usize, DecodeError> {
+            Ok(self.u64()? as usize)
+        }
+
+        /// A `u32` used as a collection length: bounded by the remaining
+        /// bytes so corrupt lengths fail fast instead of OOM-ing.
+        pub fn len(&mut self) -> Result<usize, DecodeError> {
+            let n = self.u32()? as usize;
+            if n > self.buf.len() - self.pos {
+                return Err(DecodeError::Malformed("length exceeds input"));
+            }
+            Ok(n)
+        }
+
+        pub fn str(&mut self) -> Result<String, DecodeError> {
+            let n = self.len()?;
+            let bytes = self.take(n)?;
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| DecodeError::Malformed("non-UTF-8 string"))
+        }
+
+        pub fn finish(&self) -> Result<(), DecodeError> {
+            if self.pos == self.buf.len() {
+                Ok(())
+            } else {
+                Err(DecodeError::Malformed("trailing bytes"))
+            }
+        }
+    }
+}
+
+fn label_code(l: SsgLabel) -> u8 {
+    match l {
+        SsgLabel::So => 0,
+        SsgLabel::Dep => 1,
+        SsgLabel::Anti => 2,
+        SsgLabel::Conflict => 3,
+    }
+}
+
+fn label_of(code: u8) -> Result<SsgLabel, DecodeError> {
+    Ok(match code {
+        0 => SsgLabel::So,
+        1 => SsgLabel::Dep,
+        2 => SsgLabel::Anti,
+        3 => SsgLabel::Conflict,
+        _ => return Err(DecodeError::Malformed("unknown SSG label code")),
+    })
+}
+
+impl AnalysisResult {
+    /// Encodes the *deterministic* portion of the result — the verdict —
+    /// into the stable, versioned report wire format: violations
+    /// (transaction sets, cycle labels, session counts, rendered
+    /// counter-examples), the `generalized` flag, `max_k`, the replay
+    /// counters of [`AnalysisStats::replay_counters`], and
+    /// `deadline_hit`.
+    ///
+    /// Timings and scheduling-dependent counters are deliberately
+    /// excluded: for a fixed history and feature set the encoding is
+    /// byte-identical across runs, `parallelism` settings and
+    /// `incremental_smt` modes (as long as no deadline fires), which is
+    /// what lets the content-addressed verdict cache serve stored bytes
+    /// verbatim and lets differential tests compare daemon-served and
+    /// directly-computed reports with `==` on bytes.
+    pub fn encode_report(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&REPORT_MAGIC);
+        out.extend_from_slice(&REPORT_WIRE_VERSION.to_be_bytes());
+        let flags: u8 =
+            (self.generalized as u8) | ((self.stats.deadline_hit as u8) << 1);
+        out.push(flags);
+        wire::put_u32(&mut out, self.max_k as u32);
+        wire::put_u32(&mut out, self.violations.len() as u32);
+        for v in &self.violations {
+            wire::put_u32(&mut out, v.txs.len() as u32);
+            for &t in &v.txs {
+                wire::put_usize(&mut out, t);
+            }
+            wire::put_u32(&mut out, v.labels.len() as u32);
+            for &l in &v.labels {
+                out.push(label_code(l));
+            }
+            wire::put_u32(&mut out, v.sessions as u32);
+            match &v.counterexample {
+                None => out.push(0),
+                Some(ce) => {
+                    out.push(1);
+                    wire::put_str(&mut out, ce);
+                }
+            }
+        }
+        let (a, b, c, d, e, f, g, h) = self.stats.replay_counters();
+        for n in [a, b, c, d, e, f, g, h] {
+            wire::put_u64(&mut out, n as u64);
+        }
+        out
+    }
+
+    /// Decodes a report produced by [`Self::encode_report`]. The replay
+    /// counters land in the corresponding [`AnalysisStats`] fields; all
+    /// other stats (timings, scheduling-dependent counters, worker
+    /// counts) are zero — they are not part of the verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::VersionMismatch`] when the header carries another
+    /// format version, [`DecodeError::Malformed`] on structural errors.
+    pub fn decode_report(bytes: &[u8]) -> Result<AnalysisResult, DecodeError> {
+        let mut r = wire::Reader::new(bytes);
+        if r.take(4)? != REPORT_MAGIC {
+            return Err(DecodeError::Malformed("bad magic"));
+        }
+        let version = r.u16()?;
+        if version != REPORT_WIRE_VERSION {
+            return Err(DecodeError::VersionMismatch { found: version });
+        }
+        let flags = r.u8()?;
+        if flags & !0b11 != 0 {
+            return Err(DecodeError::Malformed("unknown flag bits"));
+        }
+        let mut out = AnalysisResult {
+            generalized: flags & 1 != 0,
+            max_k: r.u32()? as usize,
+            ..AnalysisResult::default()
+        };
+        out.stats.deadline_hit = flags & 0b10 != 0;
+        let nviol = r.len()?;
+        for _ in 0..nviol {
+            let ntxs = r.len()?;
+            let mut txs = BTreeSet::new();
+            for _ in 0..ntxs {
+                txs.insert(r.usize()?);
+            }
+            let nlabels = r.len()?;
+            let mut labels = Vec::with_capacity(nlabels);
+            for _ in 0..nlabels {
+                labels.push(label_of(r.u8()?)?);
+            }
+            let sessions = r.u32()? as usize;
+            let counterexample = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                _ => return Err(DecodeError::Malformed("bad counter-example tag")),
+            };
+            out.violations.push(Violation { txs, labels, sessions, counterexample });
+        }
+        out.stats.unfoldings = r.usize()?;
+        out.stats.suspicious_unfoldings = r.usize()?;
+        out.stats.subsumed_candidates = r.usize()?;
+        out.stats.smt_queries = r.usize()?;
+        out.stats.smt_sat = r.usize()?;
+        out.stats.smt_refuted = r.usize()?;
+        out.stats.validation_failures = r.usize()?;
+        out.stats.generalization_queries = r.usize()?;
+        r.finish()?;
+        Ok(out)
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let labels: Vec<String> = self.labels.iter().map(|l| l.to_string()).collect();
@@ -299,6 +555,90 @@ mod tests {
         assert_eq!(a.smt_queries, 5);
         assert_eq!(a.smt_sat, 1);
         assert_eq!(a.smt_refuted, 2);
+    }
+
+    #[test]
+    fn report_wire_roundtrip() {
+        let mut r = AnalysisResult::default();
+        r.generalized = true;
+        r.max_k = 3;
+        r.violations.push(Violation {
+            txs: [0, 2, 5].into_iter().collect(),
+            labels: vec![
+                crate::ssg::SsgLabel::So,
+                crate::ssg::SsgLabel::Dep,
+                crate::ssg::SsgLabel::Anti,
+                crate::ssg::SsgLabel::Conflict,
+            ],
+            sessions: 2,
+            counterexample: Some("σ = [w(1), r(1)] — cycle t0 ⊖ t2".into()),
+        });
+        r.violations.push(Violation {
+            txs: [1].into_iter().collect(),
+            labels: vec![crate::ssg::SsgLabel::Anti],
+            sessions: 3,
+            counterexample: None,
+        });
+        r.stats.unfoldings = 7;
+        r.stats.suspicious_unfoldings = 4;
+        r.stats.subsumed_candidates = 2;
+        r.stats.smt_queries = 11;
+        r.stats.smt_sat = 2;
+        r.stats.smt_refuted = 8;
+        r.stats.generalization_queries = 1;
+        r.stats.deadline_hit = true;
+        // Scheduling-dependent stats must not affect the bytes.
+        let bytes = r.encode_report();
+        let mut noisy = r.clone();
+        noisy.stats.speculative_smt_queries = 99;
+        noisy.stats.workers = 8;
+        noisy.stats.timings.smt = Duration::from_secs(1);
+        assert_eq!(bytes, noisy.encode_report(), "verdict bytes exclude noise");
+
+        let back = AnalysisResult::decode_report(&bytes).unwrap();
+        assert!(back.same_verdict(&r));
+        assert_eq!(back.violations, r.violations);
+        assert_eq!(back.stats.replay_counters(), r.stats.replay_counters());
+        assert!(back.stats.deadline_hit);
+        // Decoding is the left inverse of encoding on the wire image.
+        assert_eq!(back.encode_report(), bytes);
+    }
+
+    #[test]
+    fn report_wire_rejects_stale_versions_and_garbage() {
+        let bytes = AnalysisResult::default().encode_report();
+        // Flip the version field (bytes 4..6).
+        let mut stale = bytes.clone();
+        stale[5] = stale[5].wrapping_add(1);
+        match AnalysisResult::decode_report(&stale) {
+            Err(DecodeError::VersionMismatch { found }) => {
+                assert_ne!(found, REPORT_WIRE_VERSION)
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        assert_eq!(
+            AnalysisResult::decode_report(b"not a report").err(),
+            Some(DecodeError::Malformed("bad magic"))
+        );
+        // Truncation anywhere must fail, never panic.
+        let mut r = AnalysisResult::default();
+        r.violations.push(Violation {
+            txs: [0].into_iter().collect(),
+            labels: vec![crate::ssg::SsgLabel::Anti],
+            sessions: 2,
+            counterexample: Some("ce".into()),
+        });
+        let full = r.encode_report();
+        for cut in 0..full.len() {
+            assert!(
+                AnalysisResult::decode_report(&full[..cut]).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = full.clone();
+        long.push(0);
+        assert!(AnalysisResult::decode_report(&long).is_err());
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub struct TxnDecl {
 }
 
 /// A full CCL program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// Store object declarations.
     pub objects: Vec<(ObjectName, ObjectDecl)>,

@@ -1,0 +1,278 @@
+//! Canonical CCL serialization.
+//!
+//! [`canonical`] pretty-prints a [`Program`] into a normal form with a
+//! fixed declaration order (store, locals, globals, atomic sets,
+//! sessions, transactions), fixed indentation, and fully explicit
+//! conditions. The normal form is a *fixpoint*: parsing the canonical
+//! text yields a structurally identical AST, so
+//! `canonical(parse(canonical(parse(src))))` equals
+//! `canonical(parse(src))` for every parseable `src`. This is the
+//! property the content-addressed verdict cache relies on — cache keys
+//! are derived from the canonical text, so whitespace, comments,
+//! declaration interleaving, and other lossless reformats of a program
+//! all map to the same key (see `c4::cache`).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a program in canonical form.
+pub fn canonical(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.objects.is_empty() {
+        out.push_str("store {\n");
+        for (name, decl) in &p.objects {
+            let _ = write!(out, "    ");
+            object_decl(&mut out, name.as_str(), decl);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+    }
+    for l in &p.locals {
+        let _ = writeln!(out, "local {l};");
+    }
+    for g in &p.globals {
+        let _ = writeln!(out, "global {g};");
+    }
+    for set in &p.atomic_sets {
+        let names: Vec<&str> = set.iter().map(|n| n.as_str()).collect();
+        let _ = writeln!(out, "atomicset {{ {} }}", names.join(", "));
+    }
+    for sess in &p.sessions {
+        let _ = writeln!(out, "session {{ {} }}", sess.join(", "));
+    }
+    for t in &p.txns {
+        let _ = write!(out, "txn {}({})", t.name, t.params.join(", "));
+        block(&mut out, &t.body, 0);
+        out.push('\n');
+    }
+    out
+}
+
+fn object_decl(out: &mut String, name: &str, decl: &ObjectDecl) {
+    match decl {
+        ObjectDecl::Register => {
+            let _ = write!(out, "register {name};");
+        }
+        ObjectDecl::Counter => {
+            let _ = write!(out, "counter {name};");
+        }
+        ObjectDecl::Set => {
+            let _ = write!(out, "set {name};");
+        }
+        ObjectDecl::Map => {
+            let _ = write!(out, "map {name};");
+        }
+        ObjectDecl::Log => {
+            let _ = write!(out, "log {name};");
+        }
+        ObjectDecl::Table(fields) => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(f, k)| {
+                    format!("{}: {}", f.as_str(), match k {
+                        FieldKind::Reg => "reg",
+                        FieldKind::Set => "set",
+                    })
+                })
+                .collect();
+            if fs.is_empty() {
+                let _ = write!(out, "table {name} {{ }}");
+            } else {
+                let _ = write!(out, "table {name} {{ {} }}", fs.join(", "));
+            }
+        }
+    }
+}
+
+/// Prints `{ … }` for a statement list at nesting `depth` (the brace pair
+/// sits on the caller's line; statements are indented one level deeper).
+fn block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    if stmts.is_empty() {
+        out.push_str(" { }");
+        return;
+    }
+    out.push_str(" {\n");
+    for s in stmts {
+        stmt(out, s, depth + 1);
+    }
+    indent(out, depth);
+    out.push('}');
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..=depth {
+        out.push_str("    ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    match s {
+        Stmt::Call(c) => {
+            indent(out, depth - 1);
+            call(out, c);
+            out.push_str(";\n");
+        }
+        Stmt::Let(name, e) => {
+            indent(out, depth - 1);
+            let _ = write!(out, "let {name} = ");
+            expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::Display(c) => {
+            indent(out, depth - 1);
+            out.push_str("display ");
+            call(out, c);
+            out.push_str(";\n");
+        }
+        Stmt::If(c, then, els) => {
+            indent(out, depth - 1);
+            out.push_str("if (");
+            condition(out, c);
+            out.push(')');
+            block(out, then, depth - 1);
+            if !els.is_empty() {
+                out.push_str(" else");
+                block(out, els, depth - 1);
+            }
+            out.push('\n');
+        }
+        Stmt::While(c, body) => {
+            indent(out, depth - 1);
+            out.push_str("while (");
+            condition(out, c);
+            out.push(')');
+            block(out, body, depth - 1);
+            out.push('\n');
+        }
+        Stmt::Repeat(n, body) => {
+            indent(out, depth - 1);
+            let _ = write!(out, "repeat {n}");
+            block(out, body, depth - 1);
+            out.push('\n');
+        }
+    }
+}
+
+fn condition(out: &mut String, c: &Condition) {
+    for (i, (lhs, op, rhs)) in c.atoms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" && ");
+        }
+        expr(out, lhs);
+        let _ = write!(out, " {} ", match op {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        });
+        expr(out, rhs);
+    }
+}
+
+fn expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Str(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        Expr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Var(v) => out.push_str(v),
+        Expr::Call(c) => call(out, c),
+    }
+}
+
+fn call(out: &mut String, c: &CallExpr) {
+    out.push_str(c.object.as_str());
+    if let Some((row, field)) = &c.row_field {
+        out.push('[');
+        expr(out, row);
+        let _ = write!(out, "].{}", field.as_str());
+    }
+    let _ = write!(out, ".{}(", c.method);
+    for (i, a) in c.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        expr(out, a);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Parse → print → parse must reproduce the AST, and the printed
+    /// form must be a fixpoint of the round trip.
+    fn roundtrip(src: &str) {
+        let p = parse(src).expect("source parses");
+        let c = canonical(&p);
+        let p2 = parse(&c).unwrap_or_else(|e| panic!("canonical form reparses: {e}\n{c}"));
+        assert_eq!(p, p2, "AST round-trips through canonical form:\n{c}");
+        assert_eq!(c, canonical(&p2), "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn roundtrips_all_syntax_forms() {
+        roundtrip(
+            r#"
+            store {
+                map M; register R; counter C; set S; log L;
+                table T { f: reg, g: set }
+            }
+            local u;
+            global gl;
+            atomicset { M, S }
+            session { w, r }
+            txn w(k, v) {
+                let x = T.add_row();
+                T[x].f.set(v);
+                if (M.contains(k) && C.get() >= 0) { M.put(k, v); } else { M.remove(k); }
+                while (!S.contains(k)) { S.add(k); }
+                repeat 3 { C.inc(1); }
+                display M.get(k);
+                L.append("hi \"there\"\n\\");
+            }
+            txn r() { }
+        "#,
+        );
+    }
+
+    #[test]
+    fn normalizes_whitespace_and_comments() {
+        let a = "store { map M; }\ntxn t(k) { M.put(k, 1); }";
+        let b = "store {\n  // the store\n  map   M;\n}\ntxn t( k ) {\n  M.put(k,1) ;\n}";
+        let pa = parse(a).unwrap();
+        let pb = parse(b).unwrap();
+        assert_eq!(canonical(&pa), canonical(&pb));
+    }
+
+    #[test]
+    fn negative_ints_and_bare_conditions_roundtrip() {
+        roundtrip(
+            r#"
+            store { counter C; set S; }
+            txn t(e) {
+                if (C.get() < -3) { C.inc(-1); }
+                if (S.contains(e)) { S.remove(e); }
+                if (!S.contains(e)) { S.add(e); }
+            }
+        "#,
+        );
+    }
+}

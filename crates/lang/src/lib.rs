@@ -39,12 +39,14 @@
 //! ```
 
 pub mod ast;
+pub mod canon;
 pub mod exec;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{ObjectDecl, Program, TxnDecl};
+pub use canon::canonical;
 pub use exec::{ExecError, TxnRunner};
 pub use interp::{abstract_history, InterpError};
 pub use parser::{parse, ParseError};

@@ -1,0 +1,246 @@
+//! `c4` — thin client for the `c4d` analysis daemon.
+//!
+//! ```text
+//! c4 [--socket PATH | --tcp ADDR] submit [--no-wait] [--budget S]
+//!        [--threads N] [--max-k K] [--no-incremental] [--out FILE] FILE
+//! c4 [--socket PATH | --tcp ADDR] status [--out FILE] JOB
+//! c4 [--socket PATH | --tcp ADDR] cancel JOB
+//! c4 [--socket PATH | --tcp ADDR] stats
+//! c4 [--socket PATH | --tcp ADDR] shutdown
+//! ```
+//!
+//! `--out FILE` writes the raw encoded report bytes (the cache-stable
+//! wire format) so scripts can compare daemon-served verdicts
+//! byte-for-byte. Exit status: 0 on success (including a `done` job),
+//! 3 if the job was cancelled or failed, 1 on connection/daemon errors,
+//! 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use c4::{AnalysisFeatures, AnalysisResult};
+use c4_service::client::{Client, Endpoint};
+use c4_service::proto::JobState;
+
+fn default_socket() -> PathBuf {
+    std::env::var_os("C4D_SOCKET").map(PathBuf::from).unwrap_or_else(|| "/tmp/c4d.sock".into())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: c4 [--socket PATH | --tcp ADDR] <command>\n\
+         commands:\n\
+         \x20 submit [--no-wait] [--budget S] [--threads N] [--max-k K] \
+         [--no-incremental] [--out FILE] FILE\n\
+         \x20 status [--out FILE] JOB\n\
+         \x20 cancel JOB\n\
+         \x20 stats\n\
+         \x20 shutdown"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("c4: {msg}");
+    exit(1)
+}
+
+fn main() {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Global endpoint flags come before the command.
+    while let Some(first) = args.first().cloned() {
+        match first.as_str() {
+            "--socket" => {
+                if args.len() < 2 {
+                    usage()
+                }
+                endpoint = Some(Endpoint::Unix(PathBuf::from(args.remove(1))));
+                args.remove(0);
+            }
+            "--tcp" => {
+                if args.len() < 2 {
+                    usage()
+                }
+                endpoint = Some(Endpoint::Tcp(args.remove(1)));
+                args.remove(0);
+            }
+            _ => break,
+        }
+    }
+    let client = Client::new(endpoint.unwrap_or_else(|| Endpoint::Unix(default_socket())));
+    if args.is_empty() {
+        usage()
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "submit" => submit(&client, args),
+        "status" => status(&client, args),
+        "cancel" => cancel(&client, args),
+        "stats" => stats(&client),
+        "shutdown" => match client.shutdown() {
+            Ok(()) => println!("daemon drained and shut down"),
+            Err(e) => fail(e),
+        },
+        _ => usage(),
+    }
+}
+
+fn submit(client: &Client, mut args: Vec<String>) {
+    let mut features = AnalysisFeatures::default();
+    let mut wait = true;
+    let mut out: Option<PathBuf> = None;
+    let mut file: Option<String> = None;
+    while let Some(a) = pop(&mut args) {
+        match a.as_str() {
+            "--no-wait" => wait = false,
+            "--budget" => features.time_budget_secs = num(&mut args, "--budget"),
+            "--threads" => features.parallelism = num(&mut args, "--threads"),
+            "--max-k" => features.max_k = num(&mut args, "--max-k"),
+            "--no-incremental" => features.incremental_smt = false,
+            "--out" => out = Some(PathBuf::from(required(&mut args, "--out"))),
+            other if !other.starts_with('-') && file.is_none() => file = Some(a),
+            _ => usage(),
+        }
+    }
+    let file = file.unwrap_or_else(|| usage());
+    let source =
+        std::fs::read_to_string(&file).unwrap_or_else(|e| fail(format!("reading {file}: {e}")));
+    if wait {
+        match client.submit_wait(&source, &features) {
+            Ok((job_id, state)) => {
+                println!("job {job_id}");
+                print_state(&state, out.as_deref());
+            }
+            Err(e) => fail(e),
+        }
+    } else {
+        match client.submit(&source, &features) {
+            Ok(job_id) => println!("job {job_id}"),
+            Err(e) => fail(e),
+        }
+    }
+}
+
+fn status(client: &Client, mut args: Vec<String>) {
+    let mut out: Option<PathBuf> = None;
+    let mut job: Option<u64> = None;
+    while let Some(a) = pop(&mut args) {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(required(&mut args, "--out"))),
+            _ if job.is_none() => job = a.parse().ok().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let job = job.unwrap_or_else(|| usage());
+    match client.status(job) {
+        Ok(state) => {
+            println!("job {job}");
+            print_state(&state, out.as_deref());
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cancel(client: &Client, mut args: Vec<String>) {
+    let job: u64 = pop(&mut args).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+    match client.cancel(job) {
+        Ok(true) => println!("job {job} cancelled"),
+        Ok(false) => {
+            println!("job {job} not cancellable (unknown or already finished)");
+            exit(3)
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn stats(client: &Client) {
+    let s = match client.stats() {
+        Ok(s) => s,
+        Err(e) => fail(e),
+    };
+    println!("uptime_ms        {}", s.uptime_ms);
+    println!("submitted        {}", s.submitted);
+    println!("completed        {}", s.completed);
+    println!("cancelled        {}", s.cancelled);
+    println!("failed           {}", s.failed);
+    println!("rejected         {}", s.rejected);
+    println!("queue            {}/{} (running {})", s.queue_len, s.queue_cap, s.running);
+    println!("workers          {}", s.workers);
+    println!(
+        "cache hits       {} memory, {} disk; misses {}",
+        s.cache_mem_hits, s.cache_disk_hits, s.cache_misses
+    );
+    println!(
+        "cache entries    {} memory, {} disk (stores {}, evictions {}, stale drops {})",
+        s.cache_mem_entries, s.cache_disk_entries, s.cache_stores, s.cache_evictions,
+        s.cache_stale_drops
+    );
+}
+
+fn print_state(state: &JobState, out: Option<&std::path::Path>) {
+    match state {
+        JobState::Queued => println!("state: queued"),
+        JobState::Running => println!("state: running"),
+        JobState::Done { tier, queue_ms, run_ms, report } => {
+            println!("state: done ({tier}, queued {queue_ms} ms, ran {run_ms} ms)");
+            if let Some(path) = out {
+                std::fs::write(path, report)
+                    .unwrap_or_else(|e| fail(format!("writing {}: {e}", path.display())));
+                println!("report: {} bytes -> {}", report.len(), path.display());
+            }
+            match AnalysisResult::decode_report(report) {
+                Ok(res) => {
+                    if res.violations.is_empty() {
+                        println!("verdict: serializable (bound k={})", res.max_k);
+                    } else {
+                        println!(
+                            "verdict: {} violation(s){} (bound k={})",
+                            res.violations.len(),
+                            if res.generalized { ", generalized" } else { "" },
+                            res.max_k
+                        );
+                        for v in &res.violations {
+                            println!("  {v}");
+                        }
+                    }
+                    if res.stats.deadline_hit {
+                        println!("note: time budget hit; verdict is a lower bound");
+                    }
+                }
+                Err(e) => fail(format!("undecodable report: {e}")),
+            }
+        }
+        JobState::Cancelled => {
+            println!("state: cancelled");
+            exit(3)
+        }
+        JobState::Failed { message } => {
+            println!("state: failed ({message})");
+            exit(3)
+        }
+    }
+}
+
+fn pop(args: &mut Vec<String>) -> Option<String> {
+    if args.is_empty() {
+        None
+    } else {
+        Some(args.remove(0))
+    }
+}
+
+fn required(args: &mut Vec<String>, flag: &str) -> String {
+    pop(args).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        exit(2)
+    })
+}
+
+fn num<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> T {
+    required(args, flag).parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} needs a number");
+        exit(2)
+    })
+}

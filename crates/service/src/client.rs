@@ -1,0 +1,155 @@
+//! A blocking client for the `c4d` protocol.
+//!
+//! Connect-per-request keeps the client stateless and lets a submit
+//! with `wait` block server-side for its terminal state without
+//! head-of-line-blocking other requests. [`Client::submit_wait`] is the
+//! high-traffic path used by the differential tests, the bench and
+//! `c4 submit`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use c4::AnalysisFeatures;
+
+use crate::proto::{read_frame, write_frame, DaemonStats, JobState, Request, Response};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:4344`.
+    Tcp(String),
+}
+
+/// A blocking `c4d` client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    endpoint: Endpoint,
+}
+
+fn bad_reply(resp: Response) -> io::Error {
+    let msg = match resp {
+        Response::Error { message } => message,
+        other => format!("unexpected daemon reply: {other:?}"),
+    };
+    io::Error::new(io::ErrorKind::Other, msg)
+}
+
+impl Client {
+    /// A client for `endpoint` (no connection is made yet).
+    pub fn new(endpoint: Endpoint) -> Client {
+        Client { endpoint }
+    }
+
+    fn roundtrip(&self, req: &Request) -> io::Result<Response> {
+        let payload = req.encode();
+        let reply = match &self.endpoint {
+            Endpoint::Unix(path) => {
+                let mut s = UnixStream::connect(path)?;
+                exchange(&mut s, &payload)?
+            }
+            Endpoint::Tcp(addr) => {
+                let mut s = TcpStream::connect(addr.as_str())?;
+                exchange(&mut s, &payload)?
+            }
+        };
+        Ok(Response::decode(&reply)?)
+    }
+
+    /// Submits a program and blocks until its terminal [`JobState`].
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors, or the daemon's admission rejection.
+    pub fn submit_wait(
+        &self,
+        source: &str,
+        features: &AnalysisFeatures,
+    ) -> io::Result<(u64, JobState)> {
+        let req = Request::Submit {
+            wait: true,
+            features: features.clone(),
+            source: source.to_string(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Status { job_id, state } => Ok((job_id, state)),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Submits a program without waiting; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors, or the daemon's admission rejection.
+    pub fn submit(&self, source: &str, features: &AnalysisFeatures) -> io::Result<u64> {
+        let req = Request::Submit {
+            wait: false,
+            features: features.clone(),
+            source: source.to_string(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Submitted { job_id } => Ok(job_id),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// The job's current state.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors, or `unknown job`.
+    pub fn status(&self, job_id: u64) -> io::Result<JobState> {
+        match self.roundtrip(&Request::Status { job_id })? {
+            Response::Status { state, .. } => Ok(state),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Requests cancellation; `true` if the job was still cancellable.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors.
+    pub fn cancel(&self, job_id: u64) -> io::Result<bool> {
+        match self.roundtrip(&Request::Cancel { job_id })? {
+            Response::Cancelled { ok } => Ok(ok),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Daemon-wide statistics.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors.
+    pub fn stats(&self) -> io::Result<DaemonStats> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns once acknowledged
+    /// (all admitted jobs finished, cache index flushed).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(bad_reply(other)),
+        }
+    }
+}
+
+fn exchange(stream: &mut (impl Read + Write), payload: &[u8]) -> io::Result<Vec<u8>> {
+    write_frame(stream, payload)?;
+    read_frame(stream)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+    })
+}

@@ -1,0 +1,669 @@
+//! The `c4d` wire protocol: length-prefixed binary frames, std-only.
+//!
+//! Every message travels as one frame: a 4-byte big-endian payload
+//! length followed by the payload. The payload's first byte is a
+//! message tag; the rest is tag-specific, built from four primitives —
+//! `u8`, big-endian `u32`/`u64`, and UTF-8 strings/byte blobs with a
+//! `u32` length prefix. Frames are capped at [`MAX_FRAME`] so a corrupt
+//! or hostile peer cannot make either side allocate unboundedly.
+//!
+//! The protocol is versioned by [`PROTO_VERSION`], carried in every
+//! request; the daemon rejects other versions with an [`Response::Error`]
+//! rather than misparsing. Report payloads inside [`Response::Status`]
+//! use the independent report wire format of `c4::report` (itself
+//! versioned), so a cache serving old bytes can never be misdecoded.
+
+use std::io::{self, Read, Write};
+
+use c4::{AnalysisFeatures, CacheTier};
+
+/// Protocol version spoken by this build.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Maximum frame payload size (64 MiB): far above any realistic report,
+/// far below an allocation hazard.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// A client-to-daemon request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a CCL program for analysis. With `wait`, the response is
+    /// the terminal [`Response::Status`]; otherwise [`Response::Submitted`]
+    /// arrives as soon as the job is admitted.
+    Submit {
+        /// Block until the job reaches a terminal state.
+        wait: bool,
+        /// Analysis configuration for this job.
+        features: AnalysisFeatures,
+        /// CCL source text.
+        source: String,
+    },
+    /// Query a job's state.
+    Status {
+        /// The job id from [`Response::Submitted`].
+        job_id: u64,
+    },
+    /// Cooperatively cancel a queued or running job.
+    Cancel {
+        /// The job to cancel.
+        job_id: u64,
+    },
+    /// Daemon-wide statistics.
+    Stats,
+    /// Graceful shutdown: stop admitting, drain all admitted jobs,
+    /// flush the cache index, acknowledge, exit.
+    Shutdown,
+}
+
+/// A job's lifecycle state as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, not yet picked up by a scheduler worker.
+    Queued,
+    /// A worker is analyzing it.
+    Running,
+    /// Finished with a verdict.
+    Done {
+        /// Which cache tier served it ([`CacheTier::Miss`] = computed).
+        tier: CacheTier,
+        /// Milliseconds spent waiting in the queue.
+        queue_ms: u64,
+        /// Milliseconds spent in the analysis pipeline (≈0 on hits).
+        run_ms: u64,
+        /// The encoded report (`c4::AnalysisResult::encode_report`).
+        report: Vec<u8>,
+    },
+    /// Cancelled before completion (no verdict).
+    Cancelled,
+    /// The front end rejected the program, or the pipeline failed.
+    Failed {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Daemon-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs finished with a verdict.
+    pub completed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs failed (front-end errors).
+    pub failed: u64,
+    /// Submissions rejected by admission control (queue full / draining).
+    pub rejected: u64,
+    /// Jobs currently queued.
+    pub queue_len: u64,
+    /// Jobs currently running.
+    pub running: u64,
+    /// Queue capacity (admission bound).
+    pub queue_cap: u64,
+    /// Scheduler worker threads.
+    pub workers: u64,
+    /// Cache: in-memory hits.
+    pub cache_mem_hits: u64,
+    /// Cache: on-disk hits.
+    pub cache_disk_hits: u64,
+    /// Cache: misses.
+    pub cache_misses: u64,
+    /// Cache: reports stored.
+    pub cache_stores: u64,
+    /// Cache: LRU evictions.
+    pub cache_evictions: u64,
+    /// Cache: stale/corrupt disk entries dropped.
+    pub cache_stale_drops: u64,
+    /// Cache: entries resident in memory.
+    pub cache_mem_entries: u64,
+    /// Cache: entries on disk.
+    pub cache_disk_entries: u64,
+}
+
+/// A daemon-to-client response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A no-wait submission was admitted.
+    Submitted {
+        /// The id for `status` / `cancel`.
+        job_id: u64,
+    },
+    /// A job's current state (terminal for submit-wait responses).
+    Status {
+        /// The job.
+        job_id: u64,
+        /// Its state.
+        state: JobState,
+    },
+    /// Outcome of a cancel request.
+    Cancelled {
+        /// Whether the job existed and was still cancellable.
+        ok: bool,
+    },
+    /// Daemon statistics.
+    Stats(DaemonStats),
+    /// Shutdown acknowledged: all admitted jobs drained, index flushed.
+    ShutdownAck,
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A protocol decode failure (maps to an I/O error at the stream layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub &'static str);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError("truncated frame"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(ProtoError("length exceeds frame"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.bytes()?).map_err(|_| ProtoError("non-UTF-8 string"))
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ProtoError("bad boolean")),
+        }
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError("trailing bytes in frame"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AnalysisFeatures
+// ---------------------------------------------------------------------
+
+fn put_features(out: &mut Vec<u8>, f: &AnalysisFeatures) {
+    let bits: u16 = (f.commutativity as u16)
+        | (f.absorption as u16) << 1
+        | (f.constraints as u16) << 2
+        | (f.control_flow as u16) << 3
+        | (f.asymmetric as u16) << 4
+        | (f.freshness as u16) << 5
+        | (f.ret_justification as u16) << 6
+        | (f.validate_counterexamples as u16) << 7
+        | (f.incremental_smt as u16) << 8;
+    out.extend_from_slice(&bits.to_be_bytes());
+    put_u32(out, f.max_k as u32);
+    put_u64(out, f.time_budget_secs);
+    put_u32(out, f.parallelism as u32);
+}
+
+fn read_features(r: &mut Reader<'_>) -> Result<AnalysisFeatures, ProtoError> {
+    let bits = r.u16()?;
+    let bit = |i: u16| bits & (1 << i) != 0;
+    Ok(AnalysisFeatures {
+        commutativity: bit(0),
+        absorption: bit(1),
+        constraints: bit(2),
+        control_flow: bit(3),
+        asymmetric: bit(4),
+        freshness: bit(5),
+        ret_justification: bit(6),
+        validate_counterexamples: bit(7),
+        incremental_smt: bit(8),
+        max_k: r.u32()? as usize,
+        time_budget_secs: r.u64()?,
+        parallelism: r.u32()? as usize,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+const REQ_SUBMIT: u8 = 0x01;
+const REQ_STATUS: u8 = 0x02;
+const REQ_CANCEL: u8 = 0x03;
+const REQ_STATS: u8 = 0x04;
+const REQ_SHUTDOWN: u8 = 0x05;
+
+const RESP_SUBMITTED: u8 = 0x81;
+const RESP_STATUS: u8 = 0x82;
+const RESP_CANCELLED: u8 = 0x83;
+const RESP_STATS: u8 = 0x84;
+const RESP_SHUTDOWN_ACK: u8 = 0x85;
+const RESP_ERROR: u8 = 0x86;
+
+const STATE_QUEUED: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_DONE: u8 = 2;
+const STATE_CANCELLED: u8 = 3;
+const STATE_FAILED: u8 = 4;
+
+fn tier_code(t: CacheTier) -> u8 {
+    match t {
+        CacheTier::Miss => 0,
+        CacheTier::Memory => 1,
+        CacheTier::Disk => 2,
+    }
+}
+
+fn tier_of(code: u8) -> Result<CacheTier, ProtoError> {
+    Ok(match code {
+        0 => CacheTier::Miss,
+        1 => CacheTier::Memory,
+        2 => CacheTier::Disk,
+        _ => return Err(ProtoError("bad cache tier")),
+    })
+}
+
+impl Request {
+    /// Encodes the request payload (version header included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Submit { wait, features, source } => {
+                out.push(REQ_SUBMIT);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+                out.push(*wait as u8);
+                put_features(&mut out, features);
+                put_str(&mut out, source);
+            }
+            Request::Status { job_id } => {
+                out.push(REQ_STATUS);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+                put_u64(&mut out, *job_id);
+            }
+            Request::Cancel { job_id } => {
+                out.push(REQ_CANCEL);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+                put_u64(&mut out, *job_id);
+            }
+            Request::Stats => {
+                out.push(REQ_STATS);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+            }
+            Request::Shutdown => {
+                out.push(REQ_SHUTDOWN);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed bytes or a version mismatch.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let version = r.u16()?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError("unsupported protocol version"));
+        }
+        let req = match tag {
+            REQ_SUBMIT => Request::Submit {
+                wait: r.bool()?,
+                features: read_features(&mut r)?,
+                source: r.str()?,
+            },
+            REQ_STATUS => Request::Status { job_id: r.u64()? },
+            REQ_CANCEL => Request::Cancel { job_id: r.u64()? },
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            _ => return Err(ProtoError("unknown request tag")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+fn put_state(out: &mut Vec<u8>, s: &JobState) {
+    match s {
+        JobState::Queued => out.push(STATE_QUEUED),
+        JobState::Running => out.push(STATE_RUNNING),
+        JobState::Done { tier, queue_ms, run_ms, report } => {
+            out.push(STATE_DONE);
+            out.push(tier_code(*tier));
+            put_u64(out, *queue_ms);
+            put_u64(out, *run_ms);
+            put_bytes(out, report);
+        }
+        JobState::Cancelled => out.push(STATE_CANCELLED),
+        JobState::Failed { message } => {
+            out.push(STATE_FAILED);
+            put_str(out, message);
+        }
+    }
+}
+
+fn read_state(r: &mut Reader<'_>) -> Result<JobState, ProtoError> {
+    Ok(match r.u8()? {
+        STATE_QUEUED => JobState::Queued,
+        STATE_RUNNING => JobState::Running,
+        STATE_DONE => JobState::Done {
+            tier: tier_of(r.u8()?)?,
+            queue_ms: r.u64()?,
+            run_ms: r.u64()?,
+            report: r.bytes()?,
+        },
+        STATE_CANCELLED => JobState::Cancelled,
+        STATE_FAILED => JobState::Failed { message: r.str()? },
+        _ => return Err(ProtoError("unknown job state")),
+    })
+}
+
+impl Response {
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Submitted { job_id } => {
+                out.push(RESP_SUBMITTED);
+                put_u64(&mut out, *job_id);
+            }
+            Response::Status { job_id, state } => {
+                out.push(RESP_STATUS);
+                put_u64(&mut out, *job_id);
+                put_state(&mut out, state);
+            }
+            Response::Cancelled { ok } => {
+                out.push(RESP_CANCELLED);
+                out.push(*ok as u8);
+            }
+            Response::Stats(s) => {
+                out.push(RESP_STATS);
+                for v in [
+                    s.uptime_ms,
+                    s.submitted,
+                    s.completed,
+                    s.cancelled,
+                    s.failed,
+                    s.rejected,
+                    s.queue_len,
+                    s.running,
+                    s.queue_cap,
+                    s.workers,
+                    s.cache_mem_hits,
+                    s.cache_disk_hits,
+                    s.cache_misses,
+                    s.cache_stores,
+                    s.cache_evictions,
+                    s.cache_stale_drops,
+                    s.cache_mem_entries,
+                    s.cache_disk_entries,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+            Response::Error { message } => {
+                out.push(RESP_ERROR);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            RESP_SUBMITTED => Response::Submitted { job_id: r.u64()? },
+            RESP_STATUS => Response::Status { job_id: r.u64()?, state: read_state(&mut r)? },
+            RESP_CANCELLED => Response::Cancelled { ok: r.bool()? },
+            RESP_STATS => {
+                let mut vals = [0u64; 18];
+                for v in &mut vals {
+                    *v = r.u64()?;
+                }
+                Response::Stats(DaemonStats {
+                    uptime_ms: vals[0],
+                    submitted: vals[1],
+                    completed: vals[2],
+                    cancelled: vals[3],
+                    failed: vals[4],
+                    rejected: vals[5],
+                    queue_len: vals[6],
+                    running: vals[7],
+                    queue_cap: vals[8],
+                    workers: vals[9],
+                    cache_mem_hits: vals[10],
+                    cache_disk_hits: vals[11],
+                    cache_misses: vals[12],
+                    cache_stores: vals[13],
+                    cache_evictions: vals[14],
+                    cache_stale_drops: vals[15],
+                    cache_mem_entries: vals[16],
+                    cache_disk_entries: vals[17],
+                })
+            }
+            RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_ERROR => Response::Error { message: r.str()? },
+            _ => return Err(ProtoError("unknown response tag")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors from the underlying stream; `InvalidInput` if the payload
+/// exceeds [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `None` on a clean EOF at a
+/// frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` for frames exceeding [`MAX_FRAME`] or EOF
+/// mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let mut f = AnalysisFeatures::default();
+        f.parallelism = 3;
+        f.incremental_smt = false;
+        f.max_k = 6;
+        f.time_budget_secs = 17;
+        let reqs = [
+            Request::Submit { wait: true, features: f.clone(), source: "store { map M; }".into() },
+            Request::Submit { wait: false, features: f, source: String::new() },
+            Request::Status { job_id: 42 },
+            Request::Cancel { job_id: u64::MAX },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Submitted { job_id: 7 },
+            Response::Status { job_id: 7, state: JobState::Queued },
+            Response::Status { job_id: 7, state: JobState::Running },
+            Response::Status {
+                job_id: 7,
+                state: JobState::Done {
+                    tier: CacheTier::Disk,
+                    queue_ms: 12,
+                    run_ms: 3456,
+                    report: vec![1, 2, 3],
+                },
+            },
+            Response::Status { job_id: 7, state: JobState::Cancelled },
+            Response::Status {
+                job_id: 7,
+                state: JobState::Failed { message: "parse error at line 3".into() },
+            },
+            Response::Cancelled { ok: true },
+            Response::Stats(DaemonStats { submitted: 4, cache_disk_entries: 9, ..Default::default() }),
+            Response::ShutdownAck,
+            Response::Error { message: "queue full".into() },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xff, 0, 1]).is_err());
+        // Wrong protocol version.
+        let mut bytes = Request::Stats.encode();
+        bytes[2] = bytes[2].wrapping_add(1);
+        assert!(Request::decode(&bytes).is_err());
+        // Trailing bytes.
+        let mut bytes = Request::Stats.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        assert!(Response::decode(&[0x77]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+        // Oversized length prefix is rejected without allocating.
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        assert!(read_frame(&mut io::Cursor::new(huge.to_vec())).is_err());
+        // EOF mid-frame is an error, not a clean close.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"abcdef").unwrap();
+        torn.truncate(7);
+        let mut cur = io::Cursor::new(torn);
+        assert!(read_frame(&mut cur).is_err());
+    }
+}

@@ -1,0 +1,560 @@
+//! The `c4d` daemon: accept loops, scheduler workers, the
+//! cache-then-compute pipeline, and graceful shutdown.
+//!
+//! One daemon owns a single [`VerdictCache`] and a bounded
+//! [`Scheduler`]. Acceptor threads (one per listener) spawn a handler
+//! per connection; handlers translate [`Request`]s into job-table and
+//! scheduler operations. Worker threads loop on the queue and run the
+//! pipeline per job: parse → canonicalize → cache lookup → on a miss,
+//! the bounded search with the job's [`CancelToken`] threaded into the
+//! checker's deadline checks; completed full verdicts are stored back.
+//! Partial (deadline-hit) verdicts are served but never cached, which
+//! is what makes excluding the time budget from the cache key sound.
+//!
+//! Graceful shutdown (the `Shutdown` request) stops admission, drains
+//! every admitted job, flushes the cache index, acknowledges, then
+//! wakes the acceptors with dummy connections so `ServerHandle::wait`
+//! can join every thread and remove the socket file.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use c4::{CacheKey, CacheTier, VerdictCache};
+
+use crate::job::{CancelOutcome, Job, Scheduler};
+use crate::proto::{
+    read_frame, write_frame, DaemonStats, JobState, ProtoError, Request, Response,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-domain socket path to listen on (stale files are replaced).
+    pub unix_socket: Option<PathBuf>,
+    /// TCP address to listen on, e.g. `127.0.0.1:4344`.
+    pub tcp: Option<String>,
+    /// On-disk cache directory; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory LRU capacity (entries).
+    pub mem_cache: usize,
+    /// Scheduler worker threads (concurrent jobs).
+    pub workers: usize,
+    /// Queue capacity (admission bound, excluding running jobs).
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            unix_socket: None,
+            tcp: None,
+            cache_dir: None,
+            mem_cache: 256,
+            workers: 1,
+            queue_cap: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct Daemon {
+    cache: VerdictCache,
+    sched: Scheduler,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+    started: Instant,
+    workers: usize,
+    // Listener endpoints, kept to send the shutdown wake-up connections.
+    unix_path: Option<PathBuf>,
+    tcp_addr: Option<String>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    fn submit(&self, wait: bool, features: c4::AnalysisFeatures, source: String) -> Response {
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::Error { message: "daemon is shutting down".into() };
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(id, source, features);
+        self.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        if !self.sched.try_enqueue(Arc::clone(&job)) {
+            self.jobs.lock().unwrap().remove(&id);
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::Error {
+                message: format!("queue full ({} jobs queued)", self.sched.queue_cap),
+            };
+        }
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if wait {
+            let state = job.wait_terminal();
+            Response::Status { job_id: id, state }
+        } else {
+            Response::Submitted { job_id: id }
+        }
+    }
+
+    fn status(&self, job_id: u64) -> Response {
+        match self.jobs.lock().unwrap().get(&job_id) {
+            Some(job) => Response::Status { job_id, state: job.state() },
+            None => Response::Error { message: format!("unknown job {job_id}") },
+        }
+    }
+
+    fn cancel(&self, job_id: u64) -> Response {
+        let job = match self.jobs.lock().unwrap().get(&job_id) {
+            Some(job) => Arc::clone(job),
+            None => return Response::Cancelled { ok: false },
+        };
+        match job.try_cancel() {
+            CancelOutcome::CancelledNow => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                Response::Cancelled { ok: true }
+            }
+            CancelOutcome::Requested => Response::Cancelled { ok: true },
+            CancelOutcome::TooLate => Response::Cancelled { ok: false },
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let (queue_len, running) = self.sched.lens();
+        let cc = self.cache.counters();
+        Response::Stats(DaemonStats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            queue_len: queue_len as u64,
+            running: running as u64,
+            queue_cap: self.sched.queue_cap as u64,
+            workers: self.workers as u64,
+            cache_mem_hits: cc.mem_hits,
+            cache_disk_hits: cc.disk_hits,
+            cache_misses: cc.misses,
+            cache_stores: cc.stores,
+            cache_evictions: cc.evictions,
+            cache_stale_drops: cc.stale_drops,
+            cache_mem_entries: self.cache.mem_len() as u64,
+            cache_disk_entries: self.cache.disk_len() as u64,
+        })
+    }
+
+    /// Graceful shutdown: refuse new work, drain everything admitted,
+    /// persist the cache index. Idempotent; callable from any handler.
+    fn shutdown_and_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.sched.begin_drain();
+        self.sched.await_drained();
+        if let Err(e) = self.cache.flush_index() {
+            eprintln!("c4d: failed to flush cache index: {e}");
+        }
+    }
+
+    /// Wakes blocked acceptors so they observe the shutdown flag. A
+    /// failed connect means the acceptor is already gone — fine.
+    fn wake_acceptors(&self) {
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+        if let Some(addr) = &self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// One scheduler worker: run jobs until drained.
+    fn worker_loop(self: &Arc<Self>) {
+        while let Some(job) = self.sched.next() {
+            if job.claim_for_run() {
+                self.process(&job);
+            }
+            self.sched.done_one();
+        }
+    }
+
+    /// The per-job pipeline. The job is already in the `Running` state.
+    fn process(&self, job: &Job) {
+        let queue_ms = job.submitted_at.elapsed().as_millis() as u64;
+        let run_start = Instant::now();
+        let done = |tier: CacheTier, report: Vec<u8>| JobState::Done {
+            tier,
+            queue_ms,
+            run_ms: run_start.elapsed().as_millis() as u64,
+            report,
+        };
+
+        let canon = match crate::canonical_source(&job.source) {
+            Ok(canon) => canon,
+            Err(e) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                job.set_state(JobState::Failed { message: e.to_string() });
+                return;
+            }
+        };
+        let key = CacheKey::derive(&canon, "program", &job.features);
+        if let Some((bytes, tier)) = self.cache.lookup(&key) {
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            job.set_state(done(tier, bytes));
+            return;
+        }
+
+        let result = match crate::run_analysis_cancellable(
+            &job.source,
+            &job.features,
+            Some(job.cancel.clone()),
+        ) {
+            Ok(result) => result,
+            Err(e) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                job.set_state(JobState::Failed { message: e.to_string() });
+                return;
+            }
+        };
+        if job.cancel.is_cancelled() {
+            // The partial result is an artifact of where cancellation
+            // landed — discard it rather than serve or cache it.
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            job.set_state(JobState::Cancelled);
+            return;
+        }
+        let bytes = result.encode_report();
+        if !result.stats.deadline_hit {
+            self.cache.store(&key, &bytes);
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        job.set_state(done(CacheTier::Miss, bytes));
+    }
+
+    /// Serves one connection: a loop of request frames until EOF.
+    /// Returns `true` if this connection requested shutdown.
+    fn handle_conn(self: &Arc<Self>, stream: &mut (impl io::Read + io::Write)) -> bool {
+        loop {
+            let payload = match read_frame(stream) {
+                Ok(Some(payload)) => payload,
+                Ok(None) | Err(_) => return false,
+            };
+            let (resp, is_shutdown) = match Request::decode(&payload) {
+                Ok(Request::Submit { wait, features, source }) => {
+                    (self.submit(wait, features, source), false)
+                }
+                Ok(Request::Status { job_id }) => (self.status(job_id), false),
+                Ok(Request::Cancel { job_id }) => (self.cancel(job_id), false),
+                Ok(Request::Stats) => (self.stats(), false),
+                Ok(Request::Shutdown) => {
+                    self.shutdown_and_drain();
+                    (Response::ShutdownAck, true)
+                }
+                Err(ProtoError(msg)) => {
+                    (Response::Error { message: format!("protocol error: {msg}") }, false)
+                }
+            };
+            if write_frame(stream, &resp.encode()).is_err() {
+                return is_shutdown;
+            }
+            if is_shutdown {
+                return true;
+            }
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept_loop(self, daemon: Arc<Daemon>) {
+        loop {
+            if daemon.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let accepted: io::Result<Box<dyn ConnStream>> = match &self {
+                Listener::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn ConnStream>),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn ConnStream>),
+            };
+            let mut stream = match accepted {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            if daemon.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let d = Arc::clone(&daemon);
+            let handle = std::thread::spawn(move || {
+                if d.handle_conn(&mut stream) {
+                    d.wake_acceptors();
+                }
+            });
+            daemon.conn_threads.lock().unwrap().push(handle);
+        }
+    }
+}
+
+trait ConnStream: io::Read + io::Write + Send {}
+impl ConnStream for UnixStream {}
+impl ConnStream for TcpStream {}
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// call [`wait`](ServerHandle::wait) after a client-initiated shutdown.
+pub struct ServerHandle {
+    daemon: Arc<Daemon>,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// The bound TCP address (with the OS-assigned port if `:0` was
+    /// requested), for clients.
+    pub tcp_addr: Option<String>,
+}
+
+impl ServerHandle {
+    /// Blocks until the daemon has fully shut down (a client sent
+    /// `Shutdown` and every thread exited), then removes the socket
+    /// file.
+    pub fn wait(self) {
+        for h in self.acceptors {
+            let _ = h.join();
+        }
+        for h in self.workers {
+            let _ = h.join();
+        }
+        // Handlers spawned before the acceptors exited.
+        let handles: Vec<_> = self.daemon.conn_threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.daemon.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Starts the daemon: binds the configured listeners, spawns the
+/// scheduler workers and acceptors, and returns immediately.
+///
+/// # Errors
+///
+/// I/O errors binding a listener or opening the cache directory;
+/// `InvalidInput` if no listener is configured.
+pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    if cfg.unix_socket.is_none() && cfg.tcp.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no listener configured (need a socket path or TCP address)",
+        ));
+    }
+    let cache = match &cfg.cache_dir {
+        Some(dir) => VerdictCache::open(dir, cfg.mem_cache)?,
+        None => VerdictCache::in_memory(cfg.mem_cache),
+    };
+
+    let mut listeners = Vec::new();
+    if let Some(path) = &cfg.unix_socket {
+        // A stale socket file from a crashed daemon would make bind
+        // fail; replace it. A *live* daemon is not detected here —
+        // callers use distinct paths per instance.
+        let _ = std::fs::remove_file(path);
+        listeners.push(Listener::Unix(UnixListener::bind(path)?));
+    }
+    let mut tcp_addr = None;
+    if let Some(addr) = &cfg.tcp {
+        let l = TcpListener::bind(addr.as_str())?;
+        tcp_addr = Some(l.local_addr()?.to_string());
+        listeners.push(Listener::Tcp(l));
+    }
+
+    let workers = cfg.workers.max(1);
+    let daemon = Arc::new(Daemon {
+        cache,
+        sched: Scheduler::new(cfg.queue_cap),
+        jobs: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+        started: Instant::now(),
+        workers,
+        unix_path: cfg.unix_socket.clone(),
+        tcp_addr: tcp_addr.clone(),
+        conn_threads: Mutex::new(Vec::new()),
+    });
+
+    let worker_handles = (0..workers)
+        .map(|_| {
+            let d = Arc::clone(&daemon);
+            std::thread::spawn(move || d.worker_loop())
+        })
+        .collect();
+    let acceptor_handles = listeners
+        .into_iter()
+        .map(|l| {
+            let d = Arc::clone(&daemon);
+            std::thread::spawn(move || l.accept_loop(d))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        daemon,
+        acceptors: acceptor_handles,
+        workers: worker_handles,
+        tcp_addr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, Endpoint};
+
+    const PROG: &str = "store { map M; }\n\
+        txn t1() { M.put(1, 10); }\n\
+        txn t2() { M.put(1, 20); }\n\
+        session { t1 }\n\
+        session { t2 }";
+
+    fn start(cache_dir: Option<PathBuf>) -> (ServerHandle, Client) {
+        let handle = serve(ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            cache_dir,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("daemon starts");
+        let client = Client::new(Endpoint::Tcp(handle.tcp_addr.clone().unwrap()));
+        (handle, client)
+    }
+
+    fn report_of(state: JobState) -> (CacheTier, Vec<u8>) {
+        match state {
+            JobState::Done { tier, report, .. } => (tier, report),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_hits_cache_on_resubmission_and_shuts_down_cleanly() {
+        let (handle, client) = start(None);
+
+        let (id1, st1) = client.submit_wait(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        let (tier1, rep1) = report_of(st1);
+        assert_eq!(tier1, CacheTier::Miss, "cold submission computes");
+
+        // Reformatted source, different strategy knobs: same cache key.
+        let reformatted = PROG.replace('\n', " ").replace("  ", " ");
+        let mut f2 = c4::AnalysisFeatures::default();
+        f2.parallelism = 2;
+        let (id2, st2) = client.submit_wait(&reformatted, &f2).unwrap();
+        let (tier2, rep2) = report_of(st2);
+        assert_eq!(tier2, CacheTier::Memory, "warm resubmission hits memory");
+        assert_eq!(rep1, rep2, "cache serves byte-identical reports");
+        assert_ne!(id1, id2);
+
+        // Status of a finished job is queryable; unknown jobs error.
+        assert!(matches!(client.status(id1).unwrap(), JobState::Done { .. }));
+        assert!(client.status(9999).is_err());
+        assert!(!client.cancel(id1).unwrap(), "terminal jobs are not cancellable");
+
+        // Front-end failures surface as Failed, not crashes.
+        let (_, st) = client.submit_wait("store {", &c4::AnalysisFeatures::default()).unwrap();
+        assert!(matches!(st, JobState::Failed { .. }));
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.cache_mem_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+
+        client.shutdown().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn disk_cache_survives_daemon_restart() {
+        let dir = std::env::temp_dir().join(format!("c4d-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (handle, client) = start(Some(dir.clone()));
+        let (_, st) = client.submit_wait(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        let (tier, rep_cold) = report_of(st);
+        assert_eq!(tier, CacheTier::Miss);
+        client.shutdown().unwrap();
+        handle.wait();
+
+        // A fresh daemon over the same directory serves from disk.
+        let (handle, client) = start(Some(dir.clone()));
+        let (_, st) = client.submit_wait(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        let (tier, rep_warm) = report_of(st);
+        assert_eq!(tier, CacheTier::Disk, "restarted daemon hits the persisted cache");
+        assert_eq!(rep_cold, rep_warm);
+        client.shutdown().unwrap();
+        handle.wait();
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queued_jobs_cancel_and_draining_daemon_rejects_submissions() {
+        // One worker: occupy it, then cancel a job stuck behind it.
+        let handle = serve(ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let client = Client::new(Endpoint::Tcp(handle.tcp_addr.clone().unwrap()));
+
+        // A conflict-heavy program with a large bound keeps the single
+        // worker busy for hundreds of milliseconds — orders of
+        // magnitude longer than the sub-millisecond submit/cancel
+        // round-trips below.
+        let slow_prog = "store { map M; map N; }\n\
+            txn a(k, v) { M.put(k, v); N.put(k, v); }\n\
+            txn b(k) { if (M.contains(k)) { N.remove(k); } }\n\
+            txn c(k, v) { N.put(k, v); M.remove(k); }\n\
+            txn d(k) { if (N.contains(k)) { M.put(k, 1); } }\n\
+            session { a, b, c }\n\
+            session { c, d, a }\n\
+            session { a, d, b }\n\
+            session { b, c, d }\n\
+            session { d, a, c }";
+        let mut slow = c4::AnalysisFeatures::default();
+        slow.max_k = 15;
+        let blocker = client.submit(slow_prog, &slow).unwrap();
+        // Wait until the worker has actually claimed the blocker, so
+        // the next submission is deterministically stuck behind it.
+        while client.status(blocker).unwrap() == JobState::Queued {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let queued = client.submit(slow_prog, &slow).unwrap();
+        assert!(client.cancel(queued).unwrap(), "queued job cancels");
+        assert_eq!(client.status(queued).unwrap(), JobState::Cancelled);
+        // Cancel the blocker too so shutdown drains fast (cooperative:
+        // the worker stops at its next deadline checkpoint).
+        client.cancel(blocker).unwrap();
+
+        client.shutdown().unwrap();
+        assert!(
+            client.submit(slow_prog, &slow).is_err(),
+            "draining daemon rejects new submissions"
+        );
+        handle.wait();
+    }
+}

@@ -21,7 +21,10 @@ mod td;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
-use c4::{filter, AnalysisFeatures, AnalysisStats, Checker};
+use c4::{
+    filter, AnalysisFeatures, AnalysisResult, AnalysisStats, CacheCounters, CacheKey, Checker,
+    VerdictCache,
+};
 
 /// Which evaluation domain a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +128,9 @@ pub struct BenchOutcome {
     pub max_k: usize,
     /// Merged analysis statistics.
     pub stats: AnalysisStats,
+    /// Verdict-cache activity attributable to this benchmark (all zero
+    /// when analyzed without a cache).
+    pub cache: CacheCounters,
 }
 
 impl BenchOutcome {
@@ -158,15 +164,63 @@ fn count(vs: &[(BTreeSet<String>, Class)]) -> Counts {
 /// Panics if the benchmark source fails to parse or interpret (suite
 /// sources are fixed and tested).
 pub fn analyze(b: &Benchmark, features: &AnalysisFeatures) -> BenchOutcome {
+    analyze_with_cache(b, features, None)
+}
+
+/// [`analyze`] with an optional content-addressed verdict cache.
+///
+/// Each checker run of the pipeline — the unfiltered analysis and every
+/// filtered atomic-set view — is cached independently, keyed by the
+/// canonical CCL source, a per-run tag (`"unfiltered"` /
+/// `"filtered:<view>"`) and the verdict-relevant features. Cached
+/// verdicts are byte-stable, so a warm [`BenchOutcome`] carries exactly
+/// the same violations, classifications, `generalized` flag, `max_k`
+/// and replay counters as a cold one; only timings (and the
+/// scheduling-dependent stats, which are zero on hits) differ. Partial
+/// (deadline-hit) results are never stored. The filtered views reuse
+/// the transaction indices of the full history, so cached view verdicts
+/// re-classify correctly.
+///
+/// # Panics
+///
+/// Panics if the benchmark source fails to parse or interpret (suite
+/// sources are fixed and tested).
+pub fn analyze_with_cache(
+    b: &Benchmark,
+    features: &AnalysisFeatures,
+    cache: Option<&VerdictCache>,
+) -> BenchOutcome {
     let fe_start = Instant::now();
     let program = c4_lang::parse(b.source).expect("suite sources parse");
     let history = c4_lang::abstract_history(&program).expect("suite sources interpret");
+    let canon = cache.map(|_| c4_lang::canonical(&program));
     let fe_time = fe_start.elapsed();
+    let counters_before = cache.map(|c| c.counters()).unwrap_or_default();
+
+    let run = |history: c4::AbstractHistory, tag: &str| -> AnalysisResult {
+        let key = cache
+            .map(|_| CacheKey::derive(canon.as_deref().unwrap(), tag, features));
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            if let Some((bytes, _tier)) = cache.lookup(key) {
+                return AnalysisResult::decode_report(&bytes)
+                    .expect("cache returns only decode-validated entries");
+            }
+        }
+        let res = Checker::new(history, features.clone()).run();
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            // A deadline-hit verdict is partial; caching it would let a
+            // short-budget run shadow a complete one.
+            if !res.stats.deadline_hit {
+                cache.store(key, &res.encode_report());
+            }
+        }
+        res
+    };
 
     let be_start = Instant::now();
     let mut stats = AnalysisStats::default();
     // Unfiltered run: everything analyzed together.
-    let unfiltered_res = Checker::new(history.clone(), features.clone()).run();
+    let unfiltered_res = run(history.clone(), "unfiltered");
     stats.absorb(&unfiltered_res.stats);
     let name_of = |i: usize| history.txs[i].name.clone();
     let mut unfiltered: Vec<(BTreeSet<String>, Class)> = Vec::new();
@@ -182,8 +236,8 @@ pub fn analyze(b: &Benchmark, features: &AnalysisFeatures) -> BenchOutcome {
     let mut filtered: Vec<(BTreeSet<String>, Class)> = Vec::new();
     let mut generalized = unfiltered_res.generalized;
     let mut max_k = unfiltered_res.max_k;
-    for view in filter::atomic_set_views(&base) {
-        let res = Checker::new(view, features.clone()).run();
+    for (vi, view) in filter::atomic_set_views(&base).into_iter().enumerate() {
+        let res = run(view, &format!("filtered:{vi}"));
         stats.absorb(&res.stats);
         generalized &= res.generalized;
         max_k = max_k.max(res.max_k);
@@ -206,6 +260,7 @@ pub fn analyze(b: &Benchmark, features: &AnalysisFeatures) -> BenchOutcome {
         generalized,
         max_k,
         stats,
+        cache: cache.map(|c| c.counters().since(&counters_before)).unwrap_or_default(),
     }
 }
 
@@ -222,6 +277,33 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(!h.txs.is_empty(), "{} has no transactions", b.name);
             assert!(h.event_count() > 0, "{} has no events", b.name);
+        }
+    }
+
+    #[test]
+    fn cached_analysis_reproduces_direct_analysis() {
+        let features = AnalysisFeatures::default();
+        let cache = VerdictCache::in_memory(64);
+        for name in ["Tetris", "killrchat"] {
+            let b = benchmark(name).unwrap();
+            let direct = analyze(&b, &features);
+            let cold = analyze_with_cache(&b, &features, Some(&cache));
+            let warm = analyze_with_cache(&b, &features, Some(&cache));
+            assert_eq!(cold.cache.mem_hits, 0, "{name}: first cached run computes");
+            assert!(cold.cache.stores > 0, "{name}: first cached run stores");
+            assert_eq!(warm.cache.misses, 0, "{name}: second cached run all-hits");
+            assert_eq!(warm.cache.mem_hits, cold.cache.stores, "{name}: hit per stored run");
+            for out in [&cold, &warm] {
+                assert_eq!(out.unfiltered, direct.unfiltered, "{name}");
+                assert_eq!(out.filtered, direct.filtered, "{name}");
+                assert_eq!(out.generalized, direct.generalized, "{name}");
+                assert_eq!(out.max_k, direct.max_k, "{name}");
+                assert_eq!(
+                    out.stats.replay_counters(),
+                    direct.stats.replay_counters(),
+                    "{name}"
+                );
+            }
         }
     }
 

@@ -43,6 +43,61 @@ echo "==> table1 smoke, --no-incremental"
 echo "==> encode_vs_incremental bench smoke"
 cargo bench -p c4-bench --bench encode_vs_incremental -- --test
 
+# Daemon smoke: start c4d over a temp cache dir, submit two suite
+# programs twice (second round must be cache hits with byte-identical
+# reports), exercise cancellation on a large-bound job, and shut down
+# gracefully (drains, flushes the index, exits 0).
+echo "==> c4d daemon smoke"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SOCK="$SMOKE_DIR/c4d.sock"
+CACHE="$SMOKE_DIR/cache"
+
+./target/release/c4d --socket "$SOCK" --cache-dir "$CACHE" --jobs 1 &
+C4D_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "c4d did not come up" >&2; exit 1; }
+
+./target/release/suite_src "Super Chat" > "$SMOKE_DIR/a.ccl"
+./target/release/suite_src "cassandra-lock" > "$SMOKE_DIR/b.ccl"
+
+# Round 1: cold, both programs computed.
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/a1.bin" "$SMOKE_DIR/a.ccl" | grep -q "done (miss"
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/b1.bin" "$SMOKE_DIR/b.ccl" | grep -q "done (miss"
+# Round 2: warm, both served from cache, byte-identical reports.
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/a2.bin" "$SMOKE_DIR/a.ccl" | grep -q "done (hit"
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/b2.bin" "$SMOKE_DIR/b.ccl" | grep -q "done (hit"
+cmp "$SMOKE_DIR/a1.bin" "$SMOKE_DIR/a2.bin"
+cmp "$SMOKE_DIR/b1.bin" "$SMOKE_DIR/b2.bin"
+
+# Cancellation: occupy the single worker with a conflict-heavy
+# large-bound job, then cancel a job queued behind it (deterministic:
+# the queued job cannot have started).
+cat > "$SMOKE_DIR/slow.ccl" <<'CCL'
+store { map M; map N; }
+txn a(k, v) { M.put(k, v); N.put(k, v); }
+txn b(k) { if (M.contains(k)) { N.remove(k); } }
+txn c(k, v) { N.put(k, v); M.remove(k); }
+txn d(k) { if (N.contains(k)) { M.put(k, 1); } }
+session { a, b, c }
+session { c, d, a }
+session { a, d, b }
+session { b, c, d }
+session { d, a, c }
+CCL
+BLOCKER=$(./target/release/c4 --socket "$SOCK" submit --no-wait --max-k 15 "$SMOKE_DIR/slow.ccl" | awk '{print $2}')
+until ./target/release/c4 --socket "$SOCK" status "$BLOCKER" | grep -q "running\|done"; do sleep 0.05; done
+QUEUED=$(./target/release/c4 --socket "$SOCK" submit --no-wait --max-k 15 "$SMOKE_DIR/slow.ccl" | awk '{print $2}')
+./target/release/c4 --socket "$SOCK" cancel "$QUEUED" | grep -q "cancelled"
+(./target/release/c4 --socket "$SOCK" status "$QUEUED" || true) | grep -q "state: cancelled"
+./target/release/c4 --socket "$SOCK" cancel "$BLOCKER" >/dev/null || true
+
+./target/release/c4 --socket "$SOCK" stats | grep -q "cache hits"
+./target/release/c4 --socket "$SOCK" shutdown
+wait "$C4D_PID"
+[ ! -S "$SOCK" ] || { echo "c4d left its socket behind" >&2; exit 1; }
+echo "==> c4d daemon smoke OK"
+
 # The determinism suite guarantees identical results at any thread count;
 # speedup is only observable with real hardware parallelism, so the
 # scaling expectation is informational on single-core machines.

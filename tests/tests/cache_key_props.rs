@@ -1,0 +1,156 @@
+//! Properties of the content-addressed cache key: reformatting a
+//! program without changing its AST never changes its key (no spurious
+//! misses), and programs with different canonical forms never share a
+//! key in a sampled population (no collisions the analysis would serve
+//! a wrong verdict for).
+
+use c4::{AnalysisFeatures, CacheKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// -------------------------------------------------------------------
+// Random CCL programs (source-level; every generated program parses)
+// -------------------------------------------------------------------
+
+/// One straight-line statement over the fixed store `{ map M; set S;
+/// counter C; }`, using only identifiers and integer literals so the
+/// whitespace-level reformatter below is trivially lossless.
+fn stmt_text(op: u8, arg: u8) -> String {
+    let a: &str = match arg {
+        0 => "p0",
+        1 => "1",
+        2 => "42",
+        _ => "k",
+    };
+    match op {
+        0 => format!("M.put({a}, 7);"),
+        1 => format!("M.remove({a});"),
+        2 => format!("let x = M.get({a});"),
+        3 => format!("S.add({a});"),
+        4 => format!("if (S.contains({a})) {{ C.inc(1); }}"),
+        _ => "C.inc(2);".to_string(),
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    let arb_stmt = (0u8..6, 0u8..4);
+    let arb_txn = proptest::collection::vec(arb_stmt, 1..=3);
+    proptest::collection::vec(arb_txn, 1..=3).prop_map(|txns| {
+        let mut src = String::from("store { map M; set S; counter C; }\nlocal k;\n");
+        for (ti, stmts) in txns.iter().enumerate() {
+            src.push_str(&format!("txn t{ti}(p0) {{ "));
+            for &(op, arg) in stmts {
+                src.push_str(&stmt_text(op, arg));
+                src.push(' ');
+            }
+            src.push_str("}\n");
+        }
+        for ti in 0..txns.len() {
+            src.push_str(&format!("session {{ t{ti} }}\n"));
+        }
+        src
+    })
+}
+
+/// A lossless reformat: same token stream, different spelling. Safe
+/// because generated programs contain no string literals.
+fn reformat(source: &str, seed: u64) -> String {
+    let mut out = String::from("// reformatted\n");
+    let mut bits = seed | 1;
+    for c in source.chars() {
+        out.push(c);
+        if matches!(c, ';' | '{' | '}') {
+            match bits % 4 {
+                0 => out.push_str("  "),
+                1 => out.push('\n'),
+                2 => out.push_str("\n   // noise\n"),
+                _ => {}
+            }
+            bits = bits.rotate_right(3) ^ 0x9e37_79b9_7f4a_7c15;
+        }
+    }
+    out.push('\n');
+    out
+}
+
+fn key_of(source: &str, features: &AnalysisFeatures) -> CacheKey {
+    let program = c4_lang::parse(source).expect("generated programs parse");
+    CacheKey::derive(&c4_lang::canonical(&program), "program", features)
+}
+
+fn canon_of(source: &str) -> String {
+    c4_lang::canonical(&c4_lang::parse(source).expect("parse"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 64 } else { 256 }))]
+
+    /// Reformatting never changes the key, and the canonical form is a
+    /// fixpoint (so the key is reproducible from the cached canonical
+    /// source itself).
+    #[test]
+    fn reformatting_preserves_the_cache_key(src in arb_program(), seed in 0u64..u64::MAX) {
+        let f = AnalysisFeatures::default();
+        let reformatted = reformat(&src, seed);
+        prop_assert_eq!(
+            canon_of(&src),
+            canon_of(&reformatted),
+            "reformat changed the canonical form"
+        );
+        prop_assert_eq!(key_of(&src, &f), key_of(&reformatted, &f));
+        let canon = canon_of(&src);
+        prop_assert_eq!(canon.clone(), canon_of(&canon), "canonical form is not a fixpoint");
+    }
+}
+
+/// Distinct canonical programs get distinct keys across a sampled
+/// population (a SHA-256 collision here would mean serving the wrong
+/// verdict). Also checks tag separation on identical sources: the
+/// suite's per-view cache entries must never alias.
+#[test]
+fn sampled_programs_never_collide() {
+    let f = AnalysisFeatures::default();
+    let strat = arb_program();
+    let mut rng = proptest::test_runner::TestRng::deterministic();
+    let mut seen: HashMap<CacheKey, String> = HashMap::new();
+    let mut distinct = 0usize;
+    for _ in 0..512 {
+        let src = strat.generate(&mut rng);
+        let canon = canon_of(&src);
+        let key = key_of(&src, &f);
+        match seen.get(&key) {
+            Some(prev) => assert_eq!(
+                prev, &canon,
+                "two canonically different programs share a cache key"
+            ),
+            None => {
+                seen.insert(key, canon.clone());
+                distinct += 1;
+            }
+        }
+        let tagged = CacheKey::derive(&canon, "filtered:0", &f);
+        assert_ne!(key, tagged, "tag must separate keys for the same source");
+    }
+    assert!(distinct > 50, "generator produced too few distinct programs ({distinct})");
+}
+
+/// Every suite source round-trips through the canonical printer (parse →
+/// print → parse is the identity on the canonical form) and keeps its
+/// key under a trivially lossless reformat.
+#[test]
+fn suite_sources_canonicalize_and_rekey_stably() {
+    let f = AnalysisFeatures::default();
+    for b in c4_suite::benchmarks() {
+        let canon = canon_of(b.source);
+        assert_eq!(canon, canon_of(&canon), "{}: canonical form is not a fixpoint", b.name);
+        // Comments and surrounding whitespace are lossless for any
+        // source, string literals included.
+        let reformatted = format!("// {}\n{}\n// end\n", b.name, b.source);
+        assert_eq!(
+            key_of(b.source, &f),
+            key_of(&reformatted, &f),
+            "{}: reformat changed the key",
+            b.name
+        );
+    }
+}

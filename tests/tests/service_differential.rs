@@ -1,0 +1,103 @@
+//! The daemon's serving contract: for every suite program, the report
+//! bytes served by `c4d` — cold (computed), warm (memory hit), and
+//! after a restart over the same cache directory (disk hit) — are
+//! byte-identical to a direct in-process `run_analysis`, at 1 and at 4
+//! workers. This is the end-to-end composition of three guarantees:
+//! the report wire format encodes only the deterministic verdict, the
+//! parallel driver's verdict is scheduling-independent, and the cache
+//! serves stored bytes verbatim.
+
+use c4::{AnalysisFeatures, CacheTier};
+use c4_service::client::{Client, Endpoint};
+use c4_service::proto::JobState;
+use c4_service::server::{serve, ServerConfig, ServerHandle};
+
+fn features(parallelism: usize) -> AnalysisFeatures {
+    AnalysisFeatures { parallelism, ..AnalysisFeatures::default() }
+}
+
+/// Unoptimized builds pay roughly an order of magnitude per SMT query;
+/// keep the sweep representative but bounded there (same policy as the
+/// parallel-determinism suite).
+fn selection() -> Vec<c4_suite::Benchmark> {
+    let mut bs = c4_suite::benchmarks();
+    if cfg!(debug_assertions) {
+        bs.retain(|b| b.paper.t * b.paper.e <= 60);
+    }
+    bs
+}
+
+fn start_daemon(cache_dir: &std::path::Path) -> (ServerHandle, Client) {
+    let handle = serve(ServerConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        cache_dir: Some(cache_dir.to_path_buf()),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let client = Client::new(Endpoint::Tcp(handle.tcp_addr.clone().expect("tcp bound")));
+    (handle, client)
+}
+
+fn served_report(client: &Client, source: &str, f: &AnalysisFeatures) -> (CacheTier, Vec<u8>) {
+    let (_, state) = client.submit_wait(source, f).expect("submit");
+    match state {
+        JobState::Done { tier, report, .. } => (tier, report),
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemon_reports_match_direct_analysis_cold_warm_and_across_restart() {
+    let dir = std::env::temp_dir().join(format!("c4d-differential-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let benches = selection();
+
+    let (handle, client) = start_daemon(&dir);
+    let mut direct_bytes = Vec::new();
+    for b in &benches {
+        let direct1 = c4_service::run_analysis(b.source, &features(1)).expect("direct run");
+        let direct4 = c4_service::run_analysis(b.source, &features(4)).expect("direct run");
+        let (d1, d4) = (direct1.encode_report(), direct4.encode_report());
+        assert_eq!(d1, d4, "{}: direct reports diverge across worker counts", b.name);
+
+        // Cold: the daemon computes (1 worker strategy) and stores.
+        let (tier, cold) = served_report(&client, b.source, &features(1));
+        assert_eq!(tier, CacheTier::Miss, "{}: first submission must compute", b.name);
+        assert_eq!(cold, d1, "{}: cold daemon report differs from direct analysis", b.name);
+
+        // Warm: a different worker-count strategy is the same verdict,
+        // served from memory byte-for-byte.
+        let (tier, warm) = served_report(&client, b.source, &features(4));
+        assert_eq!(tier, CacheTier::Memory, "{}: resubmission must hit memory", b.name);
+        assert_eq!(warm, d1, "{}: warm daemon report differs from direct analysis", b.name);
+
+        direct_bytes.push(d1);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_misses, benches.len() as u64);
+    assert_eq!(stats.cache_mem_hits, benches.len() as u64);
+    assert_eq!(stats.failed, 0);
+    client.shutdown().expect("shutdown");
+    handle.wait();
+
+    // Restart over the same cache directory: every verdict is served
+    // from the persisted store, still byte-identical.
+    let (handle, client) = start_daemon(&dir);
+    for (b, expected) in benches.iter().zip(&direct_bytes) {
+        let (tier, persisted) = served_report(&client, b.source, &features(1));
+        assert_eq!(tier, CacheTier::Disk, "{}: restart must serve from disk", b.name);
+        assert_eq!(
+            &persisted, expected,
+            "{}: persisted report differs from direct analysis",
+            b.name
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_disk_hits, benches.len() as u64);
+    assert_eq!(stats.cache_misses, 0);
+    client.shutdown().expect("shutdown");
+    handle.wait();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
