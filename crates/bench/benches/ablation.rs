@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use c4::check::AnalysisFeatures;
 use c4::ssg::{candidate_cycles, candidate_cycles_with, PairLookup, PairTables, Ssg};
-use c4::unfold::{unfold_all, unfoldings};
+use c4::unfold::{arena_for, unfoldings};
 use c4_algebra::{FarSpec, RewriteSpec};
 
 fn history(name: &str) -> c4::AbstractHistory {
@@ -21,13 +21,13 @@ fn history(name: &str) -> c4::AbstractHistory {
 fn bench_pair_tables_ablation(c: &mut Criterion) {
     let h = history("Super Chat");
     let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
-    let unfolded = unfold_all(&h);
-    let tables = PairTables::compute(&unfolded, &far);
+    let arena = arena_for(&h);
+    let tables = PairTables::compute(arena.bodies(), &far);
     let mut group = c.benchmark_group("ssg_stage_ablation");
     group.sample_size(10);
     group.bench_function("cached_tables", |b| {
         b.iter(|| {
-            unfoldings(&h, &unfolded, 2)
+            unfoldings(&h, &arena, 2)
                 .map(|u| {
                     let ssg = Ssg::of_unfolding_cached(&u, &tables);
                     candidate_cycles_with(&u, &ssg, PairLookup::Cached(&tables)).len()
@@ -37,7 +37,7 @@ fn bench_pair_tables_ablation(c: &mut Criterion) {
     });
     group.bench_function("direct_evaluation", |b| {
         b.iter(|| {
-            unfoldings(&h, &unfolded, 2)
+            unfoldings(&h, &arena, 2)
                 .map(|u| {
                     let ssg = Ssg::of_unfolding(&u, &far);
                     candidate_cycles(&u, &ssg, &far).len()

@@ -8,7 +8,7 @@ use c4::abstract_history::{ev, straight_line_tx, AbsArg, AbstractHistory};
 use c4::check::AnalysisFeatures;
 use c4::encode::CycleEncoder;
 use c4::ssg::{candidate_cycles, PairTables, Ssg};
-use c4::unfold::{unfold_all, unfoldings};
+use c4::unfold::{arena_for, unfoldings};
 use c4_algebra::{Alphabet, FarSpec, OpSig, RewriteSpec};
 use c4_dsg::{DepOptions, Dsg};
 use c4_store::op::OpKind;
@@ -48,14 +48,14 @@ fn bench_far(c: &mut Criterion) {
 fn bench_ssg(c: &mut Criterion) {
     let h = suite_history("Super Chat");
     let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
-    let unfolded = unfold_all(&h);
-    let tables = PairTables::compute(&unfolded, &far);
+    let arena = arena_for(&h);
+    let tables = PairTables::compute(arena.bodies(), &far);
     c.bench_function("pair_tables/super_chat", |b| {
-        b.iter(|| PairTables::compute(&unfolded, &far))
+        b.iter(|| PairTables::compute(arena.bodies(), &far))
     });
     c.bench_function("ssg_over_2_unfoldings/super_chat", |b| {
         b.iter(|| {
-            unfoldings(&h, &unfolded, 2)
+            unfoldings(&h, &arena, 2)
                 .map(|u| Ssg::of_unfolding_cached(&u, &tables).edges.len())
                 .sum::<usize>()
         })
@@ -65,10 +65,10 @@ fn bench_ssg(c: &mut Criterion) {
 fn bench_smt_query(c: &mut Criterion) {
     let h = figure1a();
     let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
-    let unfolded = unfold_all(&h);
+    let arena = arena_for(&h);
     let features = AnalysisFeatures::default();
     // Pick one suspicious unfolding and candidate.
-    let (u, cand) = unfoldings(&h, &unfolded, 2)
+    let (u, cand) = unfoldings(&h, &arena, 2)
         .find_map(|u| {
             let ssg = Ssg::of_unfolding(&u, &far);
             let cands = candidate_cycles(&u, &ssg, &far);

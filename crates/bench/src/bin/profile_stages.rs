@@ -3,7 +3,7 @@ use std::time::Instant;
 use c4::check::AnalysisFeatures;
 use c4::encode::CycleEncoder;
 use c4::ssg::{candidate_cycles_with, PairLookup, PairTables, Ssg};
-use c4::unfold::{unfold_all, unfoldings};
+use c4::unfold::{arena_for, unfoldings};
 use c4_algebra::{FarSpec, RewriteSpec};
 
 fn main() {
@@ -14,14 +14,14 @@ fn main() {
     let t0 = Instant::now();
     let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
     println!("far: {:?}", t0.elapsed());
-    let unfolded = unfold_all(&h);
+    let arena = arena_for(&h);
     let t0 = Instant::now();
-    let tables = PairTables::compute(&unfolded, &far);
+    let tables = PairTables::compute(arena.bodies(), &far);
     println!("tables: {:?}", t0.elapsed());
     let t0 = Instant::now();
     let mut n_unf = 0; let mut n_cands = 0usize;
     let mut cands_store = vec![];
-    for u in unfoldings(&h, &unfolded, 2) {
+    for u in unfoldings(&h, &arena, 2) {
         n_unf += 1;
         let ssg = Ssg::of_unfolding_cached(&u, &tables);
         let cands = candidate_cycles_with(&u, &ssg, PairLookup::Cached(&tables));

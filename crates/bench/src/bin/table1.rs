@@ -3,8 +3,8 @@
 //! aggregate statistics.
 //!
 //! Usage: `table1 [--threads N] [--budget SECS] [--stats] [--json]
-//! [--cache-dir DIR] [--no-incremental] [benchmark-name …]` (all
-//! benchmarks by default). `--threads` sets
+//! [--cache-dir DIR] [--no-incremental] [--no-symmetry]
+//! [benchmark-name …]` (all benchmarks by default). `--threads` sets
 //! `AnalysisFeatures::parallelism` (0 = one worker per hardware
 //! thread); results are identical for every setting. `--budget` caps
 //! each analysis run's wall clock (deadline hits are reported in the
@@ -15,8 +15,11 @@
 //! content-addressed verdict cache rooted at DIR (verdicts are
 //! byte-stable, so cached rows are identical to computed ones);
 //! `--no-incremental` falls back to the legacy fresh-encoder-per-query
-//! SMT path (results are identical, only timing differs). Exits nonzero
-//! if any run reports counter-example validation failures.
+//! SMT path (results are identical, only timing differs);
+//! `--no-symmetry` disables the symmetry-reduced enumeration and
+//! analyzes every unfolding individually (results are identical, only
+//! timing differs). Exits nonzero if any run reports counter-example
+//! validation failures.
 
 use c4::{AnalysisFeatures, VerdictCache};
 use c4_bench::secs;
@@ -29,6 +32,7 @@ fn main() {
     let mut json = false;
     let mut cache_dir: Option<String> = None;
     let mut incremental = true;
+    let mut symmetry = true;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,6 +50,8 @@ fn main() {
             cache_dir = Some(args.next().expect("--cache-dir needs a value"));
         } else if a == "--no-incremental" {
             incremental = false;
+        } else if a == "--no-symmetry" {
+            symmetry = false;
         } else {
             names.push(a);
         }
@@ -61,6 +67,7 @@ fn main() {
         features.time_budget_secs = b;
     }
     features.incremental_smt = incremental;
+    features.symmetry_reduction = symmetry;
     let all = benchmarks();
     for name in &names {
         assert!(
@@ -135,6 +142,10 @@ fn main() {
             println!(
                 "    incremental: {} assumption solves ({} sat re-solves), {} learnt clauses retained",
                 s.assumption_solves, s.sat_resolves, s.learnt_clauses,
+            );
+            println!(
+                "    symmetry: {} classes, {} members replayed, peak resident unfoldings {}",
+                s.classes, s.class_members_skipped, s.peak_unfoldings_resident,
             );
             let t = &s.timings;
             println!(

@@ -165,9 +165,11 @@ impl CacheKey {
 
 /// The verdict-relevant feature fields, serialized for key derivation.
 ///
-/// `parallelism`, `incremental_smt` and `time_budget_secs` are excluded:
-/// the first two are execution strategies with differentially-tested
-/// identical output, and budget-truncated (partial) results are never
+/// `parallelism`, `incremental_smt`, `symmetry_reduction` and
+/// `time_budget_secs` are excluded: the first three are execution
+/// strategies with differentially-tested identical output (symmetry
+/// reduction replays class-representative verdicts but commits the very
+/// same report bytes), and budget-truncated (partial) results are never
 /// cached, so the budget cannot influence any cached verdict.
 fn features_fingerprint(f: &AnalysisFeatures) -> [u8; 16] {
     let bits: u64 = (f.commutativity as u64)

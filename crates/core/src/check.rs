@@ -36,18 +36,21 @@
 //! per SMT query by every worker and by the sequential path, so a single
 //! expensive round can no longer blow the budget unboundedly.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use c4_algebra::{FarSpec, RewriteSpec};
 
+use std::sync::Arc;
+
 use crate::abstract_history::{AbsArg, AbsTx, AbstractHistory};
 use crate::counterexample::CounterExample;
+use crate::intern::TxArena;
 use crate::report::{AnalysisResult, AnalysisStats, Violation};
 use crate::ssg::{candidate_cycles_with, CandidateCycle, PairLookup, PairTables, Ssg, SsgLabel};
-use crate::unfold::{unfold_all, unfoldings, Unfolding, UnfoldingInstance};
+use crate::unfold::{arena_for, unfoldings, Unfolding, UnfoldingInstance};
 
 /// Feature toggles of the analysis (Section 9.3 ablations plus the
 /// Section 8 extensions).
@@ -95,6 +98,14 @@ pub struct AnalysisFeatures {
     /// violations, `generalized` flag, `max_k` and counter-example
     /// renderings (see the module docs for the determinism argument).
     pub parallelism: usize,
+    /// Symmetry reduction: unfoldings identical up to session renaming
+    /// form an equivalence class; the SSG + SMT stages run once on the
+    /// first-enumerated representative and verdicts are replayed onto the
+    /// other members (DESIGN §5.12). Off: every unfolding is analyzed
+    /// independently (the legacy path). Both modes produce byte-identical
+    /// reports; the toggle exists for differential testing and
+    /// benchmarking.
+    pub symmetry_reduction: bool,
 }
 
 impl Default for AnalysisFeatures {
@@ -112,6 +123,7 @@ impl Default for AnalysisFeatures {
             validate_counterexamples: true,
             incremental_smt: true,
             parallelism: 0,
+            symmetry_reduction: true,
         }
     }
 }
@@ -199,6 +211,9 @@ enum CandOutcome {
     /// The SMT stage found a model. `rendered` is the counter-example
     /// rendering, `None` when validation was requested and failed.
     Sat { rendered: Option<String> },
+    /// Symmetry member in parallel mode: the worker ran only the SSG
+    /// stage; the merge resolves the verdict from the class record.
+    Deferred,
 }
 
 /// One candidate cycle's worker result, replayed by the merge.
@@ -218,6 +233,124 @@ struct WorkRecord {
     /// re-solve a pre-pruned candidate if the replay ever needs it.
     unfolding: Option<Unfolding>,
     cands: Vec<CandidateRecord>,
+    /// The candidate list was cut short by the deadline, so a class
+    /// record built from it must not be treated as exhaustive.
+    truncated: bool,
+    /// Symmetry role assigned by the dispenser.
+    sym: SymTag,
+}
+
+/// Symmetry role of a dispensed unfolding (DESIGN §5.12).
+enum SymTag {
+    /// Symmetry reduction off: the legacy path.
+    Plain,
+    /// First enumerated member of its equivalence class: analyzed in
+    /// full, and its verdicts are recorded for the other members.
+    Rep { fp: Vec<u64> },
+    /// Member whose fingerprint sequence equals the representative's
+    /// verbatim: instance indices line up one-to-one, so the rep's
+    /// candidate list (and rendered counter-examples) replay directly.
+    Identity { rep: usize },
+    /// Member that matches the representative only after a session
+    /// permutation: the SSG stage runs to get member-order candidates,
+    /// and verdicts are looked up in rep coordinates.
+    Permuted { rep: usize, fp: Vec<u64> },
+}
+
+/// A representative's recorded verdicts, replayed onto every other
+/// member of its equivalence class.
+struct ClassRecord {
+    /// The representative's per-session fingerprints (unsorted).
+    rep_fp: Vec<u64>,
+    /// The representative had candidate cycles. By the isomorphism
+    /// between class members, so does every member (and vice versa).
+    suspicious: bool,
+    /// The candidate list is exhaustive (no deadline truncation).
+    complete: bool,
+    /// Candidates in the representative's enumeration order.
+    cands: Vec<RepCand>,
+    /// Lookup from a candidate's canonical key (rep coordinates, minimal
+    /// node first) to its position in `cands`.
+    by_key: HashMap<CandKey, usize>,
+}
+
+struct RepCand {
+    cand: CandidateCycle,
+    outcome: RepOutcome,
+}
+
+/// The position-independent part of a representative's verdict.
+enum RepOutcome {
+    /// UNSAT — transfers to every member (the SMT encoding is isomorphic
+    /// under session renaming, so satisfiability is invariant).
+    Refuted,
+    /// SAT with the canonical model's rendering. Reusable verbatim for
+    /// identity members only; permuted members re-solve so their
+    /// rendering reflects their own session order.
+    Sat { rendered: Option<String> },
+    /// Subsumed at the representative's position. Subsumption depends on
+    /// the member's transaction set, so members re-check and, if live,
+    /// re-solve.
+    Skipped,
+}
+
+/// A candidate cycle in class-canonical form: nodes and steps in rep
+/// coordinates, rotated so the minimal node leads.
+type CandKey = (Vec<usize>, Vec<(usize, usize, SsgLabel, usize, usize)>);
+
+/// Matches member sessions to rep sessions with equal fingerprints
+/// (stable: ties pair up in ascending session order on both sides).
+fn session_map(member_fp: &[u64], rep_fp: &[u64]) -> Vec<usize> {
+    let k = member_fp.len();
+    let mut m_idx: Vec<usize> = (0..k).collect();
+    m_idx.sort_by_key(|&s| (member_fp[s], s));
+    let mut r_idx: Vec<usize> = (0..k).collect();
+    r_idx.sort_by_key(|&s| (rep_fp[s], s));
+    let mut map = vec![0usize; k];
+    for (ms, rs) in m_idx.into_iter().zip(r_idx) {
+        map[ms] = rs;
+    }
+    map
+}
+
+/// Instance index of `(session, pos)` in an unfolding with the given
+/// per-session fingerprints (instances are laid out session-major; the
+/// low fingerprint half is non-zero exactly for two-element chains).
+fn slot_index(fp: &[u64], session: usize, pos: usize) -> usize {
+    let mut idx = 0usize;
+    for &f in &fp[..session] {
+        idx += if f & 0xFFFF_FFFF != 0 { 2 } else { 1 };
+    }
+    idx + pos
+}
+
+/// Maps each member instance index to the corresponding rep instance.
+fn instance_map(u: &Unfolding, member_fp: &[u64], rep_fp: &[u64]) -> Vec<usize> {
+    let smap = session_map(member_fp, rep_fp);
+    u.instances.iter().map(|inst| slot_index(rep_fp, smap[inst.session], inst.pos)).collect()
+}
+
+/// The canonical key of a candidate under an instance mapping.
+fn cand_key_mapped(cand: &CandidateCycle, map: &[usize]) -> CandKey {
+    let nodes: Vec<usize> = cand.nodes.iter().map(|&n| map[n]).collect();
+    let steps: Vec<(usize, usize, SsgLabel, usize, usize)> = cand
+        .steps
+        .iter()
+        .map(|e| (map[e.from], map[e.to], e.label, e.src_event, e.tgt_event))
+        .collect();
+    let n = nodes.len();
+    let r = (0..n).min_by_key(|&i| nodes[i]).unwrap_or(0);
+    let rot_nodes = (0..n).map(|i| nodes[(r + i) % n]).collect();
+    let rot_steps = (0..n).map(|i| steps[(r + i) % n]).collect();
+    (rot_nodes, rot_steps)
+}
+
+impl ClassRecord {
+    fn push(&mut self, cand: CandidateCycle, outcome: RepOutcome, map: &[usize]) {
+        let key = cand_key_mapped(&cand, map);
+        self.by_key.insert(key, self.cands.len());
+        self.cands.push(RepCand { cand, outcome });
+    }
 }
 
 /// Per-worker counters and stage clocks, folded into [`AnalysisStats`]
@@ -293,20 +426,20 @@ impl Checker {
         result.stats.workers = workers;
         result.stats.per_worker_queries = vec![0; workers];
         let t0 = Instant::now();
-        let unfolded = unfold_all(&self.h);
-        let tables = PairTables::compute(&unfolded, &self.far);
+        let arena = arena_for(&self.h);
+        let tables = PairTables::compute(arena.bodies(), &self.far);
         result.stats.timings.unfold += t0.elapsed();
         let mut k = 2usize;
         loop {
             if workers <= 1 {
-                self.check_bounded(&unfolded, &tables, k, &deadline, &mut result);
+                self.check_bounded(&arena, &tables, k, &deadline, &mut result);
             } else {
-                self.check_bounded_parallel(&unfolded, &tables, k, workers, &deadline, &mut result);
+                self.check_bounded_parallel(&arena, &tables, k, workers, &deadline, &mut result);
             }
             result.max_k = k;
             if !deadline.expired()
                 && self.generalizes(
-                    &unfolded,
+                    &arena,
                     &tables,
                     k,
                     &deadline,
@@ -438,6 +571,9 @@ impl Checker {
     ) {
         match outcome {
             CandOutcome::Pruned => unreachable!("pruned candidates are re-solved before commit"),
+            CandOutcome::Deferred => {
+                unreachable!("deferred candidates are resolved from the class record before commit")
+            }
             CandOutcome::Refuted => result.stats.smt_refuted += 1,
             CandOutcome::Sat { rendered } => {
                 result.stats.smt_sat += 1;
@@ -466,52 +602,45 @@ impl Checker {
     /// per-unfolding and per-query deadline checks.
     fn check_bounded(
         &self,
-        unfolded: &[AbsTx],
+        arena: &Arc<TxArena>,
         tables: &PairTables,
         k: usize,
         deadline: &Deadline,
         result: &mut AnalysisResult,
     ) {
         let mut local = WorkerLocal::default();
-        for u in unfoldings(&self.h, unfolded, k) {
+        let symmetry = self.features.symmetry_reduction;
+        // Equivalence classes of this k-round, keyed by canonical form.
+        let mut classes: HashMap<Vec<u64>, ClassRecord> = HashMap::new();
+        let mut any = false;
+        for u in unfoldings(&self.h, arena, k) {
             if deadline.expired() {
                 break;
             }
+            any = true;
             result.stats.unfoldings += 1;
-            let cands = self.filter_candidates(&u, tables, &mut local);
-            if cands.is_empty() {
-                continue;
-            }
-            result.stats.suspicious_unfoldings += 1;
-            // One shared incremental encoder per suspicious unfolding,
-            // built lazily at the first candidate that actually solves.
-            let mut shared: Option<crate::encode::CycleEncoder> = None;
-            for cand in cands {
-                let txs: BTreeSet<usize> =
-                    cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
-                if result.violations.iter().any(|v| v.subsumes(&txs)) {
-                    result.stats.subsumed_candidates += 1;
+            if symmetry {
+                let fp = u.fp_seq();
+                let mut key = fp.clone();
+                key.sort_unstable();
+                if let Some(rec) = classes.get(&key) {
+                    result.stats.class_members_skipped += 1;
+                    self.replay_member(&u, &fp, rec, tables, k, deadline, result, &mut local);
                     continue;
                 }
-                if deadline.expired() {
-                    break;
-                }
-                if self.features.incremental_smt && shared.is_none() {
-                    let t0 = Instant::now();
-                    shared =
-                        Some(crate::encode::CycleEncoder::new(&u, &self.far, &self.features));
-                    let dt = t0.elapsed();
-                    local.encoder_build += dt;
-                    local.smt += dt;
-                }
-                result.stats.smt_queries += 1;
-                let labels = cand.steps.iter().map(|s| s.label).collect();
-                let outcome = self.solve_candidate(&u, &cand, shared.as_mut(), &mut local);
-                self.commit_outcome(txs, labels, outcome, k, result);
+                result.stats.classes += 1;
+                let rec =
+                    self.process_rep(&u, Some(fp), tables, k, deadline, result, &mut local);
+                classes.insert(key, rec);
+            } else {
+                self.process_rep(&u, None, tables, k, deadline, result, &mut local);
             }
-            if let Some(enc) = &shared {
-                local.learnt_clauses += enc.session_stats().2;
-            }
+        }
+        if any {
+            // The streaming enumeration keeps exactly one unfolding (plus
+            // the class records) resident at a time on this path.
+            result.stats.peak_unfoldings_resident =
+                result.stats.peak_unfoldings_resident.max(1);
         }
         result.stats.speculative_smt_queries += local.queries;
         result.stats.preprune_skips += local.preprune_skips;
@@ -528,7 +657,210 @@ impl Checker {
         result.stats.timings.validate += local.validate;
     }
 
+    /// Analyzes one unfolding on the sequential path — the exact legacy
+    /// per-unfolding body — and, when `fp` is given (symmetry reduction
+    /// on), captures a [`ClassRecord`] of its verdicts for the other
+    /// members of its equivalence class.
+    #[allow(clippy::too_many_arguments)]
+    fn process_rep(
+        &self,
+        u: &Unfolding,
+        fp: Option<Vec<u64>>,
+        tables: &PairTables,
+        k: usize,
+        deadline: &Deadline,
+        result: &mut AnalysisResult,
+        local: &mut WorkerLocal,
+    ) -> ClassRecord {
+        let mut rec = ClassRecord {
+            rep_fp: fp.unwrap_or_default(),
+            suspicious: false,
+            complete: true,
+            cands: Vec::new(),
+            by_key: HashMap::new(),
+        };
+        let capture = !rec.rep_fp.is_empty();
+        let cands = self.filter_candidates(u, tables, local);
+        if cands.is_empty() {
+            return rec;
+        }
+        rec.suspicious = true;
+        result.stats.suspicious_unfoldings += 1;
+        // The rep's own coordinates are already canonical (identity map).
+        let idmap: Vec<usize> = (0..u.instances.len()).collect();
+        // One shared incremental encoder per suspicious unfolding,
+        // built lazily at the first candidate that actually solves.
+        let mut shared: Option<crate::encode::CycleEncoder> = None;
+        // Batched refutation probe: one disjunctive solve over the
+        // not-yet-subsumed candidates. UNSAT refutes them all — the
+        // common case — so the per-candidate assumption solves collapse
+        // into a single solver call; SAT falls back to the exact
+        // per-candidate loop below. The pending set matches the loop's
+        // subsumption checks because the violation set cannot change
+        // while every verdict is Refuted.
+        let mut all_refuted = false;
+        if self.features.incremental_smt && cands.len() >= 2 && !deadline.expired() {
+            let pending: Vec<&CandidateCycle> = cands
+                .iter()
+                .filter(|cand| {
+                    let txs: BTreeSet<usize> =
+                        cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+                    !result.violations.iter().any(|v| v.subsumes(&txs))
+                })
+                .collect();
+            if pending.len() >= 2 {
+                let t0 = Instant::now();
+                shared = Some(crate::encode::CycleEncoder::new(u, &self.far, &self.features));
+                let dt = t0.elapsed();
+                local.encoder_build += dt;
+                local.smt += dt;
+                let t1 = Instant::now();
+                let sat = shared
+                    .as_mut()
+                    .expect("just built")
+                    .check_shared_any(&pending);
+                let dt = t1.elapsed();
+                local.smt += dt;
+                local.query_solve += dt;
+                local.queries += 1;
+                local.assumption_solves += 1;
+                all_refuted = !sat;
+            }
+        }
+        for cand in cands {
+            let txs: BTreeSet<usize> =
+                cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+            if result.violations.iter().any(|v| v.subsumes(&txs)) {
+                result.stats.subsumed_candidates += 1;
+                if capture {
+                    rec.push(cand, RepOutcome::Skipped, &idmap);
+                }
+                continue;
+            }
+            if deadline.expired() {
+                rec.complete = false;
+                break;
+            }
+            if !all_refuted && self.features.incremental_smt && shared.is_none() {
+                let t0 = Instant::now();
+                shared = Some(crate::encode::CycleEncoder::new(u, &self.far, &self.features));
+                let dt = t0.elapsed();
+                local.encoder_build += dt;
+                local.smt += dt;
+            }
+            result.stats.smt_queries += 1;
+            let labels = cand.steps.iter().map(|s| s.label).collect();
+            let outcome = if all_refuted {
+                CandOutcome::Refuted
+            } else {
+                self.solve_candidate(u, &cand, shared.as_mut(), local)
+            };
+            if capture {
+                let rep_outcome = match &outcome {
+                    CandOutcome::Refuted => RepOutcome::Refuted,
+                    CandOutcome::Sat { rendered } => {
+                        RepOutcome::Sat { rendered: rendered.clone() }
+                    }
+                    CandOutcome::Pruned | CandOutcome::Deferred => {
+                        unreachable!("solve_candidate returns only Refuted or Sat")
+                    }
+                };
+                rec.push(cand, rep_outcome, &idmap);
+            }
+            self.commit_outcome(txs, labels, outcome, k, result);
+        }
+        if let Some(enc) = &shared {
+            local.learnt_clauses += enc.session_stats().2;
+        }
+        rec
+    }
+
+    /// Replays a representative's verdicts onto another member of its
+    /// class (sequential path). Identity members (same fingerprint
+    /// sequence) reuse the rep's candidate list — and rendered
+    /// counter-examples — verbatim; permuted members re-run the SSG stage
+    /// for member-order candidates and look verdicts up in rep
+    /// coordinates. Only UNSAT verdicts transfer across a permutation;
+    /// SAT members re-solve on the authoritative fresh path so renderings
+    /// reflect their own session order, and rep-subsumed candidates are
+    /// re-checked against the member's transaction set.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_member(
+        &self,
+        u: &Unfolding,
+        fp: &[u64],
+        rec: &ClassRecord,
+        tables: &PairTables,
+        k: usize,
+        deadline: &Deadline,
+        result: &mut AnalysisResult,
+        local: &mut WorkerLocal,
+    ) {
+        if !rec.suspicious {
+            // The SSG stage is isomorphic across the class: no candidates
+            // on the rep means none here either.
+            return;
+        }
+        if fp == rec.rep_fp && rec.complete {
+            result.stats.suspicious_unfoldings += 1;
+            for rc in &rec.cands {
+                let txs: BTreeSet<usize> =
+                    rc.cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+                if result.violations.iter().any(|v| v.subsumes(&txs)) {
+                    result.stats.subsumed_candidates += 1;
+                    continue;
+                }
+                if deadline.expired() {
+                    break;
+                }
+                result.stats.smt_queries += 1;
+                let labels = rc.cand.steps.iter().map(|s| s.label).collect();
+                let outcome = match &rc.outcome {
+                    RepOutcome::Refuted => CandOutcome::Refuted,
+                    RepOutcome::Sat { rendered } => {
+                        CandOutcome::Sat { rendered: rendered.clone() }
+                    }
+                    RepOutcome::Skipped => self.solve_candidate(u, &rc.cand, None, local),
+                };
+                self.commit_outcome(txs, labels, outcome, k, result);
+            }
+            return;
+        }
+        // Permuted member (or an incomplete record): candidate order is
+        // member-specific, so the SSG stage runs here.
+        let found = self.filter_candidates(u, tables, local);
+        if found.is_empty() {
+            return;
+        }
+        result.stats.suspicious_unfoldings += 1;
+        let map = instance_map(u, fp, &rec.rep_fp);
+        for cand in found {
+            let txs: BTreeSet<usize> =
+                cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+            if result.violations.iter().any(|v| v.subsumes(&txs)) {
+                result.stats.subsumed_candidates += 1;
+                continue;
+            }
+            if deadline.expired() {
+                break;
+            }
+            result.stats.smt_queries += 1;
+            let labels = cand.steps.iter().map(|s| s.label).collect();
+            let key = cand_key_mapped(&cand, &map);
+            let outcome = match rec.by_key.get(&key).map(|&i| &rec.cands[i].outcome) {
+                // Only refutations transfer: a rep-side Sat witness is a
+                // model of the rep's instances and renders with the rep's
+                // transaction names, so the member re-solves to keep the
+                // report identical to the symmetry-off run.
+                Some(RepOutcome::Refuted) => CandOutcome::Refuted,
+                _ => self.solve_candidate(u, &cand, None, local),
+            };
+            self.commit_outcome(txs, labels, outcome, k, result);
+        }
+    }
+
     /// Worker body: evaluates one unfolding into a [`WorkRecord`].
+    #[allow(clippy::too_many_arguments)]
     fn process_unfolding(
         &self,
         index: usize,
@@ -537,19 +869,66 @@ impl Checker {
         snapshot: &RwLock<Vec<BTreeSet<usize>>>,
         deadline: &Deadline,
         local: &mut WorkerLocal,
+        sym: SymTag,
     ) -> WorkRecord {
         let found = self.filter_candidates(&u, tables, local);
         if found.is_empty() {
-            return WorkRecord { index, suspicious: false, unfolding: None, cands: Vec::new() };
+            return WorkRecord {
+                index,
+                suspicious: false,
+                unfolding: None,
+                cands: Vec::new(),
+                truncated: false,
+                sym,
+            };
         }
         let mut cands = Vec::with_capacity(found.len());
+        let mut truncated = false;
         // One shared incremental encoder per suspicious unfolding; the
         // session is worker-private, so determinism of the merge is
         // untouched.
         let mut shared: Option<crate::encode::CycleEncoder> = None;
+        // Batched refutation probe against the current snapshot (see
+        // `process_rep`). The snapshot only grows, so every candidate the
+        // loop below finds un-pruned was part of the probed pending set
+        // and UNSAT covers it.
+        let mut all_refuted = false;
+        if self.features.incremental_smt && found.len() >= 2 && !deadline.expired() {
+            let pending: Vec<&CandidateCycle> = {
+                let snap = snapshot.read().expect("subsumption snapshot lock");
+                found
+                    .iter()
+                    .filter(|cand| {
+                        let txs: BTreeSet<usize> =
+                            cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+                        !snap.iter().any(|v| v.is_subset(&txs))
+                    })
+                    .collect()
+            };
+            if pending.len() >= 2 {
+                let t0 = Instant::now();
+                shared =
+                    Some(crate::encode::CycleEncoder::new(&u, &self.far, &self.features));
+                let dt = t0.elapsed();
+                local.encoder_build += dt;
+                local.smt += dt;
+                let t1 = Instant::now();
+                let sat = shared
+                    .as_mut()
+                    .expect("just built")
+                    .check_shared_any(&pending);
+                let dt = t1.elapsed();
+                local.smt += dt;
+                local.query_solve += dt;
+                local.queries += 1;
+                local.assumption_solves += 1;
+                all_refuted = !sat;
+            }
+        }
         for cand in found {
             if deadline.expired() {
                 // Truncated record: the merge replays only what exists.
+                truncated = true;
                 break;
             }
             let txs: BTreeSet<usize> =
@@ -563,6 +942,8 @@ impl Checker {
             let outcome = if pruned {
                 local.preprune_skips += 1;
                 CandOutcome::Pruned
+            } else if all_refuted {
+                CandOutcome::Refuted
             } else {
                 if self.features.incremental_smt && shared.is_none() {
                     let t0 = Instant::now();
@@ -580,51 +961,172 @@ impl Checker {
             local.learnt_clauses += enc.session_stats().2;
         }
         drop(shared);
-        WorkRecord { index, suspicious: true, unfolding: Some(u), cands }
+        WorkRecord { index, suspicious: true, unfolding: Some(u), cands, truncated, sym }
+    }
+
+    /// Fresh, authoritative solve on the merge thread (the legacy
+    /// sequential path), with its counters and clocks folded straight
+    /// into the result.
+    fn resolve_on_merge(
+        &self,
+        u: &Unfolding,
+        cand: &CandidateCycle,
+        result: &mut AnalysisResult,
+    ) -> CandOutcome {
+        let mut local = WorkerLocal::default();
+        let o = self.solve_candidate(u, cand, None, &mut local);
+        result.stats.speculative_smt_queries += local.queries;
+        result.stats.timings.smt += local.smt;
+        result.stats.timings.encoder_build += local.encoder_build;
+        result.stats.timings.query_solve += local.query_solve;
+        result.stats.timings.validate += local.validate;
+        o
     }
 
     /// Merge phase: replays one record with the sequential semantics and
-    /// refreshes the shared subsumption snapshot.
+    /// refreshes the shared subsumption snapshot. `classes` maps a
+    /// representative's unfolding index to its recorded verdicts; the
+    /// strictly in-order merge guarantees a member's representative was
+    /// merged first (its index is smaller), except when a deadline abort
+    /// dropped the rep record — members then skip, exactly like the rest
+    /// of the post-deadline tail.
     fn merge_record(
         &self,
         rec: WorkRecord,
         k: usize,
         snapshot: &RwLock<Vec<BTreeSet<usize>>>,
+        classes: &mut HashMap<usize, ClassRecord>,
         result: &mut AnalysisResult,
     ) {
         result.stats.unfoldings += 1;
-        if !rec.suspicious {
-            return;
-        }
-        result.stats.suspicious_unfoldings += 1;
-        let u = rec.unfolding.expect("suspicious record carries its unfolding");
+        let WorkRecord { index, suspicious, unfolding, cands, truncated, sym } = rec;
         let mut pushed = false;
-        for c in rec.cands {
-            if result.violations.iter().any(|v| v.subsumes(&c.txs)) {
-                result.stats.subsumed_candidates += 1;
-                continue;
-            }
-            result.stats.smt_queries += 1;
-            let outcome = match c.outcome {
-                CandOutcome::Pruned => {
-                    // The worker's snapshot claimed subsumption but the
-                    // replay set does not — impossible while the snapshot
-                    // holds only merged violations (monotonicity), so this
-                    // is a self-check path; re-solve (on the legacy fresh
-                    // path) to stay exact.
-                    result.stats.preprune_fallbacks += 1;
-                    let mut local = WorkerLocal::default();
-                    let o = self.solve_candidate(&u, &c.cand, None, &mut local);
-                    result.stats.timings.smt += local.smt;
-                    result.stats.timings.validate += local.validate;
-                    o
+        match sym {
+            SymTag::Identity { rep } => {
+                result.stats.class_members_skipped += 1;
+                let Some(class) = classes.get(&rep) else { return };
+                if !class.suspicious {
+                    return;
                 }
-                o => o,
-            };
-            if matches!(outcome, CandOutcome::Sat { .. }) {
-                pushed = true;
+                let u = unfolding.expect("identity member carries its unfolding");
+                result.stats.suspicious_unfoldings += 1;
+                for rc in &class.cands {
+                    let txs: BTreeSet<usize> =
+                        rc.cand.nodes.iter().map(|&n| u.instances[n].orig_tx).collect();
+                    if result.violations.iter().any(|v| v.subsumes(&txs)) {
+                        result.stats.subsumed_candidates += 1;
+                        continue;
+                    }
+                    result.stats.smt_queries += 1;
+                    let labels = rc.cand.steps.iter().map(|s| s.label).collect();
+                    let outcome = match &rc.outcome {
+                        RepOutcome::Refuted => CandOutcome::Refuted,
+                        RepOutcome::Sat { rendered } => {
+                            CandOutcome::Sat { rendered: rendered.clone() }
+                        }
+                        RepOutcome::Skipped => self.resolve_on_merge(&u, &rc.cand, result),
+                    };
+                    if matches!(outcome, CandOutcome::Sat { .. }) {
+                        pushed = true;
+                    }
+                    self.commit_outcome(txs, labels, outcome, k, result);
+                }
             }
-            self.commit_outcome(c.txs, c.labels, outcome, k, result);
+            SymTag::Permuted { rep, fp } => {
+                result.stats.class_members_skipped += 1;
+                if !suspicious {
+                    return;
+                }
+                let Some(class) = classes.get(&rep) else { return };
+                let u = unfolding.expect("permuted member carries its unfolding");
+                result.stats.suspicious_unfoldings += 1;
+                let map = instance_map(&u, &fp, &class.rep_fp);
+                for c in cands {
+                    if result.violations.iter().any(|v| v.subsumes(&c.txs)) {
+                        result.stats.subsumed_candidates += 1;
+                        continue;
+                    }
+                    result.stats.smt_queries += 1;
+                    let key = cand_key_mapped(&c.cand, &map);
+                    let outcome = match class.by_key.get(&key).map(|&i| &class.cands[i].outcome)
+                    {
+                        Some(RepOutcome::Refuted) => CandOutcome::Refuted,
+                        _ => self.resolve_on_merge(&u, &c.cand, result),
+                    };
+                    if matches!(outcome, CandOutcome::Sat { .. }) {
+                        pushed = true;
+                    }
+                    self.commit_outcome(c.txs, c.labels, outcome, k, result);
+                }
+            }
+            sym @ (SymTag::Plain | SymTag::Rep { .. }) => {
+                let capture = matches!(sym, SymTag::Rep { .. });
+                let mut class = ClassRecord {
+                    rep_fp: match sym {
+                        SymTag::Rep { fp } => fp,
+                        _ => Vec::new(),
+                    },
+                    suspicious,
+                    complete: !truncated,
+                    cands: Vec::new(),
+                    by_key: HashMap::new(),
+                };
+                if capture {
+                    result.stats.classes += 1;
+                }
+                if !suspicious {
+                    if capture {
+                        classes.insert(index, class);
+                    }
+                    return;
+                }
+                result.stats.suspicious_unfoldings += 1;
+                let u = unfolding.expect("suspicious record carries its unfolding");
+                // The rep's own coordinates are already canonical.
+                let idmap: Vec<usize> = (0..u.instances.len()).collect();
+                for c in cands {
+                    if result.violations.iter().any(|v| v.subsumes(&c.txs)) {
+                        result.stats.subsumed_candidates += 1;
+                        if capture {
+                            class.push(c.cand, RepOutcome::Skipped, &idmap);
+                        }
+                        continue;
+                    }
+                    result.stats.smt_queries += 1;
+                    let outcome = match c.outcome {
+                        CandOutcome::Pruned => {
+                            // The worker's snapshot claimed subsumption but
+                            // the replay set does not — impossible while
+                            // the snapshot holds only merged violations
+                            // (monotonicity), so this is a self-check
+                            // path; re-solve (on the legacy fresh path) to
+                            // stay exact.
+                            result.stats.preprune_fallbacks += 1;
+                            self.resolve_on_merge(&u, &c.cand, result)
+                        }
+                        o => o,
+                    };
+                    if capture {
+                        let rep_outcome = match &outcome {
+                            CandOutcome::Refuted => RepOutcome::Refuted,
+                            CandOutcome::Sat { rendered } => {
+                                RepOutcome::Sat { rendered: rendered.clone() }
+                            }
+                            CandOutcome::Pruned | CandOutcome::Deferred => {
+                                unreachable!("rep verdicts are resolved before capture")
+                            }
+                        };
+                        class.push(c.cand.clone(), rep_outcome, &idmap);
+                    }
+                    if matches!(outcome, CandOutcome::Sat { .. }) {
+                        pushed = true;
+                    }
+                    self.commit_outcome(c.txs, c.labels, outcome, k, result);
+                }
+                if capture {
+                    classes.insert(index, class);
+                }
+            }
         }
         if pushed {
             *snapshot.write().expect("subsumption snapshot lock") =
@@ -636,7 +1138,7 @@ impl Checker {
     /// shared dispenser plus deterministic in-order merge on this thread.
     fn check_bounded_parallel(
         &self,
-        unfolded: &[AbsTx],
+        arena: &Arc<TxArena>,
         tables: &PairTables,
         k: usize,
         workers: usize,
@@ -645,7 +1147,19 @@ impl Checker {
     ) {
         let snapshot: RwLock<Vec<BTreeSet<usize>>> =
             RwLock::new(result.violations.iter().map(|v| v.txs.clone()).collect());
-        let dispenser = Mutex::new(unfoldings(&self.h, unfolded, k).enumerate());
+        let symmetry = self.features.symmetry_reduction;
+        // The dispenser classifies each unfolding under its lock: the
+        // first member of an equivalence class (by canonical fingerprint
+        // key) becomes the representative, later members are tagged with
+        // the rep's index. Classification is part of the enumeration
+        // order, so it is deterministic regardless of worker count.
+        let dispenser = Mutex::new((
+            unfoldings(&self.h, arena, k).enumerate(),
+            HashMap::<Vec<u64>, (usize, Vec<u64>)>::new(),
+        ));
+        // Unfoldings handed out but not yet merged — the resident window
+        // the streaming enumeration keeps alive at any instant.
+        let dispensed = AtomicUsize::new(0);
         // Bounded channel: backpressure keeps workers close to the merge
         // frontier, so the subsumption snapshot stays fresh and little
         // speculative SMT work is wasted on candidates the merge will
@@ -660,27 +1174,107 @@ impl Checker {
         let locals: Vec<WorkerLocal> = std::thread::scope(|scope| {
             let snapshot = &snapshot;
             let dispenser = &dispenser;
+            let dispensed = &dispensed;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let record_tx = record_tx.clone();
                     scope.spawn(move || {
                         let mut local = WorkerLocal::default();
-                        let mut chunk = Vec::with_capacity(CHUNK);
+                        let mut chunk: Vec<(usize, Unfolding, SymTag)> =
+                            Vec::with_capacity(CHUNK);
                         'pull: loop {
                             if deadline.expired() {
                                 break;
                             }
                             {
-                                let mut it = dispenser.lock().expect("dispenser lock");
-                                chunk.extend(it.by_ref().take(CHUNK));
+                                let mut guard = dispenser.lock().expect("dispenser lock");
+                                let (it, seen) = &mut *guard;
+                                for (index, u) in it.by_ref().take(CHUNK) {
+                                    let tag = if symmetry {
+                                        let fp = u.fp_seq();
+                                        let mut key = fp.clone();
+                                        key.sort_unstable();
+                                        match seen.get(&key) {
+                                            Some((rep, rep_fp)) => {
+                                                if fp == *rep_fp {
+                                                    SymTag::Identity { rep: *rep }
+                                                } else {
+                                                    SymTag::Permuted { rep: *rep, fp }
+                                                }
+                                            }
+                                            None => {
+                                                seen.insert(key, (index, fp.clone()));
+                                                SymTag::Rep { fp }
+                                            }
+                                        }
+                                    } else {
+                                        SymTag::Plain
+                                    };
+                                    chunk.push((index, u, tag));
+                                }
+                                dispensed.fetch_add(chunk.len(), Ordering::Relaxed);
                             }
                             if chunk.is_empty() {
                                 break;
                             }
-                            for (index, u) in chunk.drain(..) {
-                                let rec = self.process_unfolding(
-                                    index, u, tables, snapshot, deadline, &mut local,
-                                );
+                            for (index, u, tag) in chunk.drain(..) {
+                                let rec = match tag {
+                                    tag @ (SymTag::Plain | SymTag::Rep { .. }) => self
+                                        .process_unfolding(
+                                            index, u, tables, snapshot, deadline, &mut local,
+                                            tag,
+                                        ),
+                                    tag @ SymTag::Identity { .. } => {
+                                        // All work replays off the rep's
+                                        // class record at merge time.
+                                        WorkRecord {
+                                            index,
+                                            suspicious: false,
+                                            unfolding: Some(u),
+                                            cands: Vec::new(),
+                                            truncated: false,
+                                            sym: tag,
+                                        }
+                                    }
+                                    tag @ SymTag::Permuted { .. } => {
+                                        // Candidate order is member
+                                        // specific, so only the SSG stage
+                                        // runs here; verdicts resolve from
+                                        // the class record at merge time.
+                                        let found =
+                                            self.filter_candidates(&u, tables, &mut local);
+                                        let suspicious = !found.is_empty();
+                                        let cands = found
+                                            .into_iter()
+                                            .map(|cand| {
+                                                let txs = cand
+                                                    .nodes
+                                                    .iter()
+                                                    .map(|&n| u.instances[n].orig_tx)
+                                                    .collect();
+                                                let labels = cand
+                                                    .steps
+                                                    .iter()
+                                                    .map(|s| s.label)
+                                                    .collect();
+                                                CandidateRecord {
+                                                    txs,
+                                                    labels,
+                                                    cand,
+                                                    outcome: CandOutcome::Deferred,
+                                                }
+                                            })
+                                            .collect();
+                                        WorkRecord {
+                                            index,
+                                            suspicious,
+                                            unfolding: Some(u),
+                                            cands,
+                                            truncated: false,
+                                            sym: tag,
+                                        }
+                                    }
+                                };
                                 if record_tx.send(rec).is_err() {
                                     break 'pull;
                                 }
@@ -694,24 +1288,32 @@ impl Checker {
             // Deterministic replay, concurrent with discovery: records
             // merge strictly in ascending unfolding index, so the
             // published snapshot is always a fully merged prefix.
+            let mut classes: HashMap<usize, ClassRecord> = HashMap::new();
             let mut stash: BTreeMap<usize, WorkRecord> = BTreeMap::new();
             let mut next_merge = 0usize;
+            let mut merged = 0usize;
             let mut merge_clock = Duration::ZERO;
             while let Ok(rec) = record_rx.recv() {
                 stash.insert(rec.index, rec);
                 while let Some(rec) = stash.remove(&next_merge) {
                     let t0 = Instant::now();
-                    self.merge_record(rec, k, snapshot, result);
+                    self.merge_record(rec, k, snapshot, &mut classes, result);
                     merge_clock += t0.elapsed();
                     next_merge += 1;
+                    merged += 1;
                 }
+                // Dispensed-but-unmerged unfoldings are the live window:
+                // in-flight on workers, in the channel, or stashed here.
+                let resident = dispensed.load(Ordering::Relaxed).saturating_sub(merged);
+                result.stats.peak_unfoldings_resident =
+                    result.stats.peak_unfoldings_resident.max(resident);
             }
             // A deadline abort can leave index gaps; replay stragglers in
             // ascending order (exactness is moot once the budget fired,
             // but partial results must still be well-formed).
             for (_, rec) in std::mem::take(&mut stash) {
                 let t0 = Instant::now();
-                self.merge_record(rec, k, snapshot, result);
+                self.merge_record(rec, k, snapshot, &mut classes, result);
                 merge_clock += t0.elapsed();
             }
             result.stats.timings.merge += merge_clock;
@@ -749,7 +1351,7 @@ impl Checker {
     /// paper); larger `k` falls back to the bounded guarantee.
     fn generalizes(
         &self,
-        unfolded: &[AbsTx],
+        arena: &Arc<TxArena>,
         tables: &PairTables,
         k: usize,
         deadline: &Deadline,
@@ -759,6 +1361,7 @@ impl Checker {
         if k != 2 {
             return false;
         }
+        let unfolded = arena.bodies();
         let n_tx = self.h.txs.len();
         let chains = crate::unfold::session_choices(&self.h);
         // Shortcut features: closed-world axioms off (the real history may
@@ -805,36 +1408,17 @@ impl Checker {
                         return false;
                     }
                     // Build the segment unfolding plus the mirror ghost.
-                    let mut instances = vec![UnfoldingInstance {
-                        orig_tx: t1,
-                        session: 0,
-                        pos: 0,
-                        tx: unfolded[t1].clone(),
-                    }];
+                    let mut instances =
+                        vec![UnfoldingInstance { orig_tx: t1, session: 0, pos: 0 }];
                     for (pos, &m) in mids.iter().enumerate() {
-                        instances.push(UnfoldingInstance {
-                            orig_tx: m,
-                            session: 1,
-                            pos,
-                            tx: unfolded[m].clone(),
-                        });
+                        instances.push(UnfoldingInstance { orig_tx: m, session: 1, pos });
                     }
-                    instances.push(UnfoldingInstance {
-                        orig_tx: t3,
-                        session: 2,
-                        pos: 0,
-                        tx: unfolded[t3].clone(),
-                    });
+                    instances.push(UnfoldingInstance { orig_tx: t3, session: 2, pos: 0 });
                     let t3_idx = instances.len() - 1;
                     let m_last_idx = t3_idx - 1;
                     let ghost_idx = instances.len();
-                    instances.push(UnfoldingInstance {
-                        orig_tx: m_last,
-                        session: 0,
-                        pos: 1,
-                        tx: unfolded[m_last].clone(),
-                    });
-                    let u = Unfolding { instances, k: 3 };
+                    instances.push(UnfoldingInstance { orig_tx: m_last, session: 0, pos: 1 });
+                    let u = Unfolding { arena: Arc::clone(arena), instances, k: 3 };
                     stats.smt_queries += 1;
                     stats.generalization_queries += 1;
                     let t0 = Instant::now();

@@ -40,7 +40,7 @@ impl CounterExample {
             let tx = b.begin(sessions[inst.session]);
             for &e in &model.paths[i] {
                 let e = e as usize;
-                let spec = &inst.tx.events[e];
+                let spec = &u.tx(i).events[e];
                 let args: Vec<_> = (0..spec.args.len())
                     .map(|pos| {
                         model.args.get(&(i, e, pos)).cloned().unwrap_or_default()

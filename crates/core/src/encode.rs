@@ -150,19 +150,19 @@ impl<'a> CycleEncoder<'a> {
             .collect();
         let u = self.u;
         for i in 0..n {
-            let inst = &u.instances[i];
+            let tx = u.tx(i);
             self.params.push(
-                (0..inst.tx.params.len())
+                (0..tx.params.len())
                     .map(|p| self.ctx.var(format!("i{i}_p{p}"), Sort::Int))
                     .collect(),
             );
             self.rets.push(
-                (0..inst.tx.events.len())
+                (0..tx.events.len())
                     .map(|e| self.ctx.var(format!("i{i}_r{e}"), Sort::Int))
                     .collect(),
             );
             let mut fresh_row = Vec::new();
-            for (e, ev) in inst.tx.events.iter().enumerate() {
+            for (e, ev) in tx.events.iter().enumerate() {
                 if ev.kind == c4_store::op::OpKind::TblAddRow {
                     fresh_row.push(Some(self.ctx.var(format!("i{i}_row{e}"), Sort::Int)));
                 } else {
@@ -170,13 +170,13 @@ impl<'a> CycleEncoder<'a> {
                 }
             }
             self.fresh.push(fresh_row);
-            self.eo_reach.push(crate::ssg::eo_reachability(&inst.tx));
+            self.eo_reach.push(u.arena.reach(u.instances[i].orig_tx as crate::intern::BodyId).clone());
         }
         // Boolean query results range over the two sentinels.
         let t = self.const_int(&Value::Bool(true));
         let f = self.const_int(&Value::Bool(false));
         for i in 0..n {
-            let events = &u.instances[i].tx.events;
+            let events = &u.tx(i).events;
             for (e, ev) in events.iter().enumerate() {
                 if returns_bool(&ev.kind) {
                     let r = self.rets[i][e];
@@ -206,15 +206,16 @@ impl<'a> CycleEncoder<'a> {
 
     fn max_symbol(&self, f: impl Fn(&AbsArg) -> Option<usize>) -> usize {
         let mut max = 0usize;
-        for inst in &self.u.instances {
-            for ev in &inst.tx.events {
+        for i in 0..self.u.instances.len() {
+            let tx = self.u.tx(i);
+            for ev in &tx.events {
                 for a in &ev.args {
                     if let Some(i) = f(a) {
                         max = max.max(i + 1);
                     }
                 }
             }
-            for edge in &inst.tx.edges {
+            for edge in &tx.edges {
                 for c in &edge.cond {
                     for a in [&c.lhs, &c.rhs] {
                         if let Some(i) = f(a) {
@@ -267,11 +268,14 @@ impl<'a> CycleEncoder<'a> {
     fn assert_paths(&mut self) {
         let u = self.u;
         for i in 0..u.instances.len() {
-            let tx = &u.instances[i].tx;
-            let paths: Vec<TxPath> = if self.features.control_flow {
-                tx.paths()
+            let tx = &u.tx(i);
+            let trivial;
+            let paths: &[TxPath] = if self.features.control_flow {
+                u.arena.paths(u.instances[i].orig_tx as crate::intern::BodyId)
             } else {
-                vec![TxPath { events: (0..tx.events.len() as u32).collect(), conds: vec![] }]
+                trivial =
+                    vec![TxPath { events: (0..tx.events.len() as u32).collect(), conds: vec![] }];
+                &trivial
             };
             let vars: Vec<TermId> = (0..paths.len())
                 .map(|p| self.ctx.var(format!("path_{i}_{p}"), Sort::Bool))
@@ -309,7 +313,7 @@ impl<'a> CycleEncoder<'a> {
                 acts.push(self.ctx.or(on));
             }
             self.act.push(acts);
-            self.paths.push(paths);
+            self.paths.push(paths.to_vec());
             self.path_vars.push(vars);
         }
     }
@@ -418,7 +422,7 @@ impl<'a> CycleEncoder<'a> {
                 if j == ci {
                     continue;
                 }
-                let tx = &u.instances[j].tx;
+                let tx = &u.tx(j);
                 for (fe, ev) in tx.events.iter().enumerate() {
                     for (pos, arg) in ev.args.iter().enumerate() {
                         if matches!(arg, AbsArg::RowOf(_) | AbsArg::Const(_)) {
@@ -457,7 +461,7 @@ impl<'a> CycleEncoder<'a> {
         let t_sent = self.const_int(&Value::Bool(true));
         let f_sent = self.const_int(&Value::Bool(false));
         for qi in 0..n {
-            let q_events = &u.instances[qi].tx.events;
+            let q_events = &u.tx(qi).events;
             for (qe, qev) in q_events.iter().enumerate() {
                 if !returns_bool(&qev.kind) {
                     continue;
@@ -466,7 +470,7 @@ impl<'a> CycleEncoder<'a> {
                 let mut creators: Vec<TermId> = Vec::new();
                 let mut removal_exists = false;
                 for ci in 0..n {
-                    let c_events = &u.instances[ci].tx.events;
+                    let c_events = &u.tx(ci).events;
                     for (ce, cev) in c_events.iter().enumerate() {
                         if cev.object != qev.object {
                             continue;
@@ -565,7 +569,7 @@ impl<'a> CycleEncoder<'a> {
         match t {
             ArgTerm::Arg(side, pos) => {
                 let (inst, ev) = if *side == Side::Src { src } else { tgt };
-                let arg = &self.u.instances[inst].tx.events[ev].args[*pos];
+                let arg = &self.u.tx(inst).events[ev].args[*pos];
                 self.arg_term(inst, ev, *pos, arg)
             }
             ArgTerm::Ret(side) => {
@@ -584,8 +588,8 @@ impl<'a> CycleEncoder<'a> {
     /// the SSG-level precision).
     fn not_com_term(&mut self, src: (usize, usize), tgt: (usize, usize)) -> TermId {
         let u = self.u;
-        let se = &u.instances[src.0].tx.events[src.1];
-        let te = &u.instances[tgt.0].tx.events[tgt.1];
+        let se = &u.tx(src.0).events[src.1];
+        let te = &u.tx(tgt.0).events[tgt.1];
         let f = self.far.far_commutes(&se.sig(), &te.sig());
         if !self.features.commutativity {
             let ctx = PairCtx {
@@ -614,12 +618,12 @@ impl<'a> CycleEncoder<'a> {
         let uf = self.u;
         let n = uf.instances.len();
         for k in 0..n {
-            let tx = &uf.instances[k].tx;
+            let tx = &uf.tx(k);
             for (vi, vev) in tx.events.iter().enumerate() {
                 if !vev.kind.is_update() || (k, vi) == u || (k, vi) == q {
                     continue;
                 }
-                let u_ev = &uf.instances[u.0].tx.events[u.1];
+                let u_ev = &uf.tx(u.0).events[u.1];
                 let absf = self.far.far_absorbs(&u_ev.sig(), &vev.sig());
                 if absf.is_false() {
                     continue;
@@ -660,8 +664,8 @@ impl<'a> CycleEncoder<'a> {
             return if self.u.so(a, b) { self.ctx.tru() } else { self.ctx.fls() };
         }
         let u = self.u;
-        let ea = &u.instances[a].tx.events;
-        let eb = &u.instances[b].tx.events;
+        let ea = &u.tx(a).events;
+        let eb = &u.tx(b).events;
         let ctx_pair = PairCtx {
             same_instance: false,
             same_session: u.instances[a].session == u.instances[b].session,
@@ -777,12 +781,12 @@ impl<'a> CycleEncoder<'a> {
     /// Panics if the two instances have different bodies.
     pub fn assert_mirror(&mut self, i: usize, j: usize) {
         assert_eq!(
-            self.u.instances[i].tx.events.len(),
-            self.u.instances[j].tx.events.len(),
+            self.u.tx(i).events.len(),
+            self.u.tx(j).events.len(),
             "mirrored instances must share a body"
         );
         self.assert_params_equal(i, j);
-        let n_events = self.u.instances[i].tx.events.len();
+        let n_events = self.u.tx(i).events.len();
         for e in 0..n_events {
             let (ri, rj) = (self.rets[i][e], self.rets[j][e]);
             let eq = self.ctx.eq(ri, rj);
@@ -791,7 +795,7 @@ impl<'a> CycleEncoder<'a> {
                 let eq = self.ctx.eq(fi, fj);
                 self.assertions.push(eq);
             }
-            let args = &self.u.instances[i].tx.events[e].args;
+            let args = &self.u.tx(i).events[e].args;
             for (pos, arg) in args.iter().enumerate() {
                 if matches!(arg, AbsArg::Wild) {
                     let (wi, wj) =
@@ -827,8 +831,8 @@ impl<'a> CycleEncoder<'a> {
     /// constraints (non-commutativity, asymmetric exemption) are kept.
     pub fn assert_no_anti_args(&mut self, a: usize, b: usize) {
         let u = self.u;
-        let ea = &u.instances[a].tx.events;
-        let eb = &u.instances[b].tx.events;
+        let ea = &u.tx(a).events;
+        let eb = &u.tx(b).events;
         let ctx_pair = PairCtx {
             same_instance: false,
             same_session: u.instances[a].session == u.instances[b].session,
@@ -917,6 +921,44 @@ impl<'a> CycleEncoder<'a> {
         sat
     }
 
+    /// Batched refutation probe: checks whether *any* of the candidate
+    /// cycles admits a model, through the persistent incremental session.
+    ///
+    /// The disjunction of the candidates' step conjunctions is asserted
+    /// under one activation literal and solved under that assumption.
+    /// UNSAT proves every individual candidate infeasible (each disjunct
+    /// is unsatisfiable together with the shared structural encoding), so
+    /// the caller can commit `Refuted` for all of them with a single
+    /// solver call — the common case, since almost all suspicious
+    /// unfoldings have no feasible candidate at all. SAT only says *some*
+    /// candidate is feasible; the caller falls back to the exact
+    /// per-candidate path to find out which.
+    pub fn check_shared_any(&mut self, cands: &[&CandidateCycle]) -> bool {
+        let mut disjuncts = Vec::with_capacity(cands.len());
+        for cand in cands {
+            let m = cand.nodes.len();
+            let mut step_terms = Vec::with_capacity(m);
+            for (s, step) in cand.steps.iter().enumerate() {
+                let a = cand.nodes[s];
+                let b = cand.nodes[(s + 1) % m];
+                step_terms.push(self.step_term(a, b, step.label));
+            }
+            disjuncts.push(self.ctx.and(step_terms));
+        }
+        let any = self.ctx.or(disjuncts);
+        let session = self.session.get_or_insert_with(Incremental::new);
+        // Structural assertions added since the last call become permanent.
+        for &t in &self.assertions[self.session_cursor..] {
+            session.assert(&mut self.ctx, t);
+        }
+        self.session_cursor = self.assertions.len();
+        let g = session.activation();
+        session.assert_under(&mut self.ctx, g, any);
+        let sat = session.check_sat_assuming(&mut self.ctx, &[g]);
+        session.retire(g);
+        sat
+    }
+
     /// Incremental-session counters: `(assumption solves, theory blocking
     /// clauses, retained learnt clauses)`. All zero before the first
     /// [`CycleEncoder::check_shared`] call.
@@ -966,7 +1008,7 @@ impl<'a> CycleEncoder<'a> {
         };
         let u = self.u;
         for i in 0..n {
-            let tx_events = &u.instances[i].tx.events;
+            let tx_events = &u.tx(i).events;
             let path = paths[i].clone();
             for &e in &path {
                 let e = e as usize;
@@ -1025,7 +1067,7 @@ mod tests {
     use super::*;
     use crate::abstract_history::{ev, straight_line_tx, AbstractHistory};
     use crate::ssg::{candidate_cycles, Ssg};
-    use crate::unfold::{unfold_all, unfoldings};
+    use crate::unfold::{arena_for, unfoldings};
     use c4_algebra::{Alphabet, RewriteSpec};
     use c4_store::op::OpKind;
 
@@ -1051,10 +1093,10 @@ mod tests {
         ));
         h.free_session_order();
         let far = far_for(&h);
-        let unfolded = unfold_all(&h);
+        let arena = arena_for(&h);
         let features = AnalysisFeatures::default();
         let mut found = false;
-        'outer: for u in unfoldings(&h, &unfolded, 2) {
+        'outer: for u in unfoldings(&h, &arena, 2) {
             let ssg = Ssg::of_unfolding(&u, &far);
             for cand in candidate_cycles(&u, &ssg, &far) {
                 let enc = CycleEncoder::new(&u, &far, &features);
@@ -1091,9 +1133,9 @@ mod tests {
         h.add_tx(straight_line_tx("G", vec![], vec![ev("M", OpKind::MapGet, vec![u_local])]));
         h.free_session_order();
         let far = far_for(&h);
-        let unfolded = unfold_all(&h);
+        let arena = arena_for(&h);
         let features = AnalysisFeatures::default();
-        for u in unfoldings(&h, &unfolded, 2) {
+        for u in unfoldings(&h, &arena, 2) {
             let ssg = Ssg::of_unfolding(&u, &far);
             for cand in candidate_cycles(&u, &ssg, &far) {
                 let enc = CycleEncoder::new(&u, &far, &features);
@@ -1119,10 +1161,10 @@ mod tests {
         h.add_tx(straight_line_tx("G", vec![], vec![ev("M", OpKind::MapGet, vec![u_local])]));
         h.free_session_order();
         let far = far_for(&h);
-        let unfolded = unfold_all(&h);
+        let arena = arena_for(&h);
         let features = AnalysisFeatures { constraints: false, ..AnalysisFeatures::default() };
         let mut found = false;
-        for u in unfoldings(&h, &unfolded, 2) {
+        for u in unfoldings(&h, &arena, 2) {
             let ssg = Ssg::of_unfolding(&u, &far);
             for cand in candidate_cycles(&u, &ssg, &far) {
                 let enc = CycleEncoder::new(&u, &far, &features);

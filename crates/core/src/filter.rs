@@ -90,7 +90,7 @@ fn remove_event(tx: &mut AbsTx, victim: u32) {
     }
     // Dedupe edges introduced by splicing.
     let mut seen = std::collections::HashSet::new();
-    tx.edges.retain(|e| seen.insert((e.src, e.tgt, format!("{:?}", e.cond))));
+    tx.edges.retain(|e| seen.insert((e.src, e.tgt, e.cond.clone())));
 }
 
 fn mentions(a: &AbsArg, victim: u32) -> bool {

@@ -1,0 +1,177 @@
+//! Hash-consed arena for unfolded transaction bodies (DESIGN §5.12).
+//!
+//! The unfolder used to deep-clone every `AbsTx` body into every
+//! [`UnfoldingInstance`](crate::unfold::UnfoldingInstance) — on Relatd
+//! that is ~88 620 unfoldings × k bodies of cloned events, edges and
+//! condition lists per run. The arena stores each unfolded body exactly
+//! once; an instance carries a 4-byte [`BodyId`] and all consumers
+//! borrow the body through [`TxArena::body`].
+//!
+//! While interning, the arena hash-conses the bodies' building blocks —
+//! condition lists, events, and whole *name-stripped* body shapes — into
+//! small integer ids. The [`ShapeId`] of a body is its structural
+//! fingerprint: two bodies get the same `ShapeId` exactly when they have
+//! the same parameter count and identical event and edge lists, whatever
+//! their transaction names. Shape ids are what the symmetry reduction
+//! keys on: every analysis stage (pair tables, SSG, SMT encoding,
+//! counter-example decoding) reads only body *content*, never the
+//! transaction name, so same shape ⇒ same analysis behavior.
+
+use std::collections::HashMap;
+
+use crate::abstract_history::{AbsEventSpec, AbsTx, Cond, Node, TxPath};
+
+/// Index of a body in a [`TxArena`]. For arenas built by
+/// [`TxArena::build`] over `unfold_all` output, the body id of a
+/// transaction equals its original transaction index.
+pub type BodyId = u32;
+
+/// Id of an interned name-stripped body shape — the structural
+/// fingerprint used by the symmetry reduction.
+pub type ShapeId = u32;
+
+/// A name-stripped body: parameter count plus hash-consed event and
+/// edge lists. Param *names* are deliberately excluded — the analysis
+/// only ever reads `params.len()` (parameters are symbolic).
+type Shape = (usize, Vec<u32>, Vec<(Node, Node, u32)>);
+
+/// The hash-consed body arena shared by all unfoldings of one run.
+#[derive(Debug, Default)]
+pub struct TxArena {
+    bodies: Vec<AbsTx>,
+    /// Structural fingerprint per body (parallel to `bodies`).
+    shapes: Vec<ShapeId>,
+    /// Entry→exit paths per body (parallel to `bodies`). The SMT encoder
+    /// used to re-enumerate these for every instance of every encoder it
+    /// built; bodies are shared, so one enumeration per body suffices.
+    paths: Vec<Vec<TxPath>>,
+    /// eo⁺ event reachability per body (parallel to `bodies`), for the
+    /// same reason: SC2b and the encoder both consult it per instance.
+    reach: Vec<Vec<Vec<bool>>>,
+    conds_tab: HashMap<Vec<Cond>, u32>,
+    events_tab: HashMap<AbsEventSpec, u32>,
+    shapes_tab: HashMap<Shape, ShapeId>,
+}
+
+impl TxArena {
+    /// Interns a set of (already unfolded, acyclic) bodies. Body ids are
+    /// assigned in order, so `BodyId == index` into the input.
+    pub fn build(bodies: Vec<AbsTx>) -> TxArena {
+        let mut arena = TxArena::default();
+        for body in &bodies {
+            let shape = arena.intern_shape(body);
+            arena.shapes.push(shape);
+            arena.paths.push(body.paths());
+            arena.reach.push(crate::ssg::eo_reachability(body));
+        }
+        arena.bodies = bodies;
+        arena
+    }
+
+    fn intern_shape(&mut self, tx: &AbsTx) -> ShapeId {
+        let events: Vec<u32> = tx
+            .events
+            .iter()
+            .map(|e| {
+                let next = self.events_tab.len() as u32;
+                *self.events_tab.entry(e.clone()).or_insert(next)
+            })
+            .collect();
+        let edges: Vec<(Node, Node, u32)> = tx
+            .edges
+            .iter()
+            .map(|e| {
+                let next = self.conds_tab.len() as u32;
+                let cid = *self.conds_tab.entry(e.cond.clone()).or_insert(next);
+                (e.src, e.tgt, cid)
+            })
+            .collect();
+        let shape: Shape = (tx.params.len(), events, edges);
+        let next = self.shapes_tab.len() as ShapeId;
+        *self.shapes_tab.entry(shape).or_insert(next)
+    }
+
+    /// The interned bodies, indexed by [`BodyId`].
+    pub fn bodies(&self) -> &[AbsTx] {
+        &self.bodies
+    }
+
+    /// Borrows one body.
+    pub fn body(&self, id: BodyId) -> &AbsTx {
+        &self.bodies[id as usize]
+    }
+
+    /// The structural fingerprint of a body.
+    pub fn shape(&self, id: BodyId) -> ShapeId {
+        self.shapes[id as usize]
+    }
+
+    /// The entry→exit paths of a body (computed once at interning time).
+    pub fn paths(&self, id: BodyId) -> &[TxPath] {
+        &self.paths[id as usize]
+    }
+
+    /// The eo⁺ event-reachability matrix of a body.
+    pub fn reach(&self, id: BodyId) -> &Vec<Vec<bool>> {
+        &self.reach[id as usize]
+    }
+
+    /// Number of interned bodies.
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Whether the arena holds no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+
+    /// Interning statistics: distinct `(shapes, events, condition lists)`
+    /// across all bodies.
+    pub fn interning_stats(&self) -> (usize, usize, usize) {
+        (self.shapes_tab.len(), self.events_tab.len(), self.conds_tab.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_history::{ev, straight_line_tx, AbsArg};
+    use c4_store::op::OpKind;
+
+    fn body(name: &str, obj: &str) -> AbsTx {
+        straight_line_tx(
+            name,
+            vec!["k".into()],
+            vec![ev(obj, OpKind::MapPut, vec![AbsArg::Param(0), AbsArg::Wild])],
+        )
+    }
+
+    #[test]
+    fn identical_bodies_share_a_shape_whatever_their_names() {
+        let arena = TxArena::build(vec![body("a", "M"), body("b", "M"), body("c", "N")]);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.shape(0), arena.shape(1), "names must not split shapes");
+        assert_ne!(arena.shape(0), arena.shape(2), "content must split shapes");
+        let (shapes, events, conds) = arena.interning_stats();
+        assert_eq!(shapes, 2);
+        assert_eq!(events, 2);
+        assert_eq!(conds, 1, "all straight-line edges share the empty condition list");
+    }
+
+    #[test]
+    fn param_count_is_part_of_the_shape() {
+        let mut two_params = body("a", "M");
+        two_params.params.push("v".into());
+        let arena = TxArena::build(vec![body("a", "M"), two_params]);
+        assert_ne!(arena.shape(0), arena.shape(1));
+    }
+
+    #[test]
+    fn param_names_are_not_part_of_the_shape() {
+        let mut renamed = body("a", "M");
+        renamed.params[0] = "other".into();
+        let arena = TxArena::build(vec![body("a", "M"), renamed]);
+        assert_eq!(arena.shape(0), arena.shape(1));
+    }
+}

@@ -33,6 +33,7 @@ pub mod check;
 pub mod counterexample;
 pub mod encode;
 pub mod filter;
+pub mod intern;
 pub mod report;
 pub mod si;
 pub mod ssg;
@@ -42,5 +43,6 @@ pub use abstract_history::{AbsArg, AbsEventSpec, AbsTx, AbstractHistory, Cond, N
 pub use cache::{CacheCounters, CacheKey, CacheTier, VerdictCache};
 pub use check::{AnalysisFeatures, CancelToken, Checker};
 pub use report::{AnalysisResult, AnalysisStats, DecodeError, Violation};
+pub use intern::{BodyId, ShapeId, TxArena};
 pub use ssg::{Ssg, SsgLabel};
 pub use unfold::{Unfolding, UnfoldingInstance};

@@ -134,6 +134,24 @@ pub struct AnalysisStats {
     /// after learnt-database reduction, so a bounded measure of solver
     /// state carried between queries).
     pub learnt_clauses: usize,
+    /// Symmetry equivalence classes analyzed in full (one representative
+    /// per class; equals `unfoldings` with symmetry reduction off or when
+    /// every class is a singleton). Deterministic for a fixed history —
+    /// classification happens in enumeration order — but excluded from
+    /// the replay counters because it depends on the
+    /// `symmetry_reduction` feature toggle.
+    pub classes: usize,
+    /// Unfoldings whose SSG + SMT work was replayed from their class
+    /// representative's record instead of being recomputed (zero with
+    /// symmetry reduction off).
+    pub class_members_skipped: usize,
+    /// High-water mark of unfoldings simultaneously resident: dispensed
+    /// by the streaming enumeration but not yet merged. 1 on the
+    /// sequential path; bounded by the dispenser chunking and channel
+    /// backpressure (≈ `workers · (CHUNK + 2)`) on the parallel path,
+    /// demonstrating the enumeration never materializes the O(n^k)
+    /// unfolding space.
+    pub peak_unfoldings_resident: usize,
     /// Whether the wall-clock budget expired and the run returned a
     /// partial (still well-formed) result.
     pub deadline_hit: bool,
@@ -164,6 +182,10 @@ impl AnalysisStats {
         self.assumption_solves += other.assumption_solves;
         self.sat_resolves += other.sat_resolves;
         self.learnt_clauses += other.learnt_clauses;
+        self.classes += other.classes;
+        self.class_members_skipped += other.class_members_skipped;
+        self.peak_unfoldings_resident =
+            self.peak_unfoldings_resident.max(other.peak_unfoldings_resident);
         self.deadline_hit |= other.deadline_hit;
         self.workers = self.workers.max(other.workers);
         for (i, q) in other.per_worker_queries.iter().enumerate() {

@@ -246,6 +246,14 @@ pub struct PairTables {
     pub anti_possible: [Vec<bool>; 2],
     /// See [`PairTables::anti_possible`].
     pub conflict_possible: [Vec<bool>; 2],
+    /// `[diff_session, same_session]` × ordered tx pair → the dependency
+    /// edges `(label, src_event, tgt_event)` between two distinct
+    /// instances of the pair, in event-pair enumeration order. This is
+    /// the entire inner loop of [`Ssg::of_unfolding_cached`] hoisted out:
+    /// instance-level SSG edges depend only on the body pair and session
+    /// equality, so the streaming pre-filter appends a precomputed
+    /// template per instance pair instead of re-scanning event pairs.
+    templates: [Vec<Vec<(SsgLabel, usize, usize)>>; 2],
     n_tx: usize,
 }
 
@@ -269,6 +277,7 @@ impl PairTables {
         let mut notabs_si = vec![false; total * total];
         let mut anti_possible = [vec![false; n_tx * n_tx], vec![false; n_tx * n_tx]];
         let mut conflict_possible = [vec![false; n_tx * n_tx], vec![false; n_tx * n_tx]];
+        let mut templates = [vec![Vec::new(); n_tx * n_tx], vec![Vec::new(); n_tx * n_tx]];
         for (a, ta) in txs.iter().enumerate() {
             for (b, tb) in txs.iter().enumerate() {
                 for (ea, e) in ta.events.iter().enumerate() {
@@ -289,6 +298,15 @@ impl PairTables {
                                 }
                                 if e.kind.is_update() && f.kind.is_update() {
                                     conflict_possible[slot][a * n_tx + b] = true;
+                                }
+                                let label = match (e.kind.is_update(), f.kind.is_update()) {
+                                    (true, false) => Some(SsgLabel::Dep),
+                                    (false, true) => Some(SsgLabel::Anti),
+                                    (true, true) => Some(SsgLabel::Conflict),
+                                    (false, false) => None,
+                                };
+                                if let Some(label) = label {
+                                    templates[slot][a * n_tx + b].push((label, ea, eb));
                                 }
                             }
                         }
@@ -314,8 +332,16 @@ impl PairTables {
             notabs_same_inst: notabs_si,
             anti_possible,
             conflict_possible,
+            templates,
             n_tx,
         }
+    }
+
+    /// The precomputed dependency edges between distinct instances of
+    /// bodies `a` (source) and `b` (target) under the given session
+    /// equality. See [`PairTables::templates`].
+    pub fn template(&self, a: usize, b: usize, same_session: bool) -> &[(SsgLabel, usize, usize)] {
+        &self.templates[same_session as usize][a * self.n_tx + b]
     }
 
     fn index(&self, a: usize, ea: usize, b: usize, eb: usize) -> usize {
@@ -381,8 +407,8 @@ impl Ssg {
                     &mut edges,
                     i,
                     j,
-                    &u.instances[i].tx,
-                    &u.instances[j].tx,
+                    &u.tx(i),
+                    &u.tx(j),
                     far,
                     ctx,
                 );
@@ -416,19 +442,8 @@ impl Ssg {
                     same_event: false,
                 };
                 let (oa, ob) = (u.instances[i].orig_tx, u.instances[j].orig_tx);
-                for (ei, e) in u.instances[i].tx.events.iter().enumerate() {
-                    for (fi, f) in u.instances[j].tx.events.iter().enumerate() {
-                        if !tables.notcom(oa, ei, ob, fi, ctx) {
-                            continue;
-                        }
-                        let label = match (e.kind.is_update(), f.kind.is_update()) {
-                            (true, false) => SsgLabel::Dep,
-                            (false, true) => SsgLabel::Anti,
-                            (true, true) => SsgLabel::Conflict,
-                            (false, false) => continue,
-                        };
-                        edges.push(SsgEdge { from: i, to: j, label, src_event: ei, tgt_event: fi });
-                    }
+                for &(label, ei, fi) in tables.template(oa, ob, ctx.same_session) {
+                    edges.push(SsgEdge { from: i, to: j, label, src_event: ei, tgt_event: fi });
                 }
             }
         }
@@ -470,10 +485,11 @@ impl Ssg {
     /// The strongly connected components (as node sets), including
     /// single nodes with self-loops.
     pub fn sccs(&self) -> Vec<Vec<usize>> {
-        let succ = |v: usize| -> Vec<usize> {
-            self.outgoing(v).map(|e| e.to).collect()
-        };
-        crate::unfold::tarjan(self.n, succ)
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            adj[e.from].push(e.to);
+        }
+        crate::unfold::tarjan(self.n, &adj)
             .into_iter()
             .filter(|scc| {
                 scc.len() > 1
@@ -556,8 +572,8 @@ impl PairLookup<'_> {
         match self {
             PairLookup::Direct(far) => may_not_commute(
                 far,
-                &u.instances[a.0].tx.events[a.1],
-                &u.instances[b.0].tx.events[b.1],
+                &u.tx(a.0).events[a.1],
+                &u.tx(b.0).events[b.1],
                 ctx,
             ),
             PairLookup::Cached(t) => t.notcom(
@@ -574,8 +590,8 @@ impl PairLookup<'_> {
         match self {
             PairLookup::Direct(far) => may_not_absorb(
                 far,
-                &u.instances[a.0].tx.events[a.1],
-                &u.instances[b.0].tx.events[b.1],
+                &u.tx(a.0).events[a.1],
+                &u.tx(b.0).events[b.1],
                 ctx,
             ),
             PairLookup::Cached(t) => t.notabs(
@@ -600,9 +616,9 @@ pub fn satisfies_sc2_with(u: &Unfolding, nodes: &[usize], lookup: PairLookup<'_>
     // Collect (instance, event) pairs.
     let events: Vec<(usize, usize)> = nodes
         .iter()
-        .flat_map(|&ni| (0..u.instances[ni].tx.events.len()).map(move |ei| (ni, ei)))
+        .flat_map(|&ni| (0..u.tx(ni).events.len()).map(move |ei| (ni, ei)))
         .collect();
-    let ev = |ni: usize, ei: usize| &u.instances[ni].tx.events[ei];
+    let ev = |ni: usize, ei: usize| &u.tx(ni).events[ei];
     let ctx = |a: usize, b: usize, ea: usize, eb: usize| PairCtx {
         same_instance: a == b,
         same_session: u.instances[a].session == u.instances[b].session,
@@ -625,8 +641,8 @@ pub fn satisfies_sc2_with(u: &Unfolding, nodes: &[usize], lookup: PairLookup<'_>
     // SC2b: q eo+→ u within one instance, with ¬com(u, e) and ¬com(q, v)
     // satisfiable for some events e, v of the component.
     for &ni in nodes {
-        let tx = &u.instances[ni].tx;
-        let order = eo_reachability(tx);
+        let tx = &u.tx(ni);
+        let order = u.arena.reach(u.instances[ni].orig_tx as crate::intern::BodyId);
         for qi in 0..tx.events.len() {
             if !tx.events[qi].kind.is_query() {
                 continue;
@@ -769,7 +785,7 @@ pub fn candidate_cycles_with(u: &Unfolding, ssg: &Ssg, lookup: PairLookup<'_>) -
 mod tests {
     use super::*;
     use crate::abstract_history::{ev, straight_line_tx};
-    use crate::unfold::{unfold_all, unfoldings};
+    use crate::unfold::{arena_for, unfoldings};
     use c4_algebra::{Alphabet, RewriteSpec};
     use c4_store::op::OpKind;
 
@@ -825,8 +841,8 @@ mod tests {
         h.add_tx(straight_line_tx("G", vec![], vec![ev("M", OpKind::MapGet, vec![g])]));
         h.free_session_order();
         let far = far_for(&h);
-        let unfolded = unfold_all(&h);
-        for u in unfoldings(&h, &unfolded, 2) {
+        let arena = arena_for(&h);
+        for u in unfoldings(&h, &arena, 2) {
             let ssg = Ssg::of_unfolding(&u, &far);
             let cands = candidate_cycles(&u, &ssg, &far);
             assert!(cands.is_empty(), "global-key program must have no candidates");
@@ -847,9 +863,9 @@ mod tests {
         h.add_tx(straight_line_tx("G", vec![], vec![ev("M", OpKind::MapGet, vec![l])]));
         h.free_session_order();
         let far = far_for(&h);
-        let unfolded = unfold_all(&h);
+        let arena = arena_for(&h);
         let mut any = false;
-        for u in unfoldings(&h, &unfolded, 2) {
+        for u in unfoldings(&h, &arena, 2) {
             let ssg = Ssg::of_unfolding(&u, &far);
             any |= !candidate_cycles(&u, &ssg, &far).is_empty();
         }

@@ -10,25 +10,34 @@
 //! mapping one concrete event per abstract event — which requires cyclic
 //! intra-transaction event orders (loops) to be *unfolded* into two copies
 //! first (Definition 4).
+//!
+//! Bodies live in a shared hash-consed [`TxArena`]; an instance stores its
+//! original transaction index (which doubles as the arena [`BodyId`])
+//! instead of a deep-cloned tree, and the enumeration stays an iterator so
+//! the driver can stream it chunk-by-chunk (DESIGN §5.12).
+
+use std::sync::Arc;
 
 use crate::abstract_history::{AbsArg, AbsTx, AbstractHistory, Cond, EoEdge, Node};
+use crate::intern::{BodyId, TxArena};
 
 /// One transaction instance within an unfolding.
 #[derive(Debug, Clone)]
 pub struct UnfoldingInstance {
-    /// Index of the original abstract transaction.
+    /// Index of the original abstract transaction. Doubles as the
+    /// [`BodyId`] of the instance's unfolded body in the arena.
     pub orig_tx: usize,
     /// The session (0-based) this instance belongs to.
     pub session: usize,
     /// Position within the session chain (0 or 1).
     pub pos: usize,
-    /// The (acyclic) unfolded transaction body.
-    pub tx: AbsTx,
 }
 
 /// A k-unfolding: an acyclic abstract history organized into `k` sessions.
 #[derive(Debug, Clone)]
 pub struct Unfolding {
+    /// The shared body arena (one per analysis run).
+    pub arena: Arc<TxArena>,
     /// The transaction instances.
     pub instances: Vec<UnfoldingInstance>,
     /// Number of sessions.
@@ -36,6 +45,11 @@ pub struct Unfolding {
 }
 
 impl Unfolding {
+    /// The (acyclic) unfolded body of instance `i`.
+    pub fn tx(&self, i: usize) -> &AbsTx {
+        self.arena.body(self.instances[i].orig_tx as BodyId)
+    }
+
     /// Session order between two instances.
     pub fn so(&self, i: usize, j: usize) -> bool {
         let (a, b) = (&self.instances[i], &self.instances[j]);
@@ -45,6 +59,34 @@ impl Unfolding {
     /// The multiset of original transaction indices.
     pub fn orig_txs(&self) -> Vec<usize> {
         self.instances.iter().map(|i| i.orig_tx).collect()
+    }
+
+    /// Per-session structural fingerprints: each session's chain of body
+    /// shapes packed as `(shape₀+1) << 32 | (shape₁+1 or 0)`. Two
+    /// unfoldings with the same fingerprint at session `s` carry
+    /// structurally identical bodies there (names aside), so every
+    /// analysis stage behaves identically on that session.
+    pub fn fp_seq(&self) -> Vec<u64> {
+        let mut fp = vec![0u64; self.k];
+        for inst in &self.instances {
+            let shape = self.arena.shape(inst.orig_tx as BodyId) as u64 + 1;
+            if inst.pos == 0 {
+                fp[inst.session] |= shape << 32;
+            } else {
+                fp[inst.session] |= shape;
+            }
+        }
+        fp
+    }
+
+    /// Canonical form under session permutation: the sorted fingerprint
+    /// sequence. Two unfoldings are symmetric (identical up to renaming
+    /// sessions) exactly when their canonical keys match, since sessions
+    /// carry no identity beyond their body chains.
+    pub fn canonical_key(&self) -> Vec<u64> {
+        let mut key = self.fp_seq();
+        key.sort_unstable();
+        key
     }
 }
 
@@ -67,13 +109,20 @@ pub fn session_choices(h: &AbstractHistory) -> Vec<SessionChoice> {
     out
 }
 
+/// Builds the shared body arena of an abstract history: every transaction
+/// unfolded per Definition 4, hash-consed so `BodyId == tx index`.
+pub fn arena_for(h: &AbstractHistory) -> Arc<TxArena> {
+    Arc::new(TxArena::build(unfold_all(h)))
+}
+
 /// Iterator over the k-unfoldings of an abstract history.
 ///
 /// Sessions are symmetric, so choices are enumerated as multisets
-/// (non-decreasing index sequences).
+/// (non-decreasing index sequences). The iterator is lazy: the driver
+/// streams it chunk-by-chunk, so the full set is never resident at once.
 pub fn unfoldings<'a>(
     h: &'a AbstractHistory,
-    unfolded: &'a [AbsTx],
+    arena: &'a Arc<TxArena>,
     k: usize,
 ) -> impl Iterator<Item = Unfolding> + 'a {
     let choices = session_choices(h);
@@ -81,29 +130,16 @@ pub fn unfoldings<'a>(
         let mut instances = Vec::new();
         for (session, &ci) in combo.iter().enumerate() {
             match choices[ci] {
-                SessionChoice::Single(t) => instances.push(UnfoldingInstance {
-                    orig_tx: t,
-                    session,
-                    pos: 0,
-                    tx: unfolded[t].clone(),
-                }),
+                SessionChoice::Single(t) => {
+                    instances.push(UnfoldingInstance { orig_tx: t, session, pos: 0 });
+                }
                 SessionChoice::Pair(s, t) => {
-                    instances.push(UnfoldingInstance {
-                        orig_tx: s,
-                        session,
-                        pos: 0,
-                        tx: unfolded[s].clone(),
-                    });
-                    instances.push(UnfoldingInstance {
-                        orig_tx: t,
-                        session,
-                        pos: 1,
-                        tx: unfolded[t].clone(),
-                    });
+                    instances.push(UnfoldingInstance { orig_tx: s, session, pos: 0 });
+                    instances.push(UnfoldingInstance { orig_tx: t, session, pos: 1 });
                 }
             }
         }
-        Unfolding { instances, k }
+        Unfolding { arena: Arc::clone(arena), instances, k }
     })
 }
 
@@ -128,24 +164,16 @@ pub fn unfold_tx(tx: &AbsTx) -> AbsTx {
 
 fn find_nontrivial_scc(tx: &AbsTx) -> Option<Vec<u32>> {
     let n = tx.events.len();
-    let succ = |v: usize| -> Vec<usize> {
-        tx.edges
-            .iter()
-            .filter(|e| e.src == Node::Event(v as u32))
-            .filter_map(|e| match e.tgt {
-                Node::Event(t) => Some(t as usize),
-                _ => None,
-            })
-            .collect()
-    };
-    // Reuse a tiny Tarjan here.
-    let sccs = tarjan(n, succ);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &tx.edges {
+        if let (Node::Event(s), Node::Event(t)) = (e.src, e.tgt) {
+            adj[s as usize].push(t as usize);
+        }
+    }
+    let sccs = tarjan(n, &adj);
     for scc in sccs {
         if scc.len() > 1
-            || (scc.len() == 1
-                && tx.edges.iter().any(|e| {
-                    e.src == Node::Event(scc[0] as u32) && e.tgt == Node::Event(scc[0] as u32)
-                }))
+            || (scc.len() == 1 && adj[scc[0]].contains(&scc[0]))
         {
             return Some(scc.into_iter().map(|v| v as u32).collect());
         }
@@ -153,10 +181,11 @@ fn find_nontrivial_scc(tx: &AbsTx) -> Option<Vec<u32>> {
     None
 }
 
-pub(crate) fn tarjan(n: usize, succ: impl Fn(usize) -> Vec<usize>) -> Vec<Vec<usize>> {
-    // Small recursive Tarjan (transactions are tiny).
-    struct State<'f, F: Fn(usize) -> Vec<usize>> {
-        succ: &'f F,
+pub(crate) fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    // Small recursive Tarjan over a precomputed adjacency list
+    // (transactions are tiny, SSGs are per-unfolding small).
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
         index: Vec<Option<u32>>,
         low: Vec<u32>,
         on_stack: Vec<bool>,
@@ -164,13 +193,14 @@ pub(crate) fn tarjan(n: usize, succ: impl Fn(usize) -> Vec<usize>) -> Vec<Vec<us
         next: u32,
         out: Vec<Vec<usize>>,
     }
-    fn visit<F: Fn(usize) -> Vec<usize>>(st: &mut State<F>, v: usize) {
+    fn visit(st: &mut State<'_>, v: usize) {
         st.index[v] = Some(st.next);
         st.low[v] = st.next;
         st.next += 1;
         st.stack.push(v);
         st.on_stack[v] = true;
-        for w in (st.succ)(v) {
+        for i in 0..st.adj[v].len() {
+            let w = st.adj[v][i];
             if st.index[w].is_none() {
                 visit(st, w);
                 st.low[v] = st.low[v].min(st.low[w]);
@@ -192,7 +222,7 @@ pub(crate) fn tarjan(n: usize, succ: impl Fn(usize) -> Vec<usize>) -> Vec<Vec<us
         }
     }
     let mut st = State {
-        succ: &succ,
+        adj,
         index: vec![None; n],
         low: vec![0; n],
         on_stack: vec![false; n],
@@ -211,17 +241,17 @@ pub(crate) fn tarjan(n: usize, succ: impl Fn(usize) -> Vec<usize>) -> Vec<Vec<us
 /// Performs one SCC unfolding step per Definition 4.
 fn unfold_scc(tx: &AbsTx, scc: &[u32]) -> AbsTx {
     let in_scc = |n: Node| matches!(n, Node::Event(i) if scc.contains(&i));
-    // Classify edges.
-    let mut incoming = Vec::new(); // I: Ev\V → V
-    let mut outgoing = Vec::new(); // O: V → Ev\V
-    let mut internal = Vec::new(); // edges within V
-    let mut external = Vec::new(); // edges not touching V
+    // Classify edges (borrowed — the originals are only read).
+    let mut incoming: Vec<&EoEdge> = Vec::new(); // I: Ev\V → V
+    let mut outgoing: Vec<&EoEdge> = Vec::new(); // O: V → Ev\V
+    let mut internal: Vec<&EoEdge> = Vec::new(); // edges within V
+    let mut external: Vec<&EoEdge> = Vec::new(); // edges not touching V
     for e in &tx.edges {
         match (in_scc(e.src), in_scc(e.tgt)) {
-            (false, true) => incoming.push(e.clone()),
-            (true, false) => outgoing.push(e.clone()),
-            (true, true) => internal.push(e.clone()),
-            (false, false) => external.push(e.clone()),
+            (false, true) => incoming.push(e),
+            (true, false) => outgoing.push(e),
+            (true, true) => internal.push(e),
+            (false, false) => external.push(e),
         }
     }
     // Back edges: DFS over the SCC subgraph restricted to internal edges.
@@ -232,7 +262,7 @@ fn unfold_scc(tx: &AbsTx, scc: &[u32]) -> AbsTx {
     let mut back = Vec::new(); // indices into internal
     fn dfs(
         v: u32,
-        internal: &[EoEdge],
+        internal: &[&EoEdge],
         color: &mut std::collections::HashMap<u32, u8>,
         back: &mut Vec<usize>,
     ) {
@@ -352,7 +382,7 @@ fn unfold_scc(tx: &AbsTx, scc: &[u32]) -> AbsTx {
     }
     // Deduplicate edges.
     let mut seen = std::collections::HashSet::new();
-    new_edges.retain(|e| seen.insert((e.src, e.tgt, format!("{:?}", e.cond))));
+    new_edges.retain(|e| seen.insert((e.src, e.tgt, e.cond.clone())));
     AbsTx { name: tx.name.clone(), params: tx.params.clone(), events: new_events, edges: new_edges }
 }
 
@@ -434,10 +464,10 @@ mod tests {
     #[test]
     fn two_session_unfoldings_of_figure1a() {
         let h = figure1a();
-        let unfolded = unfold_all(&h);
+        let arena = arena_for(&h);
         // Choices: 2 singles + 4 pairs = 6; unfoldings = C(7,2) = 21.
         assert_eq!(session_choices(&h).len(), 6);
-        let us: Vec<_> = unfoldings(&h, &unfolded, 2).collect();
+        let us: Vec<_> = unfoldings(&h, &arena, 2).collect();
         assert_eq!(us.len(), 21);
         // Figure 7b: sessions [P;G] and [P;G].
         let target = us.iter().find(|u| {
@@ -528,11 +558,33 @@ mod tests {
         looping.edges.push(EoEdge { src: Node::Event(0), tgt: Node::Event(0), cond: vec![] });
         h.add_tx(looping);
         h.free_session_order();
-        let unfolded = unfold_all(&h);
-        for u in unfoldings(&h, &unfolded, 2).take(50) {
-            for inst in &u.instances {
-                assert!(inst.tx.eo_is_acyclic());
+        let arena = arena_for(&h);
+        for u in unfoldings(&h, &arena, 2).take(50) {
+            for i in 0..u.instances.len() {
+                assert!(u.tx(i).eo_is_acyclic());
             }
         }
+    }
+
+    #[test]
+    fn canonical_key_is_invariant_under_session_swap() {
+        let h = figure1a();
+        let arena = arena_for(&h);
+        let us: Vec<_> = unfoldings(&h, &arena, 2).collect();
+        // [P | G] and [G | P] are symmetric: same canonical key, different
+        // fingerprint sequences.
+        let pg = us
+            .iter()
+            .find(|u| u.orig_txs() == vec![0, 1] && u.instances[0].session == 0)
+            .unwrap();
+        let mut swapped = pg.clone();
+        for inst in &mut swapped.instances {
+            inst.session = 1 - inst.session;
+        }
+        assert_ne!(pg.fp_seq(), swapped.fp_seq());
+        assert_eq!(pg.canonical_key(), swapped.canonical_key());
+        // [P | P] and [P | G] are not symmetric.
+        let pp = us.iter().find(|u| u.orig_txs() == vec![0, 0]).unwrap();
+        assert_ne!(pp.canonical_key(), pg.canonical_key());
     }
 }

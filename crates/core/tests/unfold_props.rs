@@ -2,7 +2,7 @@
 //! k-unfolding enumeration.
 
 use c4::abstract_history::{ev, AbsArg, AbsTx, AbstractHistory, EoEdge, Node};
-use c4::unfold::{session_choices, unfold_all, unfold_tx, unfoldings};
+use c4::unfold::{arena_for, session_choices, unfold_tx, unfoldings};
 use c4_store::op::OpKind;
 use proptest::prelude::*;
 
@@ -88,6 +88,67 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The canonical key is invariant under session relabeling: permuting
+    /// the session indices of an unfolding (the only symmetry the
+    /// enumeration can produce) never changes `canonical_key`, and the
+    /// per-session fingerprints are carried along by the permutation.
+    #[test]
+    fn canonical_key_invariant_under_session_permutation(
+        dup in proptest::collection::vec(0usize..3, 3),
+        pick in 0usize..1000,
+        perm in 0usize..6,
+    ) {
+        use c4::unfold::arena_for;
+        // Three transactions whose bodies repeat per `dup`, so distinct
+        // transactions frequently share a shape (non-trivial classes).
+        let mut h = AbstractHistory::new();
+        for (i, &d) in dup.iter().enumerate() {
+            let events = (0..=d)
+                .map(|_| ev("M", OpKind::MapPut, vec![AbsArg::Param(0), AbsArg::Wild]))
+                .collect();
+            h.add_tx(c4::abstract_history::straight_line_tx(format!("t{i}"), vec!["p".into()], events));
+        }
+        h.free_session_order();
+        let arena = arena_for(&h);
+        let us: Vec<_> = unfoldings(&h, &arena, 3).collect();
+        let u = &us[pick % us.len()];
+        // One of the 3! = 6 session permutations, by index.
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let p = perms[perm];
+        let mut v = u.clone();
+        for inst in &mut v.instances {
+            inst.session = p[inst.session];
+        }
+        prop_assert_eq!(u.canonical_key(), v.canonical_key());
+        // fp_seq commutes with the permutation: session s of `u` is
+        // session p[s] of `v`.
+        let fu = u.fp_seq();
+        let fv = v.fp_seq();
+        for s in 0..3 {
+            prop_assert_eq!(fu[s], fv[p[s]]);
+        }
+        // Equal canonical keys always agree on the shape multiset.
+        for w in &us {
+            if w.canonical_key() == u.canonical_key() {
+                let shapes = |x: &c4::unfold::Unfolding| {
+                    let mut v: Vec<_> = x
+                        .instances
+                        .iter()
+                        .map(|i| x.arena.shape(i.orig_tx as u32))
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                prop_assert_eq!(shapes(w), shapes(u));
+            }
+        }
+    }
+}
+
 #[test]
 fn unfolding_count_matches_multiset_formula() {
     // With T transactions and free so: choices = T + T², and k-unfoldings
@@ -103,10 +164,10 @@ fn unfolding_count_matches_multiset_formula() {
     h.free_session_order();
     let choices = session_choices(&h).len();
     assert_eq!(choices, 3 + 9);
-    let unfolded = unfold_all(&h);
-    let n2 = unfoldings(&h, &unfolded, 2).count();
+    let arena = arena_for(&h);
+    let n2 = unfoldings(&h, &arena, 2).count();
     assert_eq!(n2, choices * (choices + 1) / 2);
-    let n3 = unfoldings(&h, &unfolded, 3).count();
+    let n3 = unfoldings(&h, &arena, 3).count();
     assert_eq!(n3, choices * (choices + 1) * (choices + 2) / 6);
 }
 

@@ -272,7 +272,8 @@ fn put_features(out: &mut Vec<u8>, f: &AnalysisFeatures) {
         | (f.freshness as u16) << 5
         | (f.ret_justification as u16) << 6
         | (f.validate_counterexamples as u16) << 7
-        | (f.incremental_smt as u16) << 8;
+        | (f.incremental_smt as u16) << 8
+        | (f.symmetry_reduction as u16) << 9;
     out.extend_from_slice(&bits.to_be_bytes());
     put_u32(out, f.max_k as u32);
     put_u64(out, f.time_budget_secs);
@@ -292,6 +293,7 @@ fn read_features(r: &mut Reader<'_>) -> Result<AnalysisFeatures, ProtoError> {
         ret_justification: bit(6),
         validate_counterexamples: bit(7),
         incremental_smt: bit(8),
+        symmetry_reduction: bit(9),
         max_k: r.u32()? as usize,
         time_budget_secs: r.u64()?,
         parallelism: r.u32()? as usize,

@@ -39,6 +39,42 @@ echo "==> table1 slice wall time: ${t1}s at 1 thread, ${tn}s at ${N} threads"
 echo "==> table1 smoke, --no-incremental"
 ./target/release/table1 --threads 1 --no-incremental "${SLICE[@]}"
 
+# Symmetry smoke: the reduced enumeration must produce byte-identical
+# machine-readable output to --no-symmetry once the (non-deterministic)
+# timing fields are stripped. The differential suite proves this on
+# report bytes; this checks the real binary end-to-end on a slice.
+echo "==> table1 symmetry smoke (--json vs --no-symmetry)"
+strip_timings() {
+    sed -E 's/"fe_ms":[0-9.]+,"be_ms":[0-9.]+,//; s/"timings_ms":\{[^}]*\},//' "$1"
+}
+SYM_DIR="$(mktemp -d)"
+./target/release/table1 --threads 1 --json "${SLICE[@]}" > "$SYM_DIR/on.json"
+./target/release/table1 --threads 1 --json --no-symmetry "${SLICE[@]}" > "$SYM_DIR/off.json"
+strip_timings "$SYM_DIR/on.json" > "$SYM_DIR/on.stripped"
+strip_timings "$SYM_DIR/off.json" > "$SYM_DIR/off.stripped"
+cmp "$SYM_DIR/on.stripped" "$SYM_DIR/off.stripped"
+rm -rf "$SYM_DIR"
+echo "==> symmetry smoke OK"
+
+# Peak-RSS guard on the heaviest row: the streaming enumeration must not
+# materialize the 88 620-unfolding Relatd run. The bound is generous
+# (the solver arenas legitimately grow) — it exists to catch a
+# reintroduced collect-everything regression, not to measure precisely.
+if [ -x /usr/bin/time ]; then
+    echo "==> Relatd peak-RSS guard"
+    RSS_LOG="$(mktemp)"
+    /usr/bin/time -v ./target/release/table1 --threads 1 Relatd > /dev/null 2> "$RSS_LOG"
+    PEAK_KB=$(awk -F': ' '/Maximum resident set size/ {print $2}' "$RSS_LOG")
+    echo "    peak RSS: ${PEAK_KB} kB"
+    if [ -n "$PEAK_KB" ] && [ "$PEAK_KB" -gt 524288 ]; then
+        echo "error: Relatd peak RSS ${PEAK_KB} kB exceeds the 512 MiB guard" >&2
+        exit 1
+    fi
+    rm -f "$RSS_LOG"
+else
+    echo "==> Relatd peak-RSS guard skipped (/usr/bin/time not present)"
+fi
+
 # Smoke the incremental-vs-fresh criterion bench (runs each closure once).
 echo "==> encode_vs_incremental bench smoke"
 cargo bench -p c4-bench --bench encode_vs_incremental -- --test

@@ -44,11 +44,13 @@ fn check_invariants(name: &str, res: &c4::AnalysisResult) {
         s.speculative_smt_queries,
         "{name}: per-worker queries do not sum to the speculative total"
     );
-    assert!(
-        s.speculative_smt_queries + s.preprune_fallbacks
-            >= s.smt_sat + s.smt_refuted,
-        "{name}: committed verdicts nobody solved"
-    );
+    // Note there is deliberately no `speculative >= smt_sat + smt_refuted`
+    // bound: the batched refutation probe commits every pending candidate
+    // of an unfolding off a single UNSAT solve, and symmetry replay
+    // commits class members' refutations with no solve at all, so the
+    // pool's actual query count legitimately undercuts the committed
+    // verdicts. The strict solve-per-verdict ledger is checked below on
+    // the configuration where it still holds exactly.
     assert_eq!(s.preprune_fallbacks, 0, "{name}: monotone snapshot violated");
     // Incremental-session ledger: every canonical re-solve follows an
     // assumption-solve SAT verdict, and assumption solves are a subset of
@@ -76,6 +78,7 @@ fn stats_are_coherent_and_replay_counters_agree() {
     for b in selection() {
         let p = c4_lang::parse(b.source).expect("parse");
         let h = c4_lang::abstract_history(&p).expect("interp");
+        let h2 = h.clone();
         let seq =
             Checker::new(h.clone(), AnalysisFeatures { parallelism: 1, ..Default::default() })
                 .run();
@@ -89,32 +92,38 @@ fn stats_are_coherent_and_replay_counters_agree() {
             "{}: replay counters must not depend on parallelism",
             b.name
         );
-        // The sequential path never speculates or prunes: its worker
-        // solved exactly the queries the replay committed, plus one
-        // canonical fresh re-solve per incremental SAT verdict.
-        assert_eq!(
-            seq.stats.speculative_smt_queries,
-            seq.stats.smt_sat + seq.stats.smt_refuted + seq.stats.sat_resolves,
-            "{}: sequential speculation must be zero",
-            b.name
-        );
-        // With `incremental_smt` on (the default), every bounded verdict
-        // of the sequential run goes through the shared session, and every
-        // SAT is re-derived on the canonical fresh path.
-        assert_eq!(
-            seq.stats.assumption_solves,
-            seq.stats.smt_sat + seq.stats.smt_refuted,
-            "{}: sequential bounded queries must all use the session",
-            b.name
-        );
-        assert_eq!(
-            seq.stats.sat_resolves, seq.stats.smt_sat,
-            "{}: every SAT verdict is re-solved fresh",
-            b.name
-        );
-        assert_eq!(seq.stats.preprune_skips, 0, "{}: sequential path cannot pre-prune", b.name);
         assert_eq!(seq.stats.workers, 1);
         assert_eq!(par.stats.workers, 4);
+        // With the batched probe (part of `incremental_smt`) and symmetry
+        // replay both off, every committed verdict is one worker solve and
+        // the session counters are dead — the strict solve-per-verdict
+        // ledger holds exactly there, and the replay counters still agree
+        // with the optimized runs bit-for-bit.
+        let plain = Checker::new(
+            h2,
+            AnalysisFeatures {
+                parallelism: 1,
+                incremental_smt: false,
+                symmetry_reduction: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        check_invariants(b.name, &plain);
+        assert_eq!(
+            plain.stats.speculative_smt_queries,
+            plain.stats.smt_sat + plain.stats.smt_refuted,
+            "{}: plain sequential run must solve exactly the committed verdicts",
+            b.name
+        );
+        assert_eq!(plain.stats.assumption_solves, 0, "{}: session unused", b.name);
+        assert_eq!(plain.stats.sat_resolves, 0, "{}: session unused", b.name);
+        assert_eq!(
+            plain.stats.replay_counters(),
+            seq.stats.replay_counters(),
+            "{}: replay counters must not depend on incremental_smt/symmetry",
+            b.name
+        );
     }
 }
 
