@@ -1,0 +1,69 @@
+//! Recorder overhead on the full analysis pipeline: the same Relatd
+//! run (the suite's largest unfolding space) in three configurations —
+//! `tracing_off` (recorder disabled: every instrumentation site is one
+//! relaxed atomic load), `tracing_on` (recorder enabled, events
+//! retained in the per-thread rings), and `tracing_export` (enabled,
+//! plus draining the ledger and rendering the Chrome trace). The
+//! off→on delta is the number EXPERIMENTS.md's ≤3 % overhead claim
+//! rests on.
+//!
+//! Record a baseline with `cargo bench --bench obs_overhead` and
+//! compare runs against `BENCH_obs.json` (see that file for the
+//! protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::{AnalysisFeatures, Checker};
+
+/// Matches `table1 --trace`: roomy enough that Relatd traces without
+/// ring overflow, so the enabled variant pays the full retention cost.
+const TRACE_CAPACITY: usize = 1 << 19;
+
+fn history(name: &str) -> c4::AbstractHistory {
+    let b = c4_suite::benchmark(name).expect("benchmark exists");
+    let p = c4_lang::parse(b.source).expect("parse");
+    c4_lang::abstract_history(&p).expect("interp")
+}
+
+fn analyze(h: &c4::AbstractHistory) -> usize {
+    let result = Checker::new(h.clone(), AnalysisFeatures::default()).run();
+    // Return a verdict-derived value so the optimizer keeps the run.
+    result.violations.len() + result.stats.smt_queries
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let h = history("Relatd");
+    let mut group = c.benchmark_group("obs_overhead/Relatd");
+    group.sample_size(10);
+
+    group.bench_function("tracing_off", |b| {
+        b.iter(|| analyze(&h));
+    });
+
+    group.bench_function("tracing_on", |b| {
+        b.iter(|| {
+            c4_obs::enable(TRACE_CAPACITY);
+            let n = analyze(&h);
+            let log = c4_obs::drain();
+            n + log.event_count()
+        });
+    });
+
+    group.bench_function("tracing_export", |b| {
+        b.iter(|| {
+            c4_obs::enable(TRACE_CAPACITY);
+            let n = analyze(&h);
+            let log = c4_obs::drain();
+            n + c4_obs::export::chrome_trace(&log).len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

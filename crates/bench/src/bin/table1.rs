@@ -3,7 +3,7 @@
 //! aggregate statistics.
 //!
 //! Usage: `table1 [--threads N] [--budget SECS] [--stats] [--json]
-//! [--cache-dir DIR] [--no-incremental] [--no-symmetry]
+//! [--cache-dir DIR] [--trace PATH] [--no-incremental] [--no-symmetry]
 //! [benchmark-name …]` (all benchmarks by default). `--threads` sets
 //! `AnalysisFeatures::parallelism` (0 = one worker per hardware
 //! thread); results are identical for every setting. `--budget` caps
@@ -14,16 +14,26 @@
 //! table; `--cache-dir` routes every checker run through a persistent
 //! content-addressed verdict cache rooted at DIR (verdicts are
 //! byte-stable, so cached rows are identical to computed ones);
-//! `--no-incremental` falls back to the legacy fresh-encoder-per-query
-//! SMT path (results are identical, only timing differs);
-//! `--no-symmetry` disables the symmetry-reduced enumeration and
-//! analyzes every unfolding individually (results are identical, only
-//! timing differs). Exits nonzero if any run reports counter-example
-//! validation failures.
+//! `--trace PATH` records a structured trace of the whole run and
+//! writes it to PATH on exit — Chrome trace-event JSON by default
+//! (Perfetto / `chrome://tracing`-loadable), compact JSONL when PATH
+//! ends in `.jsonl` — and prints a `trace: N events (M dropped)`
+//! ledger line (tracing is verdict-neutral: all outputs are identical
+//! with and without it); `--no-incremental` falls back to the legacy
+//! fresh-encoder-per-query SMT path (results are identical, only
+//! timing differs); `--no-symmetry` disables the symmetry-reduced
+//! enumeration and analyzes every unfolding individually (results are
+//! identical, only timing differs). Exits nonzero if any run reports
+//! counter-example validation failures.
 
 use c4::{AnalysisFeatures, VerdictCache};
 use c4_bench::secs;
-use c4_suite::{benchmarks, BenchOutcome, Counts, Domain};
+use c4_suite::{benchmarks, json_line, Counts, Domain};
+
+/// Per-thread recorder ring for `--trace`: generous enough that the
+/// Table 1 slice traces losslessly; Relatd-scale runs degrade
+/// gracefully (drop-oldest, reported in the `trace:` line).
+const TRACE_CAPACITY: usize = 1 << 19;
 
 fn main() {
     let mut threads: Option<usize> = None;
@@ -31,6 +41,7 @@ fn main() {
     let mut stats = false;
     let mut json = false;
     let mut cache_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut incremental = true;
     let mut symmetry = true;
     let mut names: Vec<String> = Vec::new();
@@ -48,6 +59,8 @@ fn main() {
             json = true;
         } else if a == "--cache-dir" {
             cache_dir = Some(args.next().expect("--cache-dir needs a value"));
+        } else if a == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a path"));
         } else if a == "--no-incremental" {
             incremental = false;
         } else if a == "--no-symmetry" {
@@ -55,6 +68,9 @@ fn main() {
         } else {
             names.push(a);
         }
+    }
+    if trace_path.is_some() {
+        c4_obs::enable(TRACE_CAPACITY);
     }
     let cache = cache_dir.map(|dir| {
         VerdictCache::open(&dir, 1024).unwrap_or_else(|e| panic!("opening cache at {dir}: {e}"))
@@ -177,6 +193,28 @@ fn main() {
     if let Some(cache) = &cache {
         cache.flush_index().expect("flushing the cache index");
     }
+    if let Some(path) = &trace_path {
+        let log = c4_obs::drain();
+        let text = if path.ends_with(".jsonl") {
+            c4_obs::export::jsonl(&log)
+        } else {
+            c4_obs::export::chrome_trace(&log)
+        };
+        std::fs::write(path, text)
+            .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+        let ledger = format!(
+            "trace: {} events ({} dropped) -> {path}",
+            log.event_count(),
+            log.dropped_events()
+        );
+        // Keep --json stdout machine-readable: the ledger line goes to
+        // stderr there.
+        if json {
+            eprintln!("{ledger}");
+        } else {
+            println!("{ledger}");
+        }
+    }
     if json {
         if validation_failures > 0 {
             eprintln!("error: {validation_failures} counter-example(s) failed concrete validation");
@@ -220,70 +258,4 @@ fn main() {
         eprintln!("error: {validation_failures} counter-example(s) failed concrete validation");
         std::process::exit(1);
     }
-}
-
-/// One benchmark as a single JSON line. The workspace is offline
-/// (no serde), and the shapes here are flat enough that assembling the
-/// object by hand stays readable; benchmark names are ASCII
-/// identifiers, so no string escaping is needed.
-fn json_line(domain: Domain, out: &BenchOutcome) -> String {
-    let counts = |c: Counts| {
-        format!(
-            r#"{{"errors":{},"harmless":{},"false_alarms":{}}}"#,
-            c.errors, c.harmless, c.false_alarms
-        )
-    };
-    let s = &out.stats;
-    let t = &s.timings;
-    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
-    format!(
-        concat!(
-            r#"{{"name":"{name}","domain":"{domain}","t":{t},"e":{e},"#,
-            r#""fe_ms":{fe_ms:.3},"be_ms":{be_ms:.3},"#,
-            r#""unfiltered":{unf},"filtered":{fil},"#,
-            r#""generalized":{gen},"max_k":{max_k},"deadline_hit":{dl},"#,
-            r#""stats":{{"unfoldings":{unfold},"suspicious_unfoldings":{susp},"#,
-            r#""smt_queries":{queries},"smt_sat":{sat},"smt_refuted":{refuted},"#,
-            r#""generalization_queries":{genq},"subsumed_candidates":{subsumed},"#,
-            r#""validation_failures":{vfail},"workers":{workers}}},"#,
-            r#""timings_ms":{{"unfold":{t_unfold:.3},"ssg_filter":{t_ssg:.3},"#,
-            r#""smt":{t_smt:.3},"validate":{t_val:.3},"merge":{t_merge:.3}}},"#,
-            r#""cache":{{"mem_hits":{c_mem},"disk_hits":{c_disk},"misses":{c_miss},"#,
-            r#""stores":{c_stores},"evictions":{c_evict},"stale_drops":{c_stale}}}}}"#,
-        ),
-        name = out.name,
-        domain = match domain {
-            Domain::TouchDevelop => "touchdevelop",
-            Domain::Cassandra => "cassandra",
-        },
-        t = out.t,
-        e = out.e,
-        fe_ms = ms(out.fe_time),
-        be_ms = ms(out.be_time),
-        unf = counts(out.unfiltered_counts()),
-        fil = counts(out.filtered_counts()),
-        gen = out.generalized,
-        max_k = out.max_k,
-        dl = s.deadline_hit,
-        unfold = s.unfoldings,
-        susp = s.suspicious_unfoldings,
-        queries = s.smt_queries,
-        sat = s.smt_sat,
-        refuted = s.smt_refuted,
-        genq = s.generalization_queries,
-        subsumed = s.subsumed_candidates,
-        vfail = s.validation_failures,
-        workers = s.workers,
-        t_unfold = ms(t.unfold),
-        t_ssg = ms(t.ssg_filter),
-        t_smt = ms(t.smt),
-        t_val = ms(t.validate),
-        t_merge = ms(t.merge),
-        c_mem = out.cache.mem_hits,
-        c_disk = out.cache.disk_hits,
-        c_miss = out.cache.misses,
-        c_stores = out.cache.stores,
-        c_evict = out.cache.evictions,
-        c_stale = out.cache.stale_drops,
-    )
 }

@@ -420,42 +420,58 @@ impl Checker {
 
     /// Runs the full check (Algorithm 1).
     pub fn run(&self) -> AnalysisResult {
+        let _span = c4_obs::span("analysis");
         let deadline = Deadline::new(self.features.time_budget_secs, self.cancel.clone());
         let workers = self.effective_parallelism();
         let mut result = AnalysisResult::default();
         result.stats.workers = workers;
         result.stats.per_worker_queries = vec![0; workers];
         let t0 = Instant::now();
-        let arena = arena_for(&self.h);
-        let tables = PairTables::compute(arena.bodies(), &self.far);
-        result.stats.timings.unfold += t0.elapsed();
-        let mut k = 2usize;
-        loop {
-            if workers <= 1 {
-                self.check_bounded(&arena, &tables, k, &deadline, &mut result);
-            } else {
-                self.check_bounded_parallel(&arena, &tables, k, workers, &deadline, &mut result);
-            }
-            result.max_k = k;
-            if !deadline.expired()
-                && self.generalizes(
-                    &arena,
-                    &tables,
-                    k,
-                    &deadline,
-                    &result.violations,
-                    &mut result.stats,
-                )
-            {
-                result.generalized = true;
-                break;
-            }
-            k += 1;
-            if k > self.features.max_k || deadline.expired() {
-                break;
+        {
+            let _unfold = c4_obs::span("unfold");
+            let arena = arena_for(&self.h);
+            let tables = PairTables::compute(arena.bodies(), &self.far);
+            result.stats.timings.unfold += t0.elapsed();
+            drop(_unfold);
+            let mut k = 2usize;
+            loop {
+                {
+                    let _k_span = c4_obs::span_arg("check_bounded", k as u64);
+                    if workers <= 1 {
+                        self.check_bounded(&arena, &tables, k, &deadline, &mut result);
+                    } else {
+                        self.check_bounded_parallel(
+                            &arena, &tables, k, workers, &deadline, &mut result,
+                        );
+                    }
+                }
+                result.max_k = k;
+                let generalized = {
+                    let _gen_span = c4_obs::span_arg("generalize", k as u64);
+                    !deadline.expired()
+                        && self.generalizes(
+                            &arena,
+                            &tables,
+                            k,
+                            &deadline,
+                            &result.violations,
+                            &mut result.stats,
+                        )
+                };
+                if generalized {
+                    result.generalized = true;
+                    break;
+                }
+                k += 1;
+                if k > self.features.max_k || deadline.expired() {
+                    break;
+                }
             }
         }
         result.stats.deadline_hit = deadline.was_hit();
+        if c4_obs::enabled() {
+            result.stats.emit_counters();
+        }
         result
     }
 
@@ -490,6 +506,7 @@ impl Checker {
         tables: &PairTables,
         local: &mut WorkerLocal,
     ) -> Vec<CandidateCycle> {
+        let _span = c4_obs::span("ssg_filter");
         let t0 = Instant::now();
         let cands = if self.sc1_possible(u, tables) {
             let ssg = Ssg::of_unfolding_cached(u, tables);
@@ -519,9 +536,12 @@ impl Checker {
         local: &mut WorkerLocal,
     ) -> CandOutcome {
         if let Some(enc) = shared {
+            let mut q = c4_obs::span("smt_query");
             let t0 = Instant::now();
             let sat = enc.check_shared(cand);
             let dt = t0.elapsed();
+            q.set_arg(if sat { c4_obs::tag::SAT } else { c4_obs::tag::UNSAT });
+            drop(q);
             local.smt += dt;
             local.query_solve += dt;
             local.queries += 1;
@@ -535,13 +555,17 @@ impl Checker {
         let enc = crate::encode::CycleEncoder::new(u, &self.far, &self.features);
         local.encoder_build += t0.elapsed();
         let t1 = Instant::now();
+        let mut q = c4_obs::span("smt_query");
         let model = enc.check(cand);
+        q.set_arg(if model.is_some() { c4_obs::tag::SAT } else { c4_obs::tag::UNSAT });
+        drop(q);
         local.query_solve += t1.elapsed();
         local.smt += t0.elapsed();
         local.queries += 1;
         match model {
             None => CandOutcome::Refuted,
             Some(model) => {
+                let _v = c4_obs::span("validate");
                 let t1 = Instant::now();
                 let ce = CounterExample::build(u, &model);
                 let rendered = if self.features.validate_counterexamples {
@@ -715,10 +739,12 @@ impl Checker {
                 local.encoder_build += dt;
                 local.smt += dt;
                 let t1 = Instant::now();
+                let _probe = c4_obs::span_arg("smt_query", c4_obs::tag::PROBE);
                 let sat = shared
                     .as_mut()
                     .expect("just built")
                     .check_shared_any(&pending);
+                drop(_probe);
                 let dt = t1.elapsed();
                 local.smt += dt;
                 local.query_solve += dt;
@@ -816,8 +842,12 @@ impl Checker {
                 result.stats.smt_queries += 1;
                 let labels = rc.cand.steps.iter().map(|s| s.label).collect();
                 let outcome = match &rc.outcome {
-                    RepOutcome::Refuted => CandOutcome::Refuted,
+                    RepOutcome::Refuted => {
+                        c4_obs::instant("smt_query", c4_obs::tag::REPLAY);
+                        CandOutcome::Refuted
+                    }
                     RepOutcome::Sat { rendered } => {
+                        c4_obs::instant("smt_query", c4_obs::tag::REPLAY);
                         CandOutcome::Sat { rendered: rendered.clone() }
                     }
                     RepOutcome::Skipped => self.solve_candidate(u, &rc.cand, None, local),
@@ -852,7 +882,10 @@ impl Checker {
                 // model of the rep's instances and renders with the rep's
                 // transaction names, so the member re-solves to keep the
                 // report identical to the symmetry-off run.
-                Some(RepOutcome::Refuted) => CandOutcome::Refuted,
+                Some(RepOutcome::Refuted) => {
+                    c4_obs::instant("smt_query", c4_obs::tag::REPLAY);
+                    CandOutcome::Refuted
+                }
                 _ => self.solve_candidate(u, &cand, None, local),
             };
             self.commit_outcome(txs, labels, outcome, k, result);
@@ -913,10 +946,12 @@ impl Checker {
                 local.encoder_build += dt;
                 local.smt += dt;
                 let t1 = Instant::now();
+                let _probe = c4_obs::span_arg("smt_query", c4_obs::tag::PROBE);
                 let sat = shared
                     .as_mut()
                     .expect("just built")
                     .check_shared_any(&pending);
+                drop(_probe);
                 let dt = t1.elapsed();
                 local.smt += dt;
                 local.query_solve += dt;
@@ -998,6 +1033,7 @@ impl Checker {
         classes: &mut HashMap<usize, ClassRecord>,
         result: &mut AnalysisResult,
     ) {
+        let _span = c4_obs::span("merge");
         result.stats.unfoldings += 1;
         let WorkRecord { index, suspicious, unfolding, cands, truncated, sym } = rec;
         let mut pushed = false;
@@ -1020,8 +1056,12 @@ impl Checker {
                     result.stats.smt_queries += 1;
                     let labels = rc.cand.steps.iter().map(|s| s.label).collect();
                     let outcome = match &rc.outcome {
-                        RepOutcome::Refuted => CandOutcome::Refuted,
+                        RepOutcome::Refuted => {
+                            c4_obs::instant("smt_query", c4_obs::tag::REPLAY);
+                            CandOutcome::Refuted
+                        }
                         RepOutcome::Sat { rendered } => {
+                            c4_obs::instant("smt_query", c4_obs::tag::REPLAY);
                             CandOutcome::Sat { rendered: rendered.clone() }
                         }
                         RepOutcome::Skipped => self.resolve_on_merge(&u, &rc.cand, result),
@@ -1050,7 +1090,10 @@ impl Checker {
                     let key = cand_key_mapped(&c.cand, &map);
                     let outcome = match class.by_key.get(&key).map(|&i| &class.cands[i].outcome)
                     {
-                        Some(RepOutcome::Refuted) => CandOutcome::Refuted,
+                        Some(RepOutcome::Refuted) => {
+                            c4_obs::instant("smt_query", c4_obs::tag::REPLAY);
+                            CandOutcome::Refuted
+                        }
                         _ => self.resolve_on_merge(&u, &c.cand, result),
                     };
                     if matches!(outcome, CandOutcome::Sat { .. }) {
@@ -1428,7 +1471,10 @@ impl Checker {
                     enc.assert_step(m_last_idx, t3_idx, SsgLabel::Anti);
                     enc.assert_mirror(ghost_idx, m_last_idx);
                     enc.assert_no_anti_args(ghost_idx, t3_idx);
+                    let mut q = c4_obs::span("gen_query");
                     let sat = enc.solve().is_some();
+                    q.set_arg(if sat { c4_obs::tag::SAT } else { c4_obs::tag::UNSAT });
+                    drop(q);
                     stats.timings.smt += t0.elapsed();
                     if sat {
                         // Some model of the segment admits no short-cut.

@@ -77,6 +77,7 @@ impl<'a> CycleEncoder<'a> {
     /// Builds the encoder: declares all symbols and asserts the structural
     /// axioms (paths, orders, invariants, freshness).
     pub fn new(u: &'a Unfolding, far: &'a FarSpec, features: &'a AnalysisFeatures) -> Self {
+        let _span = c4_obs::span("encoder_build");
         let mut enc = CycleEncoder {
             u,
             far,

@@ -214,6 +214,32 @@ impl AnalysisStats {
             self.generalization_queries,
         )
     }
+
+    /// Mirror every scalar counter into the trace recorder, so an
+    /// exported trace is self-describing without the report beside it.
+    /// Called by the checker at the end of a run when tracing is on.
+    pub fn emit_counters(&self) {
+        use c4_obs::counter;
+        counter("unfoldings", self.unfoldings as u64);
+        counter("suspicious_unfoldings", self.suspicious_unfoldings as u64);
+        counter("subsumed_candidates", self.subsumed_candidates as u64);
+        counter("smt_queries", self.smt_queries as u64);
+        counter("smt_sat", self.smt_sat as u64);
+        counter("smt_refuted", self.smt_refuted as u64);
+        counter("validation_failures", self.validation_failures as u64);
+        counter("generalization_queries", self.generalization_queries as u64);
+        counter("speculative_smt_queries", self.speculative_smt_queries as u64);
+        counter("preprune_skips", self.preprune_skips as u64);
+        counter("preprune_fallbacks", self.preprune_fallbacks as u64);
+        counter("assumption_solves", self.assumption_solves as u64);
+        counter("sat_resolves", self.sat_resolves as u64);
+        counter("learnt_clauses", self.learnt_clauses as u64);
+        counter("classes", self.classes as u64);
+        counter("class_members_skipped", self.class_members_skipped as u64);
+        counter("peak_unfoldings_resident", self.peak_unfoldings_resident as u64);
+        counter("deadline_hit", self.deadline_hit as u64);
+        counter("workers", self.workers as u64);
+    }
 }
 
 /// The result of running the checker on an abstract history.

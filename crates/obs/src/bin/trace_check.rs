@@ -1,0 +1,69 @@
+//! `trace_check`: validate an exported trace file.
+//!
+//! Usage: `trace_check [--expect-events N] FILE`
+//!
+//! * `FILE` ending in `.jsonl` — every line must parse as a JSON
+//!   value; the event count is the line count.
+//! * anything else — the file must parse as a Chrome trace-event
+//!   document with a `traceEvents` array; the event count is its
+//!   length.
+//!
+//! Prints `trace_check: FILE: N events` on success. With
+//! `--expect-events N`, exits nonzero if the count differs — ci.sh
+//! cross-checks the count `table1 --trace` reports from the recorder
+//! ledger against what actually landed in the file.
+
+use c4_obs::json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut expect: Option<usize> = None;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--expect-events" {
+            let v = args.next().unwrap_or_else(|| fail("--expect-events needs a value"));
+            expect = Some(v.parse().unwrap_or_else(|_| fail("--expect-events must be an integer")));
+        } else if a == "--help" || a == "-h" {
+            eprintln!("usage: trace_check [--expect-events N] FILE");
+            return;
+        } else if path.is_none() {
+            path = Some(a);
+        } else {
+            fail(&format!("unexpected argument {a:?}"));
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("usage: trace_check [--expect-events N] FILE"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+
+    let events = if path.ends_with(".jsonl") {
+        let mut n = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            json::validate_value(line)
+                .unwrap_or_else(|e| fail(&format!("{path}:{}: {e}", i + 1)));
+            n += 1;
+        }
+        n
+    } else {
+        let summary =
+            json::validate(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        summary
+            .trace_events
+            .unwrap_or_else(|| fail(&format!("{path}: no traceEvents array")))
+    };
+
+    println!("trace_check: {path}: {events} events");
+    if let Some(want) = expect {
+        if events != want {
+            fail(&format!("{path}: expected {want} events, found {events}"));
+        }
+    }
+}

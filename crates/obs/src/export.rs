@@ -1,0 +1,152 @@
+//! Trace exporters: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and a compact JSONL stream.
+//!
+//! Both exporters emit **exactly one record per ledger event** — no
+//! metadata or synthetic records — so `TraceLog::event_count` equals
+//! the exported record count, which is what the `trace_check` binary
+//! and the coherence tests verify.
+//!
+//! Event names are compile-time identifiers (ASCII, no quotes or
+//! backslashes), so no string escaping is required.
+
+use crate::{tag, Event, EventData, TraceLog};
+use std::fmt::Write;
+
+/// Render the log as a Chrome trace-event JSON object. One track per
+/// recorded thread (`pid` 1, `tid` = recorder thread id); timestamps
+/// are microseconds since the recorder epoch.
+pub fn chrome_trace(log: &TraceLog) -> String {
+    let mut out = String::with_capacity(log.event_count() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for t in &log.threads {
+        for ev in &t.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            chrome_event(&mut out, t.tid, ev);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn chrome_event(out: &mut String, tid: u32, ev: &Event) {
+    let ts = ev.t_ns as f64 / 1000.0;
+    let head = |out: &mut String, ph: char, name: &str| {
+        write!(out, "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts:.3},\"name\":\"{name}\"")
+            .unwrap();
+    };
+    let arg_field = |out: &mut String, arg: u64| {
+        // Well-known verdict tags render as readable strings.
+        match tag::name(arg) {
+            Some(n) => write!(out, ",\"args\":{{\"tag\":\"{n}\"}}").unwrap(),
+            None => write!(out, ",\"args\":{{\"arg\":{arg}}}").unwrap(),
+        }
+    };
+    match ev.data {
+        EventData::Begin { name, arg } => {
+            head(out, 'B', name);
+            arg_field(out, arg);
+        }
+        EventData::End { name, arg } => {
+            head(out, 'E', name);
+            arg_field(out, arg);
+        }
+        EventData::Instant { name, arg } => {
+            head(out, 'i', name);
+            out.push_str(",\"s\":\"t\"");
+            arg_field(out, arg);
+        }
+        EventData::Counter { name, value } => {
+            head(out, 'C', name);
+            write!(out, ",\"args\":{{\"value\":{value}}}").unwrap();
+        }
+    }
+    out.push('}');
+}
+
+/// Render the log as compact JSONL: one event per line, in thread
+/// order then time order. The line count equals the ledger event
+/// count.
+pub fn jsonl(log: &TraceLog) -> String {
+    let mut out = String::with_capacity(log.event_count() * 72);
+    for t in &log.threads {
+        for ev in &t.events {
+            let (ph, name, key, val) = match ev.data {
+                EventData::Begin { name, arg } => ('B', name, "arg", arg),
+                EventData::End { name, arg } => ('E', name, "arg", arg),
+                EventData::Instant { name, arg } => ('i', name, "arg", arg),
+                EventData::Counter { name, value } => ('C', name, "value", value),
+            };
+            writeln!(
+                out,
+                "{{\"t_ns\":{},\"tid\":{},\"ph\":\"{ph}\",\"name\":\"{name}\",\"{key}\":{val}}}",
+                ev.t_ns, t.tid
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::ThreadLog;
+
+    fn sample() -> TraceLog {
+        let ev = |t_ns, data| Event { t_ns, data };
+        TraceLog {
+            threads: vec![
+                ThreadLog {
+                    tid: 0,
+                    dropped: 0,
+                    events: vec![
+                        ev(10, EventData::Begin { name: "analysis", arg: 0 }),
+                        ev(20, EventData::Begin { name: "smt_query", arg: 0 }),
+                        ev(30, EventData::End { name: "smt_query", arg: tag::UNSAT }),
+                        ev(40, EventData::Counter { name: "unfoldings", value: 12 }),
+                        ev(50, EventData::End { name: "analysis", arg: 0 }),
+                    ],
+                },
+                ThreadLog {
+                    tid: 1,
+                    dropped: 0,
+                    events: vec![ev(25, EventData::Instant { name: "smt_query", arg: tag::REPLAY })],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_matching_event_count() {
+        let log = sample();
+        let out = chrome_trace(&log);
+        let summary = json::validate(&out).expect("chrome trace must parse");
+        assert_eq!(summary.trace_events, Some(log.event_count()));
+        assert!(out.contains("\"tag\":\"unsat\""));
+        assert!(out.contains("\"tag\":\"replay\""));
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json_and_count_matches() {
+        let log = sample();
+        let out = jsonl(&log);
+        let lines: Vec<&str> = out.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), log.event_count());
+        for line in lines {
+            json::validate_value(line).expect("jsonl line must parse");
+        }
+    }
+
+    #[test]
+    fn empty_log_exports_cleanly() {
+        let log = TraceLog::default();
+        let summary = json::validate(&chrome_trace(&log)).unwrap();
+        assert_eq!(summary.trace_events, Some(0));
+        assert_eq!(jsonl(&log), "");
+    }
+}

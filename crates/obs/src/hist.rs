@@ -1,0 +1,177 @@
+//! Fixed-bucket latency histograms with atomic observation, quantile
+//! estimation, and Prometheus text-format rendering.
+//!
+//! Buckets are cumulative-upper-bound style (Prometheus `le`
+//! semantics): `counts[i]` holds observations `v <= bounds[i]` that
+//! fell in no earlier bucket, with one extra implicit `+Inf` bucket.
+//! Observation is three relaxed atomic RMWs plus a max — safe from
+//! any thread, never blocking.
+
+use std::fmt::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default bucket upper bounds for job/stage latencies, in
+/// milliseconds. Spans four orders of magnitude: cache hits land in
+/// the first buckets, Relatd-class analyses around a second, and the
+/// `+Inf` bucket catches budget-bounded stragglers.
+pub const LATENCY_BUCKETS_MS: &[u64] =
+    &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000];
+
+/// A fixed-bucket histogram over `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given (strictly increasing) upper bounds,
+    /// plus an implicit `+Inf` bucket.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The standard latency histogram ([`LATENCY_BUCKETS_MS`]).
+    pub fn latency_ms() -> Self {
+        Self::new(LATENCY_BUCKETS_MS)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx =
+            self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q <= 1): the
+    /// bound of the first bucket whose cumulative count reaches
+    /// `q * count`, or the exact max for the `+Inf` bucket. Returns 0
+    /// on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= target {
+                return if i < self.bounds.len() { self.bounds[i] } else { self.max() };
+            }
+        }
+        self.max()
+    }
+
+    /// Append the Prometheus exposition series for this histogram:
+    /// `{name}_bucket{…le="…"}`, `{name}_sum`, `{name}_count`, each
+    /// carrying the extra `labels` (e.g. `[("stage", "smt")]`).
+    /// `# HELP` / `# TYPE` headers are the caller's job (they must
+    /// appear once per metric name even when several label sets share
+    /// it).
+    pub fn render_prometheus(&self, out: &mut String, name: &str, labels: &[(&str, &str)]) {
+        let label_prefix: String =
+            labels.iter().map(|(k, v)| format!("{k}=\"{v}\",")).collect();
+        let plain: String = if labels.is_empty() {
+            String::new()
+        } else {
+            let joined: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{{{}}}", joined.join(","))
+        };
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            let le = if i < self.bounds.len() {
+                self.bounds[i].to_string()
+            } else {
+                "+Inf".to_string()
+            };
+            writeln!(out, "{name}_bucket{{{label_prefix}le=\"{le}\"}} {cum}").unwrap();
+        }
+        writeln!(out, "{name}_sum{plain} {}", self.sum()).unwrap();
+        writeln!(out, "{name}_count{plain} {}", self.count()).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_quantiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 5, 9, 50, 120, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5185);
+        assert_eq!(h.max(), 5000);
+        // Cumulative: <=10 → 3, <=100 → 4, <=1000 → 5, +Inf → 6.
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.66), 100);
+        assert_eq!(h.quantile(0.83), 1000);
+        assert_eq!(h.quantile(0.95), 5000); // +Inf bucket reports the max
+        assert_eq!(h.quantile(1.0), 5000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::latency_ms();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_labelled() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "c4d_job_run_milliseconds", &[("stage", "smt")]);
+        let expected = "\
+c4d_job_run_milliseconds_bucket{stage=\"smt\",le=\"10\"} 1
+c4d_job_run_milliseconds_bucket{stage=\"smt\",le=\"100\"} 2
+c4d_job_run_milliseconds_bucket{stage=\"smt\",le=\"+Inf\"} 3
+c4d_job_run_milliseconds_sum{stage=\"smt\"} 555
+c4d_job_run_milliseconds_count{stage=\"smt\"} 3
+";
+        assert_eq!(out, expected);
+
+        let mut bare = String::new();
+        h.render_prometheus(&mut bare, "m", &[]);
+        assert!(bare.contains("m_bucket{le=\"10\"} 1"));
+        assert!(bare.contains("m_sum 555"));
+        assert!(bare.contains("m_count 3"));
+    }
+}

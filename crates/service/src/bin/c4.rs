@@ -6,14 +6,22 @@
 //! c4 [--socket PATH | --tcp ADDR] status [--out FILE] JOB
 //! c4 [--socket PATH | --tcp ADDR] cancel JOB
 //! c4 [--socket PATH | --tcp ADDR] stats
+//! c4 [--socket PATH | --tcp ADDR] metrics
+//! c4 [--socket PATH | --tcp ADDR] trace [--budget S] [--threads N]
+//!        [--max-k K] [--out FILE] --trace-out FILE FILE
 //! c4 [--socket PATH | --tcp ADDR] shutdown
 //! ```
 //!
 //! `--out FILE` writes the raw encoded report bytes (the cache-stable
 //! wire format) so scripts can compare daemon-served verdicts
-//! byte-for-byte. Exit status: 0 on success (including a `done` job),
-//! 3 if the job was cancelled or failed, 1 on connection/daemon errors,
-//! 2 on usage errors.
+//! byte-for-byte. `metrics` prints the daemon's Prometheus text page
+//! (the same document its `--metrics-addr` HTTP listener serves);
+//! `trace` analyzes a program synchronously with structured tracing
+//! enabled and writes the recorded JSONL trace to `--trace-out`
+//! (tracing is verdict-neutral — the report equals an untraced run's).
+//! Exit status: 0 on success (including a `done` job), 3 if the job
+//! was cancelled or failed, 1 on connection/daemon errors, 2 on usage
+//! errors.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -35,6 +43,9 @@ fn usage() -> ! {
          \x20 status [--out FILE] JOB\n\
          \x20 cancel JOB\n\
          \x20 stats\n\
+         \x20 metrics\n\
+         \x20 trace [--budget S] [--threads N] [--max-k K] [--out FILE] \
+         --trace-out FILE FILE\n\
          \x20 shutdown"
     );
     exit(2)
@@ -79,6 +90,11 @@ fn main() {
         "status" => status(&client, args),
         "cancel" => cancel(&client, args),
         "stats" => stats(&client),
+        "metrics" => match client.metrics() {
+            Ok(text) => print!("{text}"),
+            Err(e) => fail(e),
+        },
+        "trace" => trace(&client, args),
         "shutdown" => match client.shutdown() {
             Ok(()) => println!("daemon drained and shut down"),
             Err(e) => fail(e),
@@ -121,6 +137,36 @@ fn submit(client: &Client, mut args: Vec<String>) {
             Err(e) => fail(e),
         }
     }
+}
+
+fn trace(client: &Client, mut args: Vec<String>) {
+    let mut features = AnalysisFeatures::default();
+    let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut file: Option<String> = None;
+    while let Some(a) = pop(&mut args) {
+        match a.as_str() {
+            "--budget" => features.time_budget_secs = num(&mut args, "--budget"),
+            "--threads" => features.parallelism = num(&mut args, "--threads"),
+            "--max-k" => features.max_k = num(&mut args, "--max-k"),
+            "--out" => out = Some(PathBuf::from(required(&mut args, "--out"))),
+            "--trace-out" => trace_out = Some(PathBuf::from(required(&mut args, "--trace-out"))),
+            other if !other.starts_with('-') && file.is_none() => file = Some(a),
+            _ => usage(),
+        }
+    }
+    let file = file.unwrap_or_else(|| usage());
+    let trace_out = trace_out.unwrap_or_else(|| usage());
+    let source =
+        std::fs::read_to_string(&file).unwrap_or_else(|e| fail(format!("reading {file}: {e}")));
+    let (report, trace) = match client.trace(&source, &features) {
+        Ok(r) => r,
+        Err(e) => fail(e),
+    };
+    std::fs::write(&trace_out, &trace)
+        .unwrap_or_else(|e| fail(format!("writing {}: {e}", trace_out.display())));
+    println!("trace: {} events -> {}", trace.lines().count(), trace_out.display());
+    print_report(&report, out.as_deref());
 }
 
 fn status(client: &Client, mut args: Vec<String>) {
@@ -177,6 +223,14 @@ fn stats(client: &Client) {
         s.cache_mem_entries, s.cache_disk_entries, s.cache_stores, s.cache_evictions,
         s.cache_stale_drops
     );
+    println!(
+        "queue wait ms    p50 {} / p95 {} / max {}",
+        s.wait_p50_ms, s.wait_p95_ms, s.wait_max_ms
+    );
+    println!(
+        "run time ms      p50 {} / p95 {} / max {}",
+        s.run_p50_ms, s.run_p95_ms, s.run_max_ms
+    );
 }
 
 fn print_state(state: &JobState, out: Option<&std::path::Path>) {
@@ -185,32 +239,7 @@ fn print_state(state: &JobState, out: Option<&std::path::Path>) {
         JobState::Running => println!("state: running"),
         JobState::Done { tier, queue_ms, run_ms, report } => {
             println!("state: done ({tier}, queued {queue_ms} ms, ran {run_ms} ms)");
-            if let Some(path) = out {
-                std::fs::write(path, report)
-                    .unwrap_or_else(|e| fail(format!("writing {}: {e}", path.display())));
-                println!("report: {} bytes -> {}", report.len(), path.display());
-            }
-            match AnalysisResult::decode_report(report) {
-                Ok(res) => {
-                    if res.violations.is_empty() {
-                        println!("verdict: serializable (bound k={})", res.max_k);
-                    } else {
-                        println!(
-                            "verdict: {} violation(s){} (bound k={})",
-                            res.violations.len(),
-                            if res.generalized { ", generalized" } else { "" },
-                            res.max_k
-                        );
-                        for v in &res.violations {
-                            println!("  {v}");
-                        }
-                    }
-                    if res.stats.deadline_hit {
-                        println!("note: time budget hit; verdict is a lower bound");
-                    }
-                }
-                Err(e) => fail(format!("undecodable report: {e}")),
-            }
+            print_report(report, out);
         }
         JobState::Cancelled => {
             println!("state: cancelled");
@@ -220,6 +249,35 @@ fn print_state(state: &JobState, out: Option<&std::path::Path>) {
             println!("state: failed ({message})");
             exit(3)
         }
+    }
+}
+
+fn print_report(report: &[u8], out: Option<&std::path::Path>) {
+    if let Some(path) = out {
+        std::fs::write(path, report)
+            .unwrap_or_else(|e| fail(format!("writing {}: {e}", path.display())));
+        println!("report: {} bytes -> {}", report.len(), path.display());
+    }
+    match AnalysisResult::decode_report(report) {
+        Ok(res) => {
+            if res.violations.is_empty() {
+                println!("verdict: serializable (bound k={})", res.max_k);
+            } else {
+                println!(
+                    "verdict: {} violation(s){} (bound k={})",
+                    res.violations.len(),
+                    if res.generalized { ", generalized" } else { "" },
+                    res.max_k
+                );
+                for v in &res.violations {
+                    println!("  {v}");
+                }
+            }
+            if res.stats.deadline_hit {
+                println!("note: time budget hit; verdict is a lower bound");
+            }
+        }
+        Err(e) => fail(format!("undecodable report: {e}")),
     }
 }
 

@@ -3,11 +3,15 @@
 //! ```text
 //! c4d [--socket PATH] [--tcp ADDR] [--cache-dir DIR]
 //!     [--jobs N] [--queue-cap N] [--mem-cache N]
+//!     [--metrics-addr ADDR]
 //! ```
 //!
 //! With no listener flag, listens on `$C4D_SOCKET` or `/tmp/c4d.sock`.
-//! Runs until a client sends `shutdown`; exits 0 after draining all
-//! admitted jobs and flushing the cache index.
+//! `--metrics-addr` additionally serves the Prometheus text-format
+//! metrics page over HTTP at `/metrics` (`:0` picks a free port; the
+//! resolved address is printed at startup). Runs until a client sends
+//! `shutdown`; exits 0 after draining all admitted jobs and flushing
+//! the cache index.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -21,7 +25,7 @@ fn default_socket() -> PathBuf {
 fn usage() -> ! {
     eprintln!(
         "usage: c4d [--socket PATH] [--tcp ADDR] [--cache-dir DIR] \
-         [--jobs N] [--queue-cap N] [--mem-cache N]"
+         [--jobs N] [--queue-cap N] [--mem-cache N] [--metrics-addr ADDR]"
     );
     exit(2)
 }
@@ -48,6 +52,7 @@ fn main() {
             "--jobs" => cfg.workers = parse_num(&value("--jobs"), "--jobs"),
             "--queue-cap" => cfg.queue_cap = parse_num(&value("--queue-cap"), "--queue-cap"),
             "--mem-cache" => cfg.mem_cache = parse_num(&value("--mem-cache"), "--mem-cache"),
+            "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");
@@ -71,6 +76,9 @@ fn main() {
     }
     if let Some(addr) = &handle.tcp_addr {
         println!("c4d listening on tcp {addr}");
+    }
+    if let Some(addr) = &handle.metrics_addr {
+        println!("c4d metrics on http://{addr}/metrics");
     }
     match &cfg.cache_dir {
         Some(dir) => println!("c4d cache dir {}", dir.display()),

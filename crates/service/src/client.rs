@@ -133,6 +133,37 @@ impl Client {
         }
     }
 
+    /// The daemon's Prometheus text-format metrics page (v2+ daemons).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors (a v1 daemon rejects the request).
+    pub fn metrics(&self) -> io::Result<String> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Analyzes `source` synchronously with structured tracing enabled
+    /// (v2+ daemons); returns the encoded report — byte-identical to
+    /// an untraced run — and the JSONL trace text.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors, or the front-end rejection.
+    pub fn trace(
+        &self,
+        source: &str,
+        features: &AnalysisFeatures,
+    ) -> io::Result<(Vec<u8>, String)> {
+        let req = Request::Trace { features: features.clone(), source: source.to_string() };
+        match self.roundtrip(&req)? {
+            Response::Trace { report, trace } => Ok((report, trace)),
+            other => Err(bad_reply(other)),
+        }
+    }
+
     /// Asks the daemon to drain and exit; returns once acknowledged
     /// (all admitted jobs finished, cache index flushed).
     ///

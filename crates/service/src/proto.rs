@@ -8,17 +8,25 @@
 //! or hostile peer cannot make either side allocate unboundedly.
 //!
 //! The protocol is versioned by [`PROTO_VERSION`], carried in every
-//! request; the daemon rejects other versions with an [`Response::Error`]
-//! rather than misparsing. Report payloads inside [`Response::Status`]
-//! use the independent report wire format of `c4::report` (itself
-//! versioned), so a cache serving old bytes can never be misdecoded.
+//! request; the daemon serves every version in
+//! [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`] and rejects others with
+//! an [`Response::Error`] rather than misparsing. Version 2 added the
+//! latency-summary fields on [`DaemonStats`] plus the `Metrics` and
+//! `Trace` messages; a v1 peer still gets the legacy 18-field stats
+//! payload (see [`Response::encode_for_version`]). Report payloads
+//! inside [`Response::Status`] use the independent report wire format
+//! of `c4::report` (itself versioned), so a cache serving old bytes
+//! can never be misdecoded.
 
 use std::io::{self, Read, Write};
 
 use c4::{AnalysisFeatures, CacheTier};
 
 /// Protocol version spoken by this build.
-pub const PROTO_VERSION: u16 = 1;
+pub const PROTO_VERSION: u16 = 2;
+
+/// Oldest peer version the daemon still serves.
+pub const MIN_PROTO_VERSION: u16 = 1;
 
 /// Maximum frame payload size (64 MiB): far above any realistic report,
 /// far below an allocation hazard.
@@ -53,6 +61,18 @@ pub enum Request {
     /// Graceful shutdown: stop admitting, drain all admitted jobs,
     /// flush the cache index, acknowledge, exit.
     Shutdown,
+    /// The Prometheus text-format metrics page (v2+).
+    Metrics,
+    /// Analyze a program synchronously with structured tracing enabled
+    /// and return both the report and the recorded trace (v2+). Trace
+    /// requests bypass the queue and the cache: the point is the fresh
+    /// recording, not the verdict.
+    Trace {
+        /// Analysis configuration for this run.
+        features: AnalysisFeatures,
+        /// CCL source text.
+        source: String,
+    },
 }
 
 /// A job's lifecycle state as reported over the wire.
@@ -121,6 +141,18 @@ pub struct DaemonStats {
     pub cache_mem_entries: u64,
     /// Cache: entries on disk.
     pub cache_disk_entries: u64,
+    /// Queue-wait latency: median upper bound, ms (v2+, 0 from v1 peers).
+    pub wait_p50_ms: u64,
+    /// Queue-wait latency: 95th-percentile upper bound, ms (v2+).
+    pub wait_p95_ms: u64,
+    /// Queue-wait latency: maximum observed, ms (v2+).
+    pub wait_max_ms: u64,
+    /// Job run-time latency: median upper bound, ms (v2+).
+    pub run_p50_ms: u64,
+    /// Job run-time latency: 95th-percentile upper bound, ms (v2+).
+    pub run_p95_ms: u64,
+    /// Job run-time latency: maximum observed, ms (v2+).
+    pub run_max_ms: u64,
 }
 
 /// A daemon-to-client response.
@@ -151,6 +183,19 @@ pub enum Response {
     Error {
         /// Human-readable reason.
         message: String,
+    },
+    /// The Prometheus text-format metrics page (v2+).
+    Metrics {
+        /// Exposition-format text (version 0.0.4).
+        text: String,
+    },
+    /// A traced synchronous analysis (v2+).
+    Trace {
+        /// The encoded report (`c4::AnalysisResult::encode_report`) —
+        /// byte-identical to an untraced run of the same program.
+        report: Vec<u8>,
+        /// The recorded trace in compact JSONL (one event per line).
+        trace: String,
     },
 }
 
@@ -250,6 +295,10 @@ impl<'a> Reader<'a> {
         }
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(&self) -> Result<(), ProtoError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -309,6 +358,8 @@ const REQ_STATUS: u8 = 0x02;
 const REQ_CANCEL: u8 = 0x03;
 const REQ_STATS: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
+const REQ_METRICS: u8 = 0x06;
+const REQ_TRACE: u8 = 0x07;
 
 const RESP_SUBMITTED: u8 = 0x81;
 const RESP_STATUS: u8 = 0x82;
@@ -316,6 +367,8 @@ const RESP_CANCELLED: u8 = 0x83;
 const RESP_STATS: u8 = 0x84;
 const RESP_SHUTDOWN_ACK: u8 = 0x85;
 const RESP_ERROR: u8 = 0x86;
+const RESP_METRICS: u8 = 0x87;
+const RESP_TRACE: u8 = 0x88;
 
 const STATE_QUEUED: u8 = 0;
 const STATE_RUNNING: u8 = 1;
@@ -370,20 +423,46 @@ impl Request {
                 out.push(REQ_SHUTDOWN);
                 out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
             }
+            Request::Metrics => {
+                out.push(REQ_METRICS);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+            }
+            Request::Trace { features, source } => {
+                out.push(REQ_TRACE);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+                put_features(&mut out, features);
+                put_str(&mut out, source);
+            }
         }
         out
     }
 
-    /// Decodes a request payload.
+    /// Decodes a request payload (current-version peers only).
     ///
     /// # Errors
     ///
     /// [`ProtoError`] on malformed bytes or a version mismatch.
     pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let (req, version) = Request::decode_versioned(payload)?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError("unsupported protocol version"));
+        }
+        Ok(req)
+    }
+
+    /// Decodes a request payload from any supported peer version and
+    /// returns the version it spoke, so the responder can downgrade
+    /// its reply ([`Response::encode_for_version`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed bytes or a version outside
+    /// [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`].
+    pub fn decode_versioned(payload: &[u8]) -> Result<(Request, u16), ProtoError> {
         let mut r = Reader::new(payload);
         let tag = r.u8()?;
         let version = r.u16()?;
-        if version != PROTO_VERSION {
+        if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
             return Err(ProtoError("unsupported protocol version"));
         }
         let req = match tag {
@@ -396,10 +475,15 @@ impl Request {
             REQ_CANCEL => Request::Cancel { job_id: r.u64()? },
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_METRICS if version >= 2 => Request::Metrics,
+            REQ_TRACE if version >= 2 => Request::Trace {
+                features: read_features(&mut r)?,
+                source: r.str()?,
+            },
             _ => return Err(ProtoError("unknown request tag")),
         };
         r.finish()?;
-        Ok(req)
+        Ok((req, version))
     }
 }
 
@@ -439,8 +523,16 @@ fn read_state(r: &mut Reader<'_>) -> Result<JobState, ProtoError> {
 }
 
 impl Response {
-    /// Encodes the response payload.
+    /// Encodes the response payload at the current protocol version.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for_version(PROTO_VERSION)
+    }
+
+    /// Encodes the response payload as a `version` peer expects it.
+    /// The only divergence is [`Response::Stats`]: v1 peers read a
+    /// fixed 18-`u64` payload, so the v2 latency summaries are
+    /// truncated away for them rather than breaking their parse.
+    pub fn encode_for_version(&self, version: u16) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             Response::Submitted { job_id } => {
@@ -480,11 +572,32 @@ impl Response {
                 ] {
                     put_u64(&mut out, v);
                 }
+                if version >= 2 {
+                    for v in [
+                        s.wait_p50_ms,
+                        s.wait_p95_ms,
+                        s.wait_max_ms,
+                        s.run_p50_ms,
+                        s.run_p95_ms,
+                        s.run_max_ms,
+                    ] {
+                        put_u64(&mut out, v);
+                    }
+                }
             }
             Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
             Response::Error { message } => {
                 out.push(RESP_ERROR);
                 put_str(&mut out, message);
+            }
+            Response::Metrics { text } => {
+                out.push(RESP_METRICS);
+                put_str(&mut out, text);
+            }
+            Response::Trace { report, trace } => {
+                out.push(RESP_TRACE);
+                put_bytes(&mut out, report);
+                put_str(&mut out, trace);
             }
         }
         out
@@ -506,6 +619,14 @@ impl Response {
                 for v in &mut vals {
                     *v = r.u64()?;
                 }
+                // A v1 daemon stops here; a v2+ daemon appends the six
+                // latency summaries. Absent fields stay zero.
+                let mut extra = [0u64; 6];
+                if r.remaining() >= 8 * extra.len() {
+                    for v in &mut extra {
+                        *v = r.u64()?;
+                    }
+                }
                 Response::Stats(DaemonStats {
                     uptime_ms: vals[0],
                     submitted: vals[1],
@@ -525,10 +646,18 @@ impl Response {
                     cache_stale_drops: vals[15],
                     cache_mem_entries: vals[16],
                     cache_disk_entries: vals[17],
+                    wait_p50_ms: extra[0],
+                    wait_p95_ms: extra[1],
+                    wait_max_ms: extra[2],
+                    run_p50_ms: extra[3],
+                    run_p95_ms: extra[4],
+                    run_max_ms: extra[5],
                 })
             }
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             RESP_ERROR => Response::Error { message: r.str()? },
+            RESP_METRICS => Response::Metrics { text: r.str()? },
+            RESP_TRACE => Response::Trace { report: r.bytes()?, trace: r.str()? },
             _ => return Err(ProtoError("unknown response tag")),
         };
         r.finish()?;
@@ -596,10 +725,62 @@ mod tests {
             Request::Cancel { job_id: u64::MAX },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
+            Request::Trace {
+                features: AnalysisFeatures::default(),
+                source: "store { map M; }".into(),
+            },
         ];
         for req in reqs {
             let bytes = req.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), req);
+            let (decoded, version) = Request::decode_versioned(&bytes).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(version, PROTO_VERSION);
+        }
+    }
+
+    /// A v1 peer's frames (version field 1, no v2 message tags) must
+    /// still decode, and the stats reply rendered for it must carry
+    /// exactly the legacy 18-u64 payload — which the v2 decoder also
+    /// accepts, with the summary fields reading as zero.
+    #[test]
+    fn v1_peers_are_served_with_legacy_stats_payloads() {
+        let mut v1_stats_req = Request::Stats.encode();
+        v1_stats_req[1..3].copy_from_slice(&1u16.to_be_bytes());
+        let (req, version) = Request::decode_versioned(&v1_stats_req).unwrap();
+        assert_eq!(req, Request::Stats);
+        assert_eq!(version, 1);
+        // v1 did not know the Metrics tag; a v1-framed metrics request
+        // is a protocol error, not a misparse.
+        let mut v1_metrics = Request::Metrics.encode();
+        v1_metrics[1..3].copy_from_slice(&1u16.to_be_bytes());
+        assert!(Request::decode_versioned(&v1_metrics).is_err());
+
+        let stats = DaemonStats {
+            submitted: 3,
+            cache_disk_entries: 9,
+            wait_p95_ms: 250,
+            run_max_ms: 1234,
+            ..Default::default()
+        };
+        let legacy = Response::Stats(stats).encode_for_version(1);
+        assert_eq!(legacy.len(), 1 + 18 * 8, "legacy layout is fixed-size");
+        match Response::decode(&legacy).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.submitted, 3);
+                assert_eq!(s.cache_disk_entries, 9);
+                assert_eq!(s.wait_p95_ms, 0, "summaries truncated for v1");
+                assert_eq!(s.run_max_ms, 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // The v2 encoding of the same stats round-trips in full.
+        let full = Response::Stats(stats).encode();
+        assert_eq!(full.len(), 1 + 24 * 8);
+        match Response::decode(&full).unwrap() {
+            Response::Stats(s) => assert_eq!(s, stats),
+            other => panic!("expected Stats, got {other:?}"),
         }
     }
 
@@ -624,9 +805,17 @@ mod tests {
                 state: JobState::Failed { message: "parse error at line 3".into() },
             },
             Response::Cancelled { ok: true },
-            Response::Stats(DaemonStats { submitted: 4, cache_disk_entries: 9, ..Default::default() }),
+            Response::Stats(DaemonStats {
+                submitted: 4,
+                cache_disk_entries: 9,
+                wait_p50_ms: 5,
+                run_max_ms: 777,
+                ..Default::default()
+            }),
             Response::ShutdownAck,
             Response::Error { message: "queue full".into() },
+            Response::Metrics { text: "# TYPE c4d_jobs_submitted_total counter\n".into() },
+            Response::Trace { report: vec![9, 8, 7], trace: "{\"t_ns\":1}\n".into() },
         ];
         for resp in resps {
             let bytes = resp.encode();

@@ -15,23 +15,39 @@
 //! every admitted job, flushes the cache index, acknowledges, then
 //! wakes the acceptors with dummy connections so `ServerHandle::wait`
 //! can join every thread and remove the socket file.
+//!
+//! Observability: every job feeds fixed-bucket latency histograms
+//! (queue wait, run time, per-stage durations on computed misses)
+//! whose summaries ride on [`DaemonStats`] and whose full bucket
+//! vectors are rendered on the Prometheus text page — served both as
+//! the `Metrics` request on the daemon protocol and, with
+//! `--metrics-addr`, over a minimal HTTP listener at `/metrics`.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use c4::{CacheKey, CacheTier, VerdictCache};
+use c4_obs::hist::Histogram;
 
 use crate::job::{CancelOutcome, Job, Scheduler};
 use crate::proto::{
     read_frame, write_frame, DaemonStats, JobState, ProtoError, Request, Response,
+    PROTO_VERSION,
 };
+
+/// Per-thread recorder capacity for daemon-side `Trace` requests.
+const TRACE_CAPACITY: usize = 1 << 18;
+
+/// Stage-duration histogram keys, matching `AnalysisStats::timings`.
+const STAGES: [&str; 7] =
+    ["unfold", "ssg_filter", "smt", "encoder_build", "query_solve", "validate", "merge"];
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +64,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Queue capacity (admission bound, excluding running jobs).
     pub queue_cap: usize,
+    /// Optional HTTP listener address for the Prometheus `/metrics`
+    /// page, e.g. `127.0.0.1:9434` (`:0` picks a port).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +78,7 @@ impl Default for ServerConfig {
             mem_cache: 256,
             workers: 1,
             queue_cap: 64,
+            metrics_addr: None,
         }
     }
 }
@@ -81,9 +101,13 @@ struct Daemon {
     counters: Counters,
     started: Instant,
     workers: usize,
+    wait_hist: Histogram,
+    run_hist: Histogram,
+    stage_hists: Vec<(&'static str, Histogram)>,
     // Listener endpoints, kept to send the shutdown wake-up connections.
     unix_path: Option<PathBuf>,
     tcp_addr: Option<String>,
+    metrics_addr: Option<String>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -156,7 +180,109 @@ impl Daemon {
             cache_stale_drops: cc.stale_drops,
             cache_mem_entries: self.cache.mem_len() as u64,
             cache_disk_entries: self.cache.disk_len() as u64,
+            wait_p50_ms: self.wait_hist.quantile(0.50),
+            wait_p95_ms: self.wait_hist.quantile(0.95),
+            wait_max_ms: self.wait_hist.max(),
+            run_p50_ms: self.run_hist.quantile(0.50),
+            run_p95_ms: self.run_hist.quantile(0.95),
+            run_max_ms: self.run_hist.max(),
         })
+    }
+
+    /// The Prometheus text-format (exposition 0.0.4) metrics page:
+    /// every [`DaemonStats`] field as a counter or gauge, plus the
+    /// full bucket vectors of the wait/run/stage histograms.
+    fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        let stats = match self.stats() {
+            Response::Stats(s) => s,
+            _ => unreachable!("stats() always returns Response::Stats"),
+        };
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        counter("c4d_jobs_submitted_total", "Jobs admitted.", stats.submitted);
+        counter("c4d_jobs_completed_total", "Jobs finished with a verdict.", stats.completed);
+        counter("c4d_jobs_cancelled_total", "Jobs cancelled.", stats.cancelled);
+        counter("c4d_jobs_failed_total", "Jobs failed in the front end.", stats.failed);
+        counter("c4d_jobs_rejected_total", "Submissions refused by admission control.", stats.rejected);
+        counter("c4d_cache_misses_total", "Verdict cache misses (computed).", stats.cache_misses);
+        counter("c4d_cache_stores_total", "Verdict cache stores.", stats.cache_stores);
+        counter("c4d_cache_evictions_total", "In-memory LRU evictions.", stats.cache_evictions);
+        counter(
+            "c4d_cache_stale_drops_total",
+            "Stale or corrupt disk entries dropped.",
+            stats.cache_stale_drops,
+        );
+        out.push_str(
+            "# HELP c4d_cache_hits_total Verdict cache hits by tier.\n\
+             # TYPE c4d_cache_hits_total counter\n",
+        );
+        out.push_str(&format!(
+            "c4d_cache_hits_total{{tier=\"memory\"}} {}\n",
+            stats.cache_mem_hits
+        ));
+        out.push_str(&format!(
+            "c4d_cache_hits_total{{tier=\"disk\"}} {}\n",
+            stats.cache_disk_hits
+        ));
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        gauge("c4d_uptime_milliseconds", "Milliseconds since the daemon started.", stats.uptime_ms);
+        gauge("c4d_queue_depth", "Jobs currently queued.", stats.queue_len);
+        gauge("c4d_jobs_running", "Jobs currently running.", stats.running);
+        gauge("c4d_queue_capacity", "Admission bound on the queue.", stats.queue_cap);
+        gauge("c4d_workers", "Scheduler worker threads.", stats.workers);
+        out.push_str(
+            "# HELP c4d_cache_entries Verdict cache residency by tier.\n\
+             # TYPE c4d_cache_entries gauge\n",
+        );
+        out.push_str(&format!(
+            "c4d_cache_entries{{tier=\"memory\"}} {}\n",
+            stats.cache_mem_entries
+        ));
+        out.push_str(&format!("c4d_cache_entries{{tier=\"disk\"}} {}\n", stats.cache_disk_entries));
+        out.push_str(
+            "# HELP c4d_job_wait_milliseconds Queue wait per completed job.\n\
+             # TYPE c4d_job_wait_milliseconds histogram\n",
+        );
+        self.wait_hist.render_prometheus(&mut out, "c4d_job_wait_milliseconds", &[]);
+        out.push_str(
+            "# HELP c4d_job_run_milliseconds Pipeline run time per completed job.\n\
+             # TYPE c4d_job_run_milliseconds histogram\n",
+        );
+        self.run_hist.render_prometheus(&mut out, "c4d_job_run_milliseconds", &[]);
+        out.push_str(
+            "# HELP c4d_stage_duration_milliseconds Per-stage durations of computed jobs.\n\
+             # TYPE c4d_stage_duration_milliseconds histogram\n",
+        );
+        for (stage, hist) in &self.stage_hists {
+            hist.render_prometheus(&mut out, "c4d_stage_duration_milliseconds", &[("stage", stage)]);
+        }
+        out
+    }
+
+    /// Serves a `Trace` request: runs the pipeline synchronously on
+    /// the handler thread with the recorder enabled and returns both
+    /// the report and the JSONL trace. The recorder is process-global,
+    /// so concurrent trace requests are serialized under a lock; jobs
+    /// the scheduler happens to run meanwhile contribute their events
+    /// too (it is a whole-process trace). Tracing is verdict-neutral:
+    /// the report bytes equal an untraced run's.
+    fn trace_job(&self, features: c4::AnalysisFeatures, source: String) -> Response {
+        static TRACE_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        c4_obs::enable(TRACE_CAPACITY);
+        let result = crate::run_analysis_cancellable(&source, &features, None);
+        let log = c4_obs::drain();
+        match result {
+            Ok(result) => Response::Trace {
+                report: result.encode_report(),
+                trace: c4_obs::export::jsonl(&log),
+            },
+            Err(e) => Response::Error { message: e.to_string() },
+        }
     }
 
     /// Graceful shutdown: refuse new work, drain everything admitted,
@@ -179,6 +305,9 @@ impl Daemon {
         if let Some(addr) = &self.tcp_addr {
             let _ = TcpStream::connect(addr);
         }
+        if let Some(addr) = &self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
     }
 
     /// One scheduler worker: run jobs until drained.
@@ -194,12 +323,12 @@ impl Daemon {
     /// The per-job pipeline. The job is already in the `Running` state.
     fn process(&self, job: &Job) {
         let queue_ms = job.submitted_at.elapsed().as_millis() as u64;
+        self.wait_hist.observe(queue_ms);
         let run_start = Instant::now();
-        let done = |tier: CacheTier, report: Vec<u8>| JobState::Done {
-            tier,
-            queue_ms,
-            run_ms: run_start.elapsed().as_millis() as u64,
-            report,
+        let done = |tier: CacheTier, report: Vec<u8>| {
+            let run_ms = run_start.elapsed().as_millis() as u64;
+            self.run_hist.observe(run_ms);
+            JobState::Done { tier, queue_ms, run_ms, report }
         };
 
         let canon = match crate::canonical_source(&job.source) {
@@ -236,6 +365,22 @@ impl Daemon {
             job.set_state(JobState::Cancelled);
             return;
         }
+        // Stage histograms cover computed jobs only: cache hits never
+        // enter the pipeline, so their (absent) stages are not zeros.
+        let t = &result.stats.timings;
+        for (stage, d) in [
+            ("unfold", t.unfold),
+            ("ssg_filter", t.ssg_filter),
+            ("smt", t.smt),
+            ("encoder_build", t.encoder_build),
+            ("query_solve", t.query_solve),
+            ("validate", t.validate),
+            ("merge", t.merge),
+        ] {
+            if let Some((_, hist)) = self.stage_hists.iter().find(|(s, _)| *s == stage) {
+                hist.observe(d.as_millis() as u64);
+            }
+        }
         let bytes = result.encode_report();
         if !result.stats.deadline_hit {
             self.cache.store(&key, &bytes);
@@ -252,28 +397,86 @@ impl Daemon {
                 Ok(Some(payload)) => payload,
                 Ok(None) | Err(_) => return false,
             };
-            let (resp, is_shutdown) = match Request::decode(&payload) {
-                Ok(Request::Submit { wait, features, source }) => {
-                    (self.submit(wait, features, source), false)
+            let (resp, version, is_shutdown) = match Request::decode_versioned(&payload) {
+                Ok((Request::Submit { wait, features, source }, v)) => {
+                    (self.submit(wait, features, source), v, false)
                 }
-                Ok(Request::Status { job_id }) => (self.status(job_id), false),
-                Ok(Request::Cancel { job_id }) => (self.cancel(job_id), false),
-                Ok(Request::Stats) => (self.stats(), false),
-                Ok(Request::Shutdown) => {
+                Ok((Request::Status { job_id }, v)) => (self.status(job_id), v, false),
+                Ok((Request::Cancel { job_id }, v)) => (self.cancel(job_id), v, false),
+                Ok((Request::Stats, v)) => (self.stats(), v, false),
+                Ok((Request::Metrics, v)) => {
+                    (Response::Metrics { text: self.metrics_text() }, v, false)
+                }
+                Ok((Request::Trace { features, source }, v)) => {
+                    (self.trace_job(features, source), v, false)
+                }
+                Ok((Request::Shutdown, v)) => {
                     self.shutdown_and_drain();
-                    (Response::ShutdownAck, true)
+                    (Response::ShutdownAck, v, true)
                 }
-                Err(ProtoError(msg)) => {
-                    (Response::Error { message: format!("protocol error: {msg}") }, false)
-                }
+                Err(ProtoError(msg)) => (
+                    Response::Error { message: format!("protocol error: {msg}") },
+                    PROTO_VERSION,
+                    false,
+                ),
             };
-            if write_frame(stream, &resp.encode()).is_err() {
+            if write_frame(stream, &resp.encode_for_version(version)).is_err() {
                 return is_shutdown;
             }
             if is_shutdown {
                 return true;
             }
         }
+    }
+}
+
+/// Serves one HTTP connection on the metrics listener. Deliberately
+/// minimal: reads the request head (bounded, with a timeout so a
+/// stalled client cannot wedge the single acceptor), answers
+/// `GET /metrics` with the exposition page, anything else with 404,
+/// and closes. No keep-alive, no chunking — exactly what a Prometheus
+/// scraper needs.
+fn serve_metrics_conn(daemon: &Daemon, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let is_metrics = line.starts_with(b"GET /metrics ") || line == b"GET /metrics";
+    let (status, ctype, body) = if is_metrics {
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", daemon.metrics_text())
+    } else {
+        ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// The metrics acceptor: serves scrapes inline (they are cheap and
+/// allocation-bounded) until the shutdown flag is observed, which
+/// `wake_acceptors` guarantees by poking the listener.
+fn metrics_loop(daemon: Arc<Daemon>, listener: TcpListener) {
+    loop {
+        if daemon.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if daemon.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        serve_metrics_conn(&daemon, &mut stream);
     }
 }
 
@@ -323,6 +526,8 @@ pub struct ServerHandle {
     /// The bound TCP address (with the OS-assigned port if `:0` was
     /// requested), for clients.
     pub tcp_addr: Option<String>,
+    /// The bound metrics address (port resolved), for scrapers.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerHandle {
@@ -380,6 +585,13 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         tcp_addr = Some(l.local_addr()?.to_string());
         listeners.push(Listener::Tcp(l));
     }
+    let mut metrics_listener = None;
+    let mut metrics_addr = None;
+    if let Some(addr) = &cfg.metrics_addr {
+        let l = TcpListener::bind(addr.as_str())?;
+        metrics_addr = Some(l.local_addr()?.to_string());
+        metrics_listener = Some(l);
+    }
 
     let workers = cfg.workers.max(1);
     let daemon = Arc::new(Daemon {
@@ -391,8 +603,12 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         counters: Counters::default(),
         started: Instant::now(),
         workers,
+        wait_hist: Histogram::latency_ms(),
+        run_hist: Histogram::latency_ms(),
+        stage_hists: STAGES.iter().map(|&s| (s, Histogram::latency_ms())).collect(),
         unix_path: cfg.unix_socket.clone(),
         tcp_addr: tcp_addr.clone(),
+        metrics_addr: metrics_addr.clone(),
         conn_threads: Mutex::new(Vec::new()),
     });
 
@@ -402,19 +618,24 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
             std::thread::spawn(move || d.worker_loop())
         })
         .collect();
-    let acceptor_handles = listeners
+    let mut acceptor_handles: Vec<JoinHandle<()>> = listeners
         .into_iter()
         .map(|l| {
             let d = Arc::clone(&daemon);
             std::thread::spawn(move || l.accept_loop(d))
         })
         .collect();
+    if let Some(l) = metrics_listener {
+        let d = Arc::clone(&daemon);
+        acceptor_handles.push(std::thread::spawn(move || metrics_loop(d, l)));
+    }
 
     Ok(ServerHandle {
         daemon,
         acceptors: acceptor_handles,
         workers: worker_handles,
         tcp_addr,
+        metrics_addr,
     })
 }
 
@@ -508,6 +729,85 @@ mod tests {
         handle.wait();
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One HTTP GET against the metrics listener.
+    fn scrape(addr: &str, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("metrics listener reachable");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        resp
+    }
+
+    #[test]
+    fn metrics_endpoint_and_latency_summaries_reflect_jobs() {
+        let handle = serve(ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            metrics_addr: Some("127.0.0.1:0".into()),
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("daemon starts");
+        let client = Client::new(Endpoint::Tcp(handle.tcp_addr.clone().unwrap()));
+        let metrics_addr = handle.metrics_addr.clone().unwrap();
+
+        let (_, st1) = client.submit_wait(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        let (_, st2) = client.submit_wait(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        report_of(st1);
+        report_of(st2);
+
+        let resp = scrape(&metrics_addr, "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "got: {resp}");
+        assert!(resp.contains("Content-Type: text/plain; version=0.0.4"));
+        let body = resp.split("\r\n\r\n").nth(1).expect("has a body");
+        assert!(body.contains("# TYPE c4d_jobs_submitted_total counter"));
+        assert!(body.contains("# HELP c4d_jobs_submitted_total "));
+        assert!(body.contains("c4d_jobs_submitted_total 2"));
+        assert!(body.contains("c4d_cache_hits_total{tier=\"memory\"} 1"));
+        assert!(body.contains("# TYPE c4d_job_run_milliseconds histogram"));
+        assert!(body.contains("c4d_job_run_milliseconds_count 2"));
+        assert!(body.contains("c4d_job_run_milliseconds_bucket{le=\"+Inf\"} 2"));
+        // Exactly one computed job fed the stage histograms.
+        assert!(body.contains("c4d_stage_duration_milliseconds_count{stage=\"smt\"} 1"));
+        // HELP/TYPE headers appear once per metric name even with
+        // several label sets.
+        assert_eq!(body.matches("# TYPE c4d_stage_duration_milliseconds histogram").count(), 1);
+
+        assert!(scrape(&metrics_addr, "/other").starts_with("HTTP/1.1 404"));
+
+        // The same page is served on the daemon protocol, and the v2
+        // stats summaries are populated from the same histograms.
+        let text = client.metrics().unwrap();
+        assert!(text.contains("c4d_jobs_submitted_total 2"));
+        let stats = client.stats().unwrap();
+        assert!(stats.run_p50_ms <= stats.run_max_ms.max(1));
+        assert!(stats.wait_p50_ms <= stats.wait_p95_ms.max(1));
+
+        client.shutdown().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn trace_request_is_verdict_neutral_and_returns_events() {
+        let (handle, client) = start(None);
+
+        let (report, trace) = client.trace(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        let (_, st) = client.submit_wait(PROG, &c4::AnalysisFeatures::default()).unwrap();
+        let (_, untraced) = report_of(st);
+        assert_eq!(report, untraced, "traced report bytes equal an untraced run's");
+
+        assert!(!trace.is_empty());
+        for line in trace.lines() {
+            c4_obs::json::validate(line)
+                .unwrap_or_else(|e| panic!("trace line not valid JSON ({e}): {line}"));
+        }
+        assert!(trace.contains("\"name\":\"analysis\""));
+
+        assert!(client.trace("store {", &c4::AnalysisFeatures::default()).is_err());
+
+        client.shutdown().unwrap();
+        handle.wait();
     }
 
     #[test]

@@ -197,6 +197,28 @@ impl Incremental {
         assumptions: &[Lit],
     ) -> Option<(Vec<bool>, TheoryModel)> {
         self.n_solves += 1;
+        // Trace the SAT-core effort this query cost (deltas, so parallel
+        // sessions on different threads stay independent).
+        let traced = c4_obs::enabled();
+        let (c0, d0, p0) = if traced {
+            (self.sat.conflicts(), self.sat.decisions(), self.sat.propagations())
+        } else {
+            (0, 0, 0)
+        };
+        let out = self.solve_loop(ctx, assumptions);
+        if traced {
+            c4_obs::counter("sat_conflicts", self.sat.conflicts() - c0);
+            c4_obs::counter("sat_decisions", self.sat.decisions() - d0);
+            c4_obs::counter("sat_propagations", self.sat.propagations() - p0);
+        }
+        out
+    }
+
+    fn solve_loop(
+        &mut self,
+        ctx: &Context,
+        assumptions: &[Lit],
+    ) -> Option<(Vec<bool>, TheoryModel)> {
         loop {
             match self.sat.solve_under_assumptions(assumptions) {
                 AssumeOutcome::Unsat(_) => return None,

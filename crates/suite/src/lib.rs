@@ -191,9 +191,11 @@ pub fn analyze_with_cache(
     cache: Option<&VerdictCache>,
 ) -> BenchOutcome {
     let fe_start = Instant::now();
+    let fe_span = c4_obs::span("front_end");
     let program = c4_lang::parse(b.source).expect("suite sources parse");
     let history = c4_lang::abstract_history(&program).expect("suite sources interpret");
     let canon = cache.map(|_| c4_lang::canonical(&program));
+    drop(fe_span);
     let fe_time = fe_start.elapsed();
     let counters_before = cache.map(|c| c.counters()).unwrap_or_default();
 
@@ -201,6 +203,7 @@ pub fn analyze_with_cache(
         let key = cache
             .map(|_| CacheKey::derive(canon.as_deref().unwrap(), tag, features));
         if let (Some(cache), Some(key)) = (cache, &key) {
+            let _lookup = c4_obs::span("cache_lookup");
             if let Some((bytes, _tier)) = cache.lookup(key) {
                 return AnalysisResult::decode_report(&bytes)
                     .expect("cache returns only decode-validated entries");
@@ -264,9 +267,167 @@ pub fn analyze_with_cache(
     }
 }
 
+/// One benchmark outcome as a single machine-readable JSON line — the
+/// `table1 --json` record. The workspace is offline (no serde), and
+/// the shapes here are flat enough that assembling the object by hand
+/// stays readable; benchmark names are ASCII identifiers, so no string
+/// escaping is needed.
+///
+/// The record carries the **full** `AnalysisStats`, split by
+/// determinism contract:
+///
+/// * `"stats"` — the replay counters plus run shape: identical across
+///   worker counts and feature toggles (the symmetry/incremental
+///   differential smokes compare these byte-for-byte);
+/// * `"sched"` — scheduling- and feature-dependent counters
+///   (speculative/prepruned/assumption solves, symmetry class
+///   accounting, residency, per-worker query distribution): allowed
+///   to differ run-to-run, stripped by [`strip_volatile`];
+/// * `"timings_ms"` — wall-clock per stage, never deterministic.
+pub fn json_line(domain: Domain, out: &BenchOutcome) -> String {
+    let counts = |c: Counts| {
+        format!(
+            r#"{{"errors":{},"harmless":{},"false_alarms":{}}}"#,
+            c.errors, c.harmless, c.false_alarms
+        )
+    };
+    let s = &out.stats;
+    let t = &s.timings;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let per_worker = s
+        .per_worker_queries
+        .iter()
+        .map(|q| q.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            r#"{{"name":"{name}","domain":"{domain}","t":{t},"e":{e},"#,
+            r#""fe_ms":{fe_ms:.3},"be_ms":{be_ms:.3},"#,
+            r#""unfiltered":{unf},"filtered":{fil},"#,
+            r#""generalized":{gen},"max_k":{max_k},"deadline_hit":{dl},"#,
+            r#""stats":{{"unfoldings":{unfold},"suspicious_unfoldings":{susp},"#,
+            r#""smt_queries":{queries},"smt_sat":{sat},"smt_refuted":{refuted},"#,
+            r#""generalization_queries":{genq},"subsumed_candidates":{subsumed},"#,
+            r#""validation_failures":{vfail},"workers":{workers}}},"#,
+            r#""sched":{{"speculative_smt_queries":{spec},"preprune_skips":{pps},"#,
+            r#""preprune_fallbacks":{ppf},"assumption_solves":{asol},"#,
+            r#""sat_resolves":{sres},"learnt_clauses":{learnt},"#,
+            r#""classes":{classes},"class_members_skipped":{skipped},"#,
+            r#""peak_unfoldings_resident":{peak},"per_worker_queries":[{pwq}]}},"#,
+            r#""timings_ms":{{"unfold":{t_unfold:.3},"ssg_filter":{t_ssg:.3},"#,
+            r#""smt":{t_smt:.3},"encoder_build":{t_build:.3},"#,
+            r#""query_solve":{t_solve:.3},"validate":{t_val:.3},"merge":{t_merge:.3}}},"#,
+            r#""cache":{{"mem_hits":{c_mem},"disk_hits":{c_disk},"misses":{c_miss},"#,
+            r#""stores":{c_stores},"evictions":{c_evict},"stale_drops":{c_stale}}}}}"#,
+        ),
+        name = out.name,
+        domain = match domain {
+            Domain::TouchDevelop => "touchdevelop",
+            Domain::Cassandra => "cassandra",
+        },
+        t = out.t,
+        e = out.e,
+        fe_ms = ms(out.fe_time),
+        be_ms = ms(out.be_time),
+        unf = counts(out.unfiltered_counts()),
+        fil = counts(out.filtered_counts()),
+        gen = out.generalized,
+        max_k = out.max_k,
+        dl = s.deadline_hit,
+        unfold = s.unfoldings,
+        susp = s.suspicious_unfoldings,
+        queries = s.smt_queries,
+        sat = s.smt_sat,
+        refuted = s.smt_refuted,
+        genq = s.generalization_queries,
+        subsumed = s.subsumed_candidates,
+        vfail = s.validation_failures,
+        workers = s.workers,
+        spec = s.speculative_smt_queries,
+        pps = s.preprune_skips,
+        ppf = s.preprune_fallbacks,
+        asol = s.assumption_solves,
+        sres = s.sat_resolves,
+        learnt = s.learnt_clauses,
+        classes = s.classes,
+        skipped = s.class_members_skipped,
+        peak = s.peak_unfoldings_resident,
+        pwq = per_worker,
+        t_unfold = ms(t.unfold),
+        t_ssg = ms(t.ssg_filter),
+        t_smt = ms(t.smt),
+        t_build = ms(t.encoder_build),
+        t_solve = ms(t.query_solve),
+        t_val = ms(t.validate),
+        t_merge = ms(t.merge),
+        c_mem = out.cache.mem_hits,
+        c_disk = out.cache.disk_hits,
+        c_miss = out.cache.misses,
+        c_stores = out.cache.stores,
+        c_evict = out.cache.evictions,
+        c_stale = out.cache.stale_drops,
+    )
+}
+
+/// Strips the run-to-run volatile parts of a [`json_line`] record —
+/// the `fe_ms`/`be_ms` wall clocks, the `"sched"` block, and the
+/// `"timings_ms"` block — leaving the deterministic remainder that
+/// differential tests and the ci.sh smokes compare byte-for-byte.
+/// (The ci.sh `strip_timings` sed is the shell twin of this function;
+/// keep them in sync.)
+pub fn strip_volatile(line: &str) -> String {
+    let mut s = line.to_string();
+    if let Some(i) = s.find("\"fe_ms\":") {
+        if let Some(j) = s[i..].find("\"unfiltered\"") {
+            s.replace_range(i..i + j, "");
+        }
+    }
+    // Both blocks are flat objects except for the per-worker array,
+    // which contains no `}`, so the first close brace ends the block.
+    for key in ["\"sched\":{", "\"timings_ms\":{"] {
+        if let Some(i) = s.find(key) {
+            let start = i + key.len();
+            if let Some(j) = s[start..].find('}') {
+                let mut end = start + j + 1;
+                if s.as_bytes().get(end) == Some(&b',') {
+                    end += 1;
+                }
+                s.replace_range(i..end, "");
+            }
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_line_is_valid_json_and_strip_removes_volatile_blocks() {
+        let b = benchmark("Tetris").unwrap();
+        let out = analyze(&b, &AnalysisFeatures::default());
+        let line = json_line(Domain::TouchDevelop, &out);
+        c4_obs::json::validate(&line).expect("json_line must parse as JSON");
+        for field in [
+            "\"sched\":{",
+            "\"per_worker_queries\":[",
+            "\"classes\":",
+            "\"peak_unfoldings_resident\":",
+            "\"encoder_build\":",
+            "\"query_solve\":",
+        ] {
+            assert!(line.contains(field), "json_line missing {field}");
+        }
+        let stripped = strip_volatile(&line);
+        c4_obs::json::validate(&stripped).expect("stripped line must stay valid JSON");
+        for gone in ["\"sched\":{", "\"timings_ms\":{", "\"fe_ms\":", "\"be_ms\":"] {
+            assert!(!stripped.contains(gone), "strip_volatile left {gone}");
+        }
+        assert!(stripped.contains("\"stats\":{"), "strip_volatile must keep stats");
+        assert!(stripped.contains("\"cache\":{"), "strip_volatile must keep cache");
+    }
 
     #[test]
     fn all_sources_parse_and_interpret() {

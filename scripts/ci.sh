@@ -41,11 +41,13 @@ echo "==> table1 smoke, --no-incremental"
 
 # Symmetry smoke: the reduced enumeration must produce byte-identical
 # machine-readable output to --no-symmetry once the (non-deterministic)
-# timing fields are stripped. The differential suite proves this on
-# report bytes; this checks the real binary end-to-end on a slice.
+# timing fields and the scheduling-/feature-dependent "sched" block are
+# stripped. The differential suite proves this on report bytes; this
+# checks the real binary end-to-end on a slice. (Shell twin of
+# `c4_suite::strip_volatile` — keep the two in sync.)
 echo "==> table1 symmetry smoke (--json vs --no-symmetry)"
 strip_timings() {
-    sed -E 's/"fe_ms":[0-9.]+,"be_ms":[0-9.]+,//; s/"timings_ms":\{[^}]*\},//' "$1"
+    sed -E 's/"fe_ms":[0-9.]+,"be_ms":[0-9.]+,//; s/"sched":\{[^}]*\},//; s/"timings_ms":\{[^}]*\},//' "$1"
 }
 SYM_DIR="$(mktemp -d)"
 ./target/release/table1 --threads 1 --json "${SLICE[@]}" > "$SYM_DIR/on.json"
@@ -75,6 +77,21 @@ else
     echo "==> Relatd peak-RSS guard skipped (/usr/bin/time not present)"
 fi
 
+# Observability smoke: --trace must write a parseable trace whose
+# record count equals the recorder's own ledger line, in both formats,
+# and tracing must not change the table output (verdict neutrality is
+# proven by the differential suite; this smokes the binary end-to-end).
+echo "==> obs trace smoke"
+OBS_DIR="$(mktemp -d)"
+./target/release/table1 --threads "$N" --trace "$OBS_DIR/trace.json" "Super Chat" > "$OBS_DIR/out.txt"
+grep -q "^trace: " "$OBS_DIR/out.txt" || { echo "no trace ledger line" >&2; exit 1; }
+EVENTS=$(sed -n 's/^trace: \([0-9]*\) events.*/\1/p' "$OBS_DIR/out.txt")
+./target/release/trace_check --expect-events "$EVENTS" "$OBS_DIR/trace.json"
+./target/release/table1 --threads 1 --trace "$OBS_DIR/trace.jsonl" "Super Chat" > /dev/null
+./target/release/trace_check "$OBS_DIR/trace.jsonl"
+rm -rf "$OBS_DIR"
+echo "==> obs trace smoke OK"
+
 # Smoke the incremental-vs-fresh criterion bench (runs each closure once).
 echo "==> encode_vs_incremental bench smoke"
 cargo bench -p c4-bench --bench encode_vs_incremental -- --test
@@ -85,26 +102,68 @@ cargo bench -p c4-bench --bench encode_vs_incremental -- --test
 # gracefully (drains, flushes the index, exits 0).
 echo "==> c4d daemon smoke"
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill "${C4D_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 SOCK="$SMOKE_DIR/c4d.sock"
 CACHE="$SMOKE_DIR/cache"
 
-./target/release/c4d --socket "$SOCK" --cache-dir "$CACHE" --jobs 1 &
+./target/release/c4d --socket "$SOCK" --cache-dir "$CACHE" --jobs 1 \
+    --metrics-addr 127.0.0.1:0 > "$SMOKE_DIR/c4d.log" &
 C4D_PID=$!
 for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "c4d did not come up" >&2; exit 1; }
+# The startup banner prints the resolved metrics address (`:0` port).
+METRICS_ADDR=""
+for _ in $(seq 1 100); do
+    METRICS_ADDR=$(sed -n 's|^c4d metrics on http://\(.*\)/metrics$|\1|p' "$SMOKE_DIR/c4d.log")
+    [ -n "$METRICS_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$METRICS_ADDR" ] || { echo "c4d did not announce a metrics address" >&2; exit 1; }
+
+# One HTTP scrape of the /metrics page via bash's /dev/tcp.
+scrape_metrics() {
+    local host="${METRICS_ADDR%:*}" port="${METRICS_ADDR##*:}"
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\n\r\n' >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
 
 ./target/release/suite_src "Super Chat" > "$SMOKE_DIR/a.ccl"
 ./target/release/suite_src "cassandra-lock" > "$SMOKE_DIR/b.ccl"
 
 # Round 1: cold, both programs computed.
-./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/a1.bin" "$SMOKE_DIR/a.ccl" | grep -q "done (miss"
-./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/b1.bin" "$SMOKE_DIR/b.ccl" | grep -q "done (miss"
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/a1.bin" "$SMOKE_DIR/a.ccl" | grep "done (miss" >/dev/null
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/b1.bin" "$SMOKE_DIR/b.ccl" | grep "done (miss" >/dev/null
+scrape_metrics > "$SMOKE_DIR/m1.txt"
 # Round 2: warm, both served from cache, byte-identical reports.
-./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/a2.bin" "$SMOKE_DIR/a.ccl" | grep -q "done (hit"
-./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/b2.bin" "$SMOKE_DIR/b.ccl" | grep -q "done (hit"
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/a2.bin" "$SMOKE_DIR/a.ccl" | grep "done (hit" >/dev/null
+./target/release/c4 --socket "$SOCK" submit --out "$SMOKE_DIR/b2.bin" "$SMOKE_DIR/b.ccl" | grep "done (hit" >/dev/null
 cmp "$SMOKE_DIR/a1.bin" "$SMOKE_DIR/a2.bin"
 cmp "$SMOKE_DIR/b1.bin" "$SMOKE_DIR/b2.bin"
+
+# /metrics speaks the Prometheus exposition format, and its counters
+# are monotone: the round-2 scrape must show more submissions than the
+# round-1 scrape.
+echo "==> c4d /metrics smoke"
+scrape_metrics > "$SMOKE_DIR/m2.txt"
+grep -q "^HTTP/1.1 200 OK" "$SMOKE_DIR/m1.txt"
+grep -q "Content-Type: text/plain; version=0.0.4" "$SMOKE_DIR/m1.txt"
+grep -q "^# TYPE c4d_jobs_submitted_total counter" "$SMOKE_DIR/m1.txt"
+grep -q "^# HELP c4d_jobs_submitted_total " "$SMOKE_DIR/m1.txt"
+grep -q "^# TYPE c4d_job_run_milliseconds histogram" "$SMOKE_DIR/m1.txt"
+grep -q '^c4d_job_run_milliseconds_bucket{le="+Inf"}' "$SMOKE_DIR/m1.txt"
+grep -q '^c4d_stage_duration_milliseconds_count{stage="smt"}' "$SMOKE_DIR/m1.txt"
+S1=$(awk '/^c4d_jobs_submitted_total /{print $2}' "$SMOKE_DIR/m1.txt")
+S2=$(awk '/^c4d_jobs_submitted_total /{print $2}' "$SMOKE_DIR/m2.txt")
+[ "$S1" = "2" ] || { echo "expected 2 submissions in scrape 1, got $S1" >&2; exit 1; }
+[ "$S2" -gt "$S1" ] || { echo "submitted_total not monotone: $S1 -> $S2" >&2; exit 1; }
+# The same page is served on the daemon protocol.
+./target/release/c4 --socket "$SOCK" metrics | grep "^# TYPE c4d_workers gauge" >/dev/null
+# Daemon-side traced analysis: verdict plus a JSONL trace, validated.
+./target/release/c4 --socket "$SOCK" trace --trace-out "$SMOKE_DIR/daemon.jsonl" \
+    "$SMOKE_DIR/a.ccl" | grep "^trace: " >/dev/null
+./target/release/trace_check "$SMOKE_DIR/daemon.jsonl"
 
 # Cancellation: occupy the single worker with a conflict-heavy
 # large-bound job, then cancel a job queued behind it (deterministic:
@@ -122,13 +181,14 @@ session { b, c, d }
 session { d, a, c }
 CCL
 BLOCKER=$(./target/release/c4 --socket "$SOCK" submit --no-wait --max-k 15 "$SMOKE_DIR/slow.ccl" | awk '{print $2}')
-until ./target/release/c4 --socket "$SOCK" status "$BLOCKER" | grep -q "running\|done"; do sleep 0.05; done
+until ./target/release/c4 --socket "$SOCK" status "$BLOCKER" | grep "running\|done" >/dev/null; do sleep 0.05; done
 QUEUED=$(./target/release/c4 --socket "$SOCK" submit --no-wait --max-k 15 "$SMOKE_DIR/slow.ccl" | awk '{print $2}')
-./target/release/c4 --socket "$SOCK" cancel "$QUEUED" | grep -q "cancelled"
-(./target/release/c4 --socket "$SOCK" status "$QUEUED" || true) | grep -q "state: cancelled"
+./target/release/c4 --socket "$SOCK" cancel "$QUEUED" | grep "cancelled" >/dev/null
+(./target/release/c4 --socket "$SOCK" status "$QUEUED" || true) | grep "state: cancelled" >/dev/null
 ./target/release/c4 --socket "$SOCK" cancel "$BLOCKER" >/dev/null || true
 
-./target/release/c4 --socket "$SOCK" stats | grep -q "cache hits"
+./target/release/c4 --socket "$SOCK" stats | grep "cache hits" >/dev/null
+./target/release/c4 --socket "$SOCK" stats | grep "queue wait ms" >/dev/null
 ./target/release/c4 --socket "$SOCK" shutdown
 wait "$C4D_PID"
 [ ! -S "$SOCK" ] || { echo "c4d left its socket behind" >&2; exit 1; }
