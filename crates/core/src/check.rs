@@ -376,6 +376,11 @@ pub struct Checker {
     far: FarSpec,
     features: AnalysisFeatures,
     cancel: Option<CancelToken>,
+    /// Validated counter-example structures, retained when
+    /// [`log_witnesses`](Self::log_witnesses) is on. Kept out of
+    /// [`AnalysisResult`] so reports and cache keys are unaffected.
+    witnesses: Mutex<Vec<CounterExample>>,
+    log_witnesses: bool,
 }
 
 impl Checker {
@@ -387,7 +392,23 @@ impl Checker {
     pub fn new(h: AbstractHistory, features: AnalysisFeatures) -> Self {
         h.validate().expect("well-formed abstract history");
         let far = FarSpec::compute(RewriteSpec::new(), &h.alphabet());
-        Checker { h, far, features, cancel: None }
+        Checker { h, far, features, cancel: None, witnesses: Mutex::new(Vec::new()), log_witnesses: false }
+    }
+
+    /// Enables retention of every validated counter-example structure
+    /// (for replay-based cross-checks); drain them with
+    /// [`take_witnesses`](Self::take_witnesses) after [`run`](Self::run).
+    pub fn log_witnesses(mut self) -> Self {
+        self.log_witnesses = true;
+        self
+    }
+
+    /// Drains the counter-examples retained by
+    /// [`log_witnesses`](Self::log_witnesses). Includes one entry per
+    /// validated SAT verdict, even those later subsumed by a smaller
+    /// violation.
+    pub fn take_witnesses(&self) -> Vec<CounterExample> {
+        std::mem::take(&mut self.witnesses.lock().unwrap())
     }
 
     /// Attaches an external cancellation token: [`run`](Self::run)
@@ -576,6 +597,9 @@ impl Checker {
                 } else {
                     Some(ce.render_with_cycle(u, cand))
                 };
+                if self.log_witnesses && rendered.is_some() {
+                    self.witnesses.lock().unwrap().push(ce);
+                }
                 local.validate += t1.elapsed();
                 CandOutcome::Sat { rendered }
             }

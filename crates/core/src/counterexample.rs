@@ -4,6 +4,7 @@
 use c4_algebra::FarSpec;
 use c4_dsg::{DepOptions, Dsg, EdgeLabel};
 use c4_store::schedule::Relation;
+use c4_store::sim::{CausalSim, PendingDelivery};
 use c4_store::{EventId, History, HistoryBuilder, Operation, Schedule, TxId};
 
 use crate::encode::{returns_bool, CycleModel};
@@ -132,6 +133,76 @@ impl CounterExample {
         }
         let _ = u;
         Ok(())
+    }
+
+    /// Replays the counter-example on a fresh multi-replica causal
+    /// simulator and returns the resulting concrete history and (fully
+    /// legal) schedule.
+    ///
+    /// One replica per session; transactions run in arbitration order,
+    /// and before each transaction runs, exactly its pre-schedule-visible
+    /// foreign transactions are delivered to its replica. Visibility is
+    /// transitive and contains session order, so every such delivery is
+    /// causally admissible — the replay realizes the pre-schedule's
+    /// visibility and arbitration exactly. Query *returns* are recomputed
+    /// by the store (the pre-schedule need not be legal), which cannot
+    /// change the DSG: dependency edges are built from operation
+    /// signatures, visibility and arbitration only.
+    ///
+    /// # Errors
+    ///
+    /// Fails if some visible transaction is not causally deliverable —
+    /// which would mean the schedule violates (S2)/(S3).
+    pub fn replay_on_sim(&self) -> Result<(History, Schedule), String> {
+        let h = &self.history;
+        let k = h.session_count();
+        let mut sim = CausalSim::new(k);
+        let handles: Vec<_> = (0..k).map(|r| sim.session(r)).collect();
+        let mut rank = vec![usize::MAX; h.len()];
+        for (r, &e) in self.schedule.ar_order().iter().enumerate() {
+            rank[e.index()] = r;
+        }
+        // Transactions in arbitration order (empty ones last; their
+        // placement is unobservable).
+        let mut txs: Vec<_> = h.transactions().collect();
+        txs.sort_by_key(|t| {
+            (t.events.first().map_or(usize::MAX, |e| rank[e.index()]), t.id.index())
+        });
+        let mut commit_idx = vec![usize::MAX; txs.len()];
+        let mut delivered: Vec<Vec<bool>> = vec![vec![false; txs.len()]; k];
+        let mut committed: Vec<&c4_store::history::Transaction> = Vec::new();
+        for t in txs {
+            let s = t.session.0 as usize;
+            if let Some(&te) = t.events.first() {
+                // Deliver the visible foreign prefix, in commit order.
+                for u in &committed {
+                    let Some(&ue) = u.events.first() else { continue };
+                    if u.session != t.session
+                        && self.schedule.vis(ue, te)
+                        && !delivered[s][u.id.index()]
+                    {
+                        let d = PendingDelivery { tx: commit_idx[u.id.index()], to: s };
+                        if !sim.deliver(d) {
+                            return Err(format!("{} not deliverable to replica {s}", u.id));
+                        }
+                        delivered[s][u.id.index()] = true;
+                    }
+                }
+            }
+            sim.begin(handles[s]);
+            for &e in &t.events {
+                let op = &h.event(e).op;
+                if op.kind.is_update() {
+                    sim.update(handles[s], op.object.clone(), op.kind.clone(), op.args.clone());
+                } else {
+                    let _ =
+                        sim.query(handles[s], op.object.clone(), op.kind.clone(), op.args.clone());
+                }
+            }
+            commit_idx[t.id.index()] = sim.commit(handles[s]);
+            committed.push(t);
+        }
+        Ok(sim.into_history())
     }
 
     /// Renders the counter-example for the report, including the DSG

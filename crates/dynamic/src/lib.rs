@@ -57,6 +57,8 @@ pub struct DynamicReport {
     pub runs: usize,
     /// Number of runs whose DSG was cyclic.
     pub cyclic_runs: usize,
+    /// The RNG seed the exploration ran with (for reproduction).
+    pub seed: u64,
 }
 
 impl DynamicReport {
@@ -69,7 +71,8 @@ impl DynamicReport {
 /// Runs the randomized dynamic analysis on a program.
 pub fn explore(program: &Program, config: &ExploreConfig) -> DynamicReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut report = DynamicReport { runs: config.runs, ..DynamicReport::default() };
+    let mut report =
+        DynamicReport { runs: config.runs, seed: config.seed, ..DynamicReport::default() };
     if program.txns.is_empty() {
         return report;
     }

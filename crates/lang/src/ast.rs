@@ -109,6 +109,59 @@ pub struct TxnDecl {
     pub body: Vec<Stmt>,
 }
 
+impl TxnDecl {
+    /// The static object footprint: every store object the body can touch
+    /// on any path. Conservative (branch-insensitive), used by the model
+    /// checker's independence relation.
+    pub fn object_footprint(&self) -> std::collections::BTreeSet<ObjectName> {
+        let mut out = std::collections::BTreeSet::new();
+        collect_stmts(&self.body, &mut out);
+        out
+    }
+}
+
+fn collect_stmts(stmts: &[Stmt], out: &mut std::collections::BTreeSet<ObjectName>) {
+    for s in stmts {
+        match s {
+            Stmt::Call(c) | Stmt::Display(c) => collect_call(c, out),
+            Stmt::Let(_, e) => collect_expr(e, out),
+            Stmt::If(c, then, els) => {
+                collect_cond(c, out);
+                collect_stmts(then, out);
+                collect_stmts(els, out);
+            }
+            Stmt::While(c, body) => {
+                collect_cond(c, out);
+                collect_stmts(body, out);
+            }
+            Stmt::Repeat(_, body) => collect_stmts(body, out),
+        }
+    }
+}
+
+fn collect_cond(c: &Condition, out: &mut std::collections::BTreeSet<ObjectName>) {
+    for (l, _, r) in &c.atoms {
+        collect_expr(l, out);
+        collect_expr(r, out);
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut std::collections::BTreeSet<ObjectName>) {
+    if let Expr::Call(c) = e {
+        collect_call(c, out);
+    }
+}
+
+fn collect_call(c: &CallExpr, out: &mut std::collections::BTreeSet<ObjectName>) {
+    out.insert(c.object.clone());
+    if let Some((row, _)) = &c.row_field {
+        collect_expr(row, out);
+    }
+    for a in &c.args {
+        collect_expr(a, out);
+    }
+}
+
 /// A full CCL program.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {

@@ -38,22 +38,42 @@ pub struct Spanned {
     pub line: u32,
 }
 
+/// A lexical error with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
 /// Lexes CCL source text.
 ///
-/// `//` line comments are skipped. Returns an error message with a line
-/// number on bad input.
-pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
+/// `//` line comments are skipped. Returns a [`LexError`] with a line
+/// number on bad input. Input is scanned on UTF-8 character boundaries,
+/// so multi-byte characters in strings survive intact and elsewhere are
+/// rejected with a diagnostic rather than a slicing panic.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut out = Vec::new();
     let bytes = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
+    let err = |line: u32, message: String| LexError { line, message };
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        let c = src[i..].chars().next().expect("i is on a char boundary");
         if c == '\n' {
             line += 1;
             i += 1;
         } else if c.is_whitespace() {
-            i += 1;
+            i += c.len_utf8();
         } else if c == '/' && bytes.get(i + 1) == Some(&b'/') {
             while i < bytes.len() && bytes[i] != b'\n' {
                 i += 1;
@@ -72,14 +92,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
             while i < bytes.len() && bytes[i].is_ascii_digit() {
                 i += 1;
             }
-            let v: i64 = src[start..i].parse().map_err(|e| format!("line {line}: {e}"))?;
+            let v: i64 = src[start..i]
+                .parse()
+                .map_err(|e: std::num::ParseIntError| err(line, e.to_string()))?;
             out.push(Spanned { tok: Tok::Int(v), line });
         } else if c == '"' {
             i += 1;
             let mut s = String::new();
             loop {
                 match bytes.get(i) {
-                    None => return Err(format!("line {line}: unterminated string")),
+                    None => return Err(err(line, "unterminated string".into())),
                     Some(b'"') => {
                         i += 1;
                         break;
@@ -90,7 +112,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
                             Some(b'"') => s.push('"'),
                             Some(b'\\') => s.push('\\'),
                             other => {
-                                return Err(format!("line {line}: bad escape {other:?}"))
+                                let what = other
+                                    .map(|&b| format!("{:?}", b as char))
+                                    .unwrap_or_else(|| "end of input".into());
+                                return Err(err(line, format!("bad escape \\{what}")));
                             }
                         }
                         i += 2;
@@ -99,15 +124,21 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
                         if b == b'\n' {
                             line += 1;
                         }
-                        s.push(b as char);
-                        i += 1;
+                        let ch =
+                            src[i..].chars().next().expect("i is on a char boundary");
+                        s.push(ch);
+                        i += ch.len_utf8();
                     }
                 }
             }
             out.push(Spanned { tok: Tok::Str(s), line });
         } else {
-            // Multi-char operators first.
-            let two: Option<&'static str> = if i + 1 < bytes.len() {
+            // Multi-char operators first. The candidates are all ASCII, so
+            // only probe when the next two bytes are ASCII (keeps the slice
+            // on char boundaries).
+            let two: Option<&'static str> = if c.is_ascii()
+                && bytes.get(i + 1).is_some_and(u8::is_ascii)
+            {
                 match &src[i..i + 2] {
                     "==" => Some("=="),
                     "!=" => Some("!="),
@@ -138,7 +169,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
                     '<' => "<",
                     '>' => ">",
                     '!' => "!",
-                    _ => return Err(format!("line {line}: unexpected character {c:?}")),
+                    _ => return Err(err(line, format!("unexpected character {c:?}"))),
                 };
                 out.push(Spanned { tok: Tok::Punct(p), line });
                 i += 1;
@@ -176,5 +207,18 @@ mod tests {
     fn rejects_bad_chars() {
         assert!(lex("#").is_err());
         assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn multibyte_chars_do_not_panic() {
+        // Outside strings: rejected with a located diagnostic, not a panic.
+        let e = lex("store { register Best; }\n€").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('€'), "{}", e.message);
+        // Inside strings: preserved intact.
+        let toks = lex("\"héllo → wörld\"").unwrap();
+        assert_eq!(toks[0].tok, Tok::Str("héllo → wörld".into()));
+        // Adjacent to a would-be two-char operator probe.
+        assert!(lex("a <\u{20ac}").is_err());
     }
 }

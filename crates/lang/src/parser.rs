@@ -30,7 +30,7 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] on malformed input.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
-    let toks = lex(src).map_err(|m| ParseError { line: 0, message: m })?;
+    let toks = lex(src).map_err(|e| ParseError { line: e.line, message: e.message })?;
     let mut p = Parser { toks, pos: 0 };
     p.program()
 }

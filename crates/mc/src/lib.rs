@@ -1,0 +1,46 @@
+//! `c4-mc`: a stateless DPOR model checker for CCL programs over the
+//! multi-replica causal store simulator.
+//!
+//! Where the randomized dynamic baseline (`c4-dynamic`) samples
+//! schedules, the model checker *enumerates* them: every
+//! causally-consistent interleaving of a fixed bounded workload is
+//! explored (modulo sleep-set pruning of provably equivalent orders),
+//! and the concrete dependency serialization graph of every execution
+//! is cycle-checked. Within its bounds the result is exhaustive — a
+//! "no violation" verdict means no schedule of the workload exhibits
+//! one, and every violation comes with a replayable witness schedule.
+//!
+//! The exploration is transaction-granular: scheduling points are
+//! whole-transaction runs and inter-replica deliveries, tracked with
+//! version-vector happens-before clocks. See [`explore`] for the
+//! algorithm and the independence relation, [`workload`] for how
+//! programs are bounded into concrete workloads, and [`trace`] for
+//! witness labels and Mazurkiewicz-trace canonicalization.
+//!
+//! # Example
+//!
+//! ```
+//! use c4_mc::{model_check, McConfig};
+//!
+//! let program = c4_lang::parse(
+//!     r#"store { register Best; }
+//!        txn submit(s) { if (Best.get() < s) { Best.put(s); } }"#,
+//! )
+//! .unwrap();
+//! let report = model_check(&program, &McConfig::default());
+//! assert!(report.complete());
+//! // The lost-update race is found by exhaustive search.
+//! assert!(report.violations.iter().any(|v| v.contains("submit")));
+//! ```
+
+pub mod explore;
+pub mod trace;
+pub mod vclock;
+pub mod workload;
+
+pub use explore::{
+    model_check, random_walks, replay_witness, McConfig, McReport, RandomWalkReport, Witness,
+};
+pub use trace::StableAction;
+pub use vclock::VClock;
+pub use workload::{derive as derive_workloads, ScriptEntry, Workload};

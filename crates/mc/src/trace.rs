@@ -1,0 +1,167 @@
+//! Schedule traces: path-stable action labels, Mazurkiewicz-trace
+//! canonicalization (Foata normal form), and happens-before clocks.
+//!
+//! The explorer's raw [`crate::explore::Action`]s name committed
+//! transactions by their global commit index, which is only meaningful
+//! along one exploration path (swapping two independent commits swaps
+//! their indices). A [`StableAction`] instead names a transaction by
+//! `(session, per-session ordinal)`, which is invariant across
+//! linearizations of the same trace — stable labels are what witness
+//! schedules are recorded in and what canonicalization works on.
+
+use crate::vclock::VClock;
+
+/// An action with path-stable labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StableAction {
+    /// Session `session` runs its `index`-th scripted transaction
+    /// (begin…commit) at its own replica.
+    Run {
+        /// The session (= replica) index.
+        session: usize,
+        /// Ordinal of the transaction within the session.
+        index: usize,
+    },
+    /// The `index`-th transaction of `session` is applied at replica
+    /// `to`.
+    Deliver {
+        /// Originating session of the delivered transaction.
+        session: usize,
+        /// Ordinal of the transaction within its session.
+        index: usize,
+        /// Destination replica.
+        to: usize,
+    },
+}
+
+impl StableAction {
+    fn encode(&self) -> [u32; 4] {
+        match *self {
+            StableAction::Run { session, index } => [0, session as u32, index as u32, 0],
+            StableAction::Deliver { session, index, to } => {
+                [1, session as u32, index as u32, to as u32]
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StableAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StableAction::Run { session, index } => write!(f, "run s{session}#{index}"),
+            StableAction::Deliver { session, index, to } => {
+                write!(f, "deliver s{session}#{index} → r{to}")
+            }
+        }
+    }
+}
+
+/// The Foata normal form of a trace under a dependence relation: the
+/// sequence of maximal antichain "steps", each sorted canonically. Two
+/// linearizations of the same Mazurkiewicz trace have equal keys; two
+/// inequivalent traces have different keys (the normal form is a
+/// complete invariant).
+pub fn foata_key(
+    trace: &[StableAction],
+    dep: impl Fn(&StableAction, &StableAction) -> bool,
+) -> Vec<u8> {
+    let mut level = vec![0u32; trace.len()];
+    for i in 0..trace.len() {
+        let mut l = 1;
+        for j in 0..i {
+            if dep(&trace[j], &trace[i]) {
+                l = l.max(level[j] + 1);
+            }
+        }
+        level[i] = l;
+    }
+    let max = level.iter().copied().max().unwrap_or(0) as usize;
+    let mut steps: Vec<Vec<[u32; 4]>> = vec![Vec::new(); max];
+    for (i, a) in trace.iter().enumerate() {
+        steps[(level[i] - 1) as usize].push(a.encode());
+    }
+    let mut key = Vec::with_capacity(trace.len() * 16 + max);
+    for step in &mut steps {
+        step.sort_unstable();
+        for enc in step.iter() {
+            for v in enc {
+                key.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        key.push(0xFF); // step separator
+    }
+    key
+}
+
+/// Happens-before clocks of a trace: action `i`'s clock is the join of
+/// the clocks of its dependent predecessors, bumped on `line(i)`. Then
+/// `i` happens-before `j` (in the dependence closure) iff
+/// `clock(i)[line(i)] ≤ clock(j)[line(i)]` and `i ≠ j`.
+pub fn hb_clocks(
+    trace: &[StableAction],
+    lines: usize,
+    line_of: impl Fn(&StableAction) -> usize,
+    dep: impl Fn(&StableAction, &StableAction) -> bool,
+) -> Vec<VClock> {
+    let mut clocks: Vec<VClock> = Vec::with_capacity(trace.len());
+    for i in 0..trace.len() {
+        let mut c = VClock::new(lines);
+        for j in 0..i {
+            if dep(&trace[j], &trace[i]) {
+                c.join(&clocks[j]);
+            }
+        }
+        c.bump(line_of(&trace[i]));
+        clocks.push(c);
+    }
+    clocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: usize, k: usize) -> StableAction {
+        StableAction::Run { session: s, index: k }
+    }
+
+    #[test]
+    fn foata_identifies_equivalent_linearizations() {
+        // Two sessions, fully independent runs: any interleaving is the
+        // same trace.
+        let dep = |a: &StableAction, b: &StableAction| match (a, b) {
+            (StableAction::Run { session: s1, .. }, StableAction::Run { session: s2, .. }) => {
+                s1 == s2
+            }
+            _ => true,
+        };
+        let t1 = [run(0, 0), run(1, 0), run(0, 1)];
+        let t2 = [run(1, 0), run(0, 0), run(0, 1)];
+        assert_eq!(foata_key(&t1, dep), foata_key(&t2, dep));
+        // Dependent reordering is a different trace.
+        let dep_all = |_: &StableAction, _: &StableAction| true;
+        let t3 = [run(0, 0), run(1, 0)];
+        let t4 = [run(1, 0), run(0, 0)];
+        assert_ne!(foata_key(&t3, dep_all), foata_key(&t4, dep_all));
+    }
+
+    #[test]
+    fn hb_clocks_track_dependence() {
+        let dep = |a: &StableAction, b: &StableAction| match (a, b) {
+            (StableAction::Run { session: s1, .. }, StableAction::Run { session: s2, .. }) => {
+                s1 == s2
+            }
+            _ => true,
+        };
+        let line = |a: &StableAction| match a {
+            StableAction::Run { session, .. } => *session,
+            StableAction::Deliver { to, .. } => *to,
+        };
+        let t = [run(0, 0), run(1, 0), run(0, 1)];
+        let clocks = hb_clocks(&t, 2, line, dep);
+        // run(0,0) happens-before run(0,1); run(1,0) is concurrent with both.
+        assert!(clocks[0].leq(&clocks[2]));
+        assert!(clocks[1].concurrent(&clocks[0]));
+        assert!(clocks[1].concurrent(&clocks[2]));
+    }
+}

@@ -1,0 +1,342 @@
+//! Bounded concrete workloads for model checking.
+//!
+//! The model checker explores *schedules* of a fixed workload, so the
+//! workload itself must be derived deterministically from the program:
+//!
+//! * **Scripts** — one per session. If the program declares
+//!   `session { … }` blocks, session *i* runs the transactions of block
+//!   *i mod blocks* in order; otherwise every session runs every
+//!   transaction once, in declaration order. An optional depth bound
+//!   truncates scripts (longest-first) until the total transaction
+//!   count fits.
+//! * **Argument profiles** — concrete values for transaction
+//!   parameters. Three deterministic profiles cover the interesting
+//!   corners of the valuation space: `shared` (every parameter the same
+//!   value, maximizing contention), `distinct` (every parameter unique,
+//!   maximizing value-level write conflicts), `keyed` (parameters in
+//!   *key positions* — map/set keys, table rows — shared so
+//!   transactions collide on objects, while value-position parameters
+//!   stay unique so the colliding writes do not absorb each other), and
+//!   `rotated` (key positions rotate through the sessions:
+//!   the *j*-th key of session *s* is `1 + (s + j) mod sessions`, which
+//!   produces the cross patterns — session 0 writes key A and reads
+//!   key B while session 1 writes B and reads A — that symmetric
+//!   profiles cannot reach). Profiles that produce identical workloads
+//!   are deduplicated.
+//!
+//! Session-local constants are always distinct per session and global
+//! constants always distinct from everything else: that matches the
+//! static analysis' model of constants (locals are per-session fresh),
+//! so the model checker never reports a violation from a valuation the
+//! static analysis considers impossible. Parameters, by contrast, are
+//! unconstrained statically, so any concrete profile is a sound probe.
+
+use std::collections::BTreeSet;
+
+use c4_lang::ast::{CallExpr, Condition, Expr, ObjectDecl, Program, Stmt};
+use c4_store::op::ObjectName;
+use c4_store::Value;
+
+/// One scripted transaction instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptEntry {
+    /// Index into `program.txns`.
+    pub txn: usize,
+    /// Concrete argument values.
+    pub args: Vec<Value>,
+}
+
+/// A fully concrete bounded workload: scripts plus constant bindings.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Per-session transaction scripts.
+    pub scripts: Vec<Vec<ScriptEntry>>,
+    /// Session-local constant values, keyed by `(session, name)`.
+    pub locals: Vec<((usize, String), Value)>,
+    /// Global constant values.
+    pub globals: Vec<(String, Value)>,
+    /// Static object footprint of each transaction declaration (indexed
+    /// like `program.txns`).
+    pub footprints: Vec<BTreeSet<ObjectName>>,
+    /// Profile name (`"shared"` / `"distinct"`).
+    pub profile: &'static str,
+    /// Whether the depth bound truncated any script.
+    pub truncated: bool,
+}
+
+impl Workload {
+    /// Total number of scripted transactions.
+    pub fn total_txns(&self) -> usize {
+        self.scripts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Derives the deterministic workloads (one per argument profile) for
+/// `sessions` sessions bounded by `depth` total transactions.
+pub fn derive(program: &Program, sessions: usize, depth: Option<usize>) -> Vec<Workload> {
+    let footprints: Vec<BTreeSet<ObjectName>> =
+        program.txns.iter().map(|t| t.object_footprint()).collect();
+    // Scripts: declared session blocks if present, else all txns once.
+    let mut scripts: Vec<Vec<usize>> = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let names: Vec<usize> = if program.sessions.is_empty() {
+            (0..program.txns.len()).collect()
+        } else {
+            program.sessions[s % program.sessions.len()]
+                .iter()
+                .filter_map(|n| program.txns.iter().position(|t| &t.name == n))
+                .collect()
+        };
+        scripts.push(names);
+    }
+    let mut truncated = false;
+    if let Some(depth) = depth {
+        let mut total: usize = scripts.iter().map(Vec::len).sum();
+        while total > depth {
+            // Cut from the tail of the (first) longest script.
+            let longest = (0..scripts.len())
+                .max_by_key(|&s| scripts[s].len())
+                .expect("at least one session");
+            scripts[longest].pop();
+            total -= 1;
+            truncated = true;
+        }
+    }
+
+    // Constants are profile-independent (see the module docs): locals
+    // distinct per session, globals distinct from everything.
+    let globals: Vec<(String, Value)> = program
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.clone(), Value::int(201 + i as i64)))
+        .collect();
+    let mut locals = Vec::new();
+    let mut local_counter = 101i64;
+    for s in 0..sessions {
+        for l in &program.locals {
+            locals.push(((s, l.clone()), Value::int(local_counter)));
+            local_counter += 1;
+        }
+    }
+
+    let keyed = key_params(program);
+    let mut out: Vec<Workload> = Vec::new();
+    for profile in ["shared", "keyed", "rotated", "distinct"] {
+        // A deterministic value source: parameters draw 1, 2, 3, … in
+        // derivation order, except those the profile pins.
+        let mut counter = 0i64;
+        let concrete: Vec<Vec<ScriptEntry>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(s, script)| {
+                let mut key_occ = 0usize; // key-position occurrences in this session
+                script
+                    .iter()
+                    .map(|&t| ScriptEntry {
+                        txn: t,
+                        args: program.txns[t]
+                            .params
+                            .iter()
+                            .map(|p| {
+                                counter += 1;
+                                let is_key = keyed[t].contains(p);
+                                let v = match profile {
+                                    "shared" => 1,
+                                    "keyed" if is_key => 1,
+                                    "rotated" if is_key => {
+                                        let j = key_occ;
+                                        1 + ((s + j) % sessions.max(1)) as i64
+                                    }
+                                    _ => counter,
+                                };
+                                if is_key {
+                                    key_occ += 1;
+                                }
+                                Value::int(v)
+                            })
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        if out.iter().any(|w| w.scripts == concrete) {
+            continue; // profile coincides with an earlier one
+        }
+        out.push(Workload {
+            scripts: concrete,
+            locals: locals.clone(),
+            globals: globals.clone(),
+            footprints: footprints.clone(),
+            profile,
+            truncated,
+        });
+    }
+    out
+}
+
+/// For each transaction, the parameters that flow into a *key position*
+/// of some store call: map/set/log keys, table rows, and set-valued
+/// field elements. Conservative and purely syntactic (only direct
+/// `Var` arguments are classified).
+fn key_params(program: &Program) -> Vec<BTreeSet<String>> {
+    program
+        .txns
+        .iter()
+        .map(|t| {
+            let mut keys = BTreeSet::new();
+            walk_stmts(program, &t.body, &mut keys);
+            keys.retain(|k| t.params.contains(k));
+            keys
+        })
+        .collect()
+}
+
+fn walk_stmts(program: &Program, stmts: &[Stmt], keys: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Call(c) | Stmt::Display(c) => walk_call(program, c, keys),
+            Stmt::Let(_, e) => walk_expr(program, e, keys),
+            Stmt::If(c, a, b) => {
+                walk_cond(program, c, keys);
+                walk_stmts(program, a, keys);
+                walk_stmts(program, b, keys);
+            }
+            Stmt::While(c, body) => {
+                walk_cond(program, c, keys);
+                walk_stmts(program, body, keys);
+            }
+            Stmt::Repeat(_, body) => walk_stmts(program, body, keys),
+        }
+    }
+}
+
+fn walk_cond(program: &Program, c: &Condition, keys: &mut BTreeSet<String>) {
+    for (l, _, r) in &c.atoms {
+        walk_expr(program, l, keys);
+        walk_expr(program, r, keys);
+    }
+}
+
+fn walk_expr(program: &Program, e: &Expr, keys: &mut BTreeSet<String>) {
+    if let Expr::Call(c) = e {
+        walk_call(program, c, keys);
+    }
+}
+
+fn walk_call(program: &Program, c: &CallExpr, keys: &mut BTreeSet<String>) {
+    let decl = program.object(&c.object);
+    // Which argument indices of this call are key positions?
+    let key_args: &[usize] = match (decl, &c.row_field) {
+        (Some(ObjectDecl::Table(_)), Some((row, _))) => {
+            if let Expr::Var(v) = row {
+                keys.insert(v.clone());
+            }
+            // Set-valued field element operations key on the element.
+            match c.method.as_str() {
+                "add" | "remove" | "contains" => &[0],
+                _ => &[],
+            }
+        }
+        (Some(ObjectDecl::Map), None)
+            if matches!(c.method.as_str(), "put" | "get" | "remove" | "contains") =>
+        {
+            &[0]
+        }
+        (Some(ObjectDecl::Set), None)
+            if matches!(c.method.as_str(), "add" | "remove" | "contains") =>
+        {
+            &[0]
+        }
+        (Some(ObjectDecl::Log), None) if c.method == "has" => &[0],
+        _ => &[],
+    };
+    for (i, a) in c.args.iter().enumerate() {
+        if key_args.contains(&i) {
+            if let Expr::Var(v) = a {
+                keys.insert(v.clone());
+            }
+        }
+        walk_expr(program, a, keys); // nested calls classify themselves
+    }
+    if let Some((row, _)) = &c.row_field {
+        walk_expr(program, row, keys);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scripts_run_every_txn_once() {
+        let p = c4_lang::parse(
+            "store { map M; } txn P(x,y) { M.put(x,y); } txn G(z) { M.get(z); }",
+        )
+        .unwrap();
+        let ws = derive(&p, 2, None);
+        assert_eq!(ws.len(), 4, "map keys make all four profiles distinct");
+        for w in &ws {
+            assert_eq!(w.scripts.len(), 2);
+            assert_eq!(w.total_txns(), 4);
+            assert!(!w.truncated);
+        }
+        // Shared: every argument is 1. Distinct: all arguments unique.
+        let shared = &ws[0];
+        assert!(shared
+            .scripts
+            .iter()
+            .flatten()
+            .flat_map(|e| &e.args)
+            .all(|v| *v == Value::int(1)));
+        // Keyed: the map keys (x, z) are shared, the put value is not.
+        let keyed = &ws[1];
+        for script in &keyed.scripts {
+            assert_eq!(script[0].args[0], Value::int(1), "P's key is pinned");
+            assert_ne!(script[0].args[1], Value::int(1), "P's value is unique");
+            assert_eq!(script[1].args[0], Value::int(1), "G's key is pinned");
+        }
+        // Rotated: sessions cross their keys (s0 writes 1 reads 2, s1
+        // writes 2 reads 1).
+        let rotated = &ws[2];
+        assert_eq!(rotated.scripts[0][0].args[0], Value::int(1));
+        assert_eq!(rotated.scripts[0][1].args[0], Value::int(2));
+        assert_eq!(rotated.scripts[1][0].args[0], Value::int(2));
+        assert_eq!(rotated.scripts[1][1].args[0], Value::int(1));
+        let distinct = &ws[3];
+        let all: Vec<_> =
+            distinct.scripts.iter().flatten().flat_map(|e| e.args.clone()).collect();
+        let uniq: BTreeSet<_> = all.iter().cloned().collect();
+        assert_eq!(all.len(), uniq.len());
+    }
+
+    #[test]
+    fn depth_truncates_longest_first() {
+        let p = c4_lang::parse(
+            "store { register R; } txn a() { R.get(); } txn b() { R.get(); } txn c() { R.get(); }",
+        )
+        .unwrap();
+        let ws = derive(&p, 2, Some(4));
+        let w = &ws[0];
+        assert!(w.truncated);
+        assert_eq!(w.total_txns(), 4);
+        assert_eq!(w.scripts[0].len(), 2);
+        assert_eq!(w.scripts[1].len(), 2);
+    }
+
+    #[test]
+    fn declared_session_blocks_are_used() {
+        let p = c4_lang::parse(
+            r#"store { register R; }
+               txn w() { R.put(1); }
+               txn r() { R.get(); }
+               session { w }
+               session { r, r }"#,
+        )
+        .unwrap();
+        let ws = derive(&p, 2, None);
+        let w = &ws[0];
+        assert_eq!(w.scripts[0].len(), 1);
+        assert_eq!(w.scripts[1].len(), 2);
+    }
+}

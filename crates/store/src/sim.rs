@@ -97,7 +97,10 @@ pub struct PendingDelivery {
 }
 
 /// The multi-replica causal store simulator.
-#[derive(Debug)]
+///
+/// The simulator is `Clone`: branching explorers (the `c4-mc` stateless
+/// model checker) fork the full store state at every scheduling choice.
+#[derive(Debug, Clone)]
 pub struct CausalSim {
     replicas: Vec<Replica>,
     sessions: Vec<SessionState>,
@@ -373,6 +376,36 @@ impl CausalSim {
     /// Number of committed transactions so far.
     pub fn committed_count(&self) -> usize {
         self.committed.len()
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The replica a session is currently pinned to.
+    pub fn session_replica(&self, s: SimSession) -> ReplicaId {
+        self.sessions[s.0].replica
+    }
+
+    /// The operations of a committed transaction, in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction index is out of range.
+    pub fn committed_ops(&self, tx: usize) -> impl Iterator<Item = &Operation> {
+        self.committed[tx].events.iter().map(|&e| &self.events[e])
+    }
+
+    /// The names of the objects a committed transaction touches.
+    pub fn committed_objects(&self, tx: usize) -> std::collections::BTreeSet<ObjectName> {
+        self.committed_ops(tx).map(|op| op.object.clone()).collect()
+    }
+
+    /// The global indices of the transactions visible to a committed
+    /// transaction (its causal past, excluding itself).
+    pub fn committed_visible(&self, tx: usize) -> impl Iterator<Item = usize> + '_ {
+        self.committed[tx].visible.iter().copied()
     }
 }
 

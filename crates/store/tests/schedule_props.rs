@@ -2,9 +2,9 @@
 //! simulator.
 
 use c4_store::op::OpKind;
-use c4_store::schedule::Relation;
+use c4_store::schedule::{Relation, Schedule, ScheduleError};
 use c4_store::sim::CausalSim;
-use c4_store::{EventId, Value};
+use c4_store::{EventId, History, Value};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -12,6 +12,54 @@ enum Step {
     Txn { session: usize, ops: Vec<(bool, i64, i64)> }, // (is_update, key, val)
     DeliverSome(u64),
     Migrate { session: usize, replica: usize },
+}
+
+/// Drives the simulator through `steps` and returns the resulting
+/// (history, schedule) pair.
+fn run_sim(steps: Vec<Step>) -> (History, Schedule) {
+    let mut sim = CausalSim::new(3);
+    let sessions: Vec<_> = (0..3).map(|r| sim.session(r)).collect();
+    for step in steps {
+        match step {
+            Step::Txn { session, ops } => {
+                let s = sessions[session];
+                sim.begin(s);
+                for (is_update, key, val) in ops {
+                    if is_update {
+                        sim.update(s, "M", OpKind::MapPut, vec![Value::int(key), Value::int(val)]);
+                    } else {
+                        let _ = sim.query(s, "M", OpKind::MapGet, vec![Value::int(key)]);
+                    }
+                }
+                sim.commit(s);
+            }
+            Step::DeliverSome(bits) => {
+                for (i, d) in sim.deliverable().into_iter().enumerate() {
+                    if bits & (1 << (i % 64)) != 0 {
+                        sim.deliver(d);
+                    }
+                }
+            }
+            Step::Migrate { session, replica } => {
+                sim.migrate(sessions[session], replica);
+            }
+        }
+    }
+    sim.deliver_all();
+    sim.into_history()
+}
+
+/// Copies a visibility relation minus one edge.
+fn without_edge(vis: &Relation, n: usize, skip: (EventId, EventId)) -> Relation {
+    let mut out = Relation::new(n);
+    for a in (0..n).map(|i| EventId(i as u32)) {
+        for b in vis.successors(a) {
+            if (a, b) != skip {
+                out.insert(a, b);
+            }
+        }
+    }
+    out
 }
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
@@ -37,38 +85,89 @@ proptest! {
     /// schedule: (S1) legality, (S2) causality, (S3) atomic visibility.
     #[test]
     fn simulator_schedules_are_always_legal(steps in arb_steps()) {
-        let mut sim = CausalSim::new(3);
-        let sessions: Vec<_> = (0..3).map(|r| sim.session(r)).collect();
-        for step in steps {
-            match step {
-                Step::Txn { session, ops } => {
-                    let s = sessions[session];
-                    sim.begin(s);
-                    for (is_update, key, val) in ops {
-                        if is_update {
-                            sim.update(s, "M", OpKind::MapPut,
-                                vec![Value::int(key), Value::int(val)]);
-                        } else {
-                            let _ = sim.query(s, "M", OpKind::MapGet, vec![Value::int(key)]);
-                        }
-                    }
-                    sim.commit(s);
-                }
-                Step::DeliverSome(bits) => {
-                    for (i, d) in sim.deliverable().into_iter().enumerate() {
-                        if bits & (1 << (i % 64)) != 0 {
-                            sim.deliver(d);
-                        }
-                    }
-                }
-                Step::Migrate { session, replica } => {
-                    sim.migrate(sessions[session], replica);
-                }
-            }
-        }
-        sim.deliver_all();
-        let (h, sched) = sim.into_history();
+        let (h, sched) = run_sim(steps);
         prop_assert!(sched.check(&h).is_ok());
+    }
+
+    /// Deleting a session-order edge from visibility is always caught as
+    /// an (S2a) violation — and precisely as that edge.
+    #[test]
+    fn dropped_session_order_edge_is_rejected(steps in arb_steps(), pick in any::<u64>()) {
+        let (h, sched) = run_sim(steps);
+        let so: Vec<_> = h.so_pairs().collect();
+        if so.is_empty() { return; }
+        let (a, b) = so[(pick % so.len() as u64) as usize];
+        let vis = without_edge(sched.visibility(), h.len(), (a, b));
+        let tampered = Schedule::new(&h, sched.ar_order().to_vec(), vis).unwrap();
+        prop_assert_eq!(tampered.check_pre(&h), Err(ScheduleError::SoNotInVis(a, b)));
+    }
+
+    /// A visibility edge pointing against arbitration is rejected by the
+    /// constructor (`vı ⊆ ar` shape check).
+    #[test]
+    fn backwards_visibility_edge_is_rejected(steps in arb_steps(), pick in any::<u64>()) {
+        let (h, sched) = run_sim(steps);
+        if h.len() < 2 { return; }
+        let order = sched.ar_order();
+        let i = 1 + (pick % (order.len() as u64 - 1)) as usize;
+        let (later, earlier) = (order[i], order[i - 1]);
+        let mut vis = without_edge(sched.visibility(), h.len(), (later, later)); // plain copy
+        vis.insert(later, earlier);
+        prop_assert_eq!(
+            Schedule::new(&h, order.to_vec(), vis).err(),
+            Some(ScheduleError::VisNotInAr(later, earlier))
+        );
+    }
+
+    /// Deleting the closing edge of a visibility chain a→b→c (when a→c is
+    /// not itself forced by session order) is caught as an (S2b)
+    /// transitivity violation on exactly that pair.
+    #[test]
+    fn broken_transitivity_is_rejected(steps in arb_steps()) {
+        let (h, sched) = run_sim(steps);
+        let vis = sched.visibility();
+        let ids = || (0..h.len()).map(|i| EventId(i as u32));
+        let triple = ids().find_map(|a| {
+            vis.successors(a).find_map(|b| {
+                vis.successors(b)
+                    .find(|&c| c != a && vis.contains(a, c) && !h.so(a, c))
+                    .map(|c| (a, b, c))
+            })
+        });
+        let Some((a, _, c)) = triple else { return; };
+        let tampered =
+            Schedule::new(&h, sched.ar_order().to_vec(), without_edge(vis, h.len(), (a, c)))
+                .unwrap();
+        match tampered.check_pre(&h) {
+            Err(ScheduleError::VisNotTransitive(x, _, z)) => {
+                prop_assert_eq!((x, z), (a, c));
+            }
+            other => prop_assert!(false, "expected VisNotTransitive, got {:?}", other),
+        }
+    }
+
+    /// Making one event of a transaction visible without the rest breaks
+    /// atomic visibility (S3) — or transitivity, whichever the checker
+    /// trips first; either way the schedule is rejected.
+    #[test]
+    fn partial_transaction_visibility_is_rejected(steps in arb_steps()) {
+        let (h, sched) = run_sim(steps);
+        // Two distinct multi-event transactions with no visibility between
+        // their first events, in arbitration order.
+        let pair = h.transactions().flat_map(|s| h.transactions().map(move |t| (s, t))).find(
+            |(s, t)| {
+                s.id != t.id
+                    && s.events.len() > 1
+                    && t.events.len() > 1
+                    && !sched.vis(s.events[0], t.events[0])
+                    && sched.ar(s.events[0], t.events[0])
+            },
+        );
+        let Some((s, t)) = pair else { return; };
+        let mut vis = without_edge(sched.visibility(), h.len(), (s.events[0], s.events[0]));
+        vis.insert(s.events[0], t.events[0]);
+        let tampered = Schedule::new(&h, sched.ar_order().to_vec(), vis).unwrap();
+        prop_assert!(tampered.check_pre(&h).is_err());
     }
 
     /// Relation transitive closure is monotone, idempotent and sound.
@@ -112,4 +211,30 @@ proptest! {
             }
         }
     }
+}
+
+/// (S1) legality: a recorded query outcome that its visible prefix cannot
+/// justify is rejected as `Illegal`. The history is produced by a real
+/// run (a put delivered cross-replica, then a get observing it); the
+/// tampered schedule hides the put from the get.
+#[test]
+fn unjustified_return_value_is_rejected() {
+    let mut sim = CausalSim::new(2);
+    let s0 = sim.session(0);
+    let s1 = sim.session(1);
+    sim.begin(s0);
+    sim.update(s0, "M", OpKind::MapPut, vec![Value::int(1), Value::int(5)]);
+    sim.commit(s0);
+    sim.deliver_all();
+    sim.begin(s1);
+    let got = sim.query(s1, "M", OpKind::MapGet, vec![Value::int(1)]);
+    sim.commit(s1);
+    assert_eq!(got, Value::int(5), "the get really observed the put");
+    let (h, sched) = sim.into_history();
+    assert!(sched.check(&h).is_ok());
+    // Empty visibility: no so pairs cross the sessions and both
+    // transactions are single-event, so (S2)/(S3) hold vacuously — but the
+    // get's recorded result 5 is unjustified by an empty visible prefix.
+    let empty = Schedule::new(&h, sched.ar_order().to_vec(), Relation::new(h.len())).unwrap();
+    assert!(matches!(empty.check(&h), Err(ScheduleError::Illegal { .. })));
 }
