@@ -1,0 +1,130 @@
+//! Gateway routing overhead on the warm path, against the acceptance
+//! bar from DESIGN §5.15: a warm resubmission through a two-backend
+//! `c4-gateway` must stay within 2× of the single-daemon warm path
+//! (PR 3's `daemon_throughput/daemon_warm`).
+//!
+//! `daemon_warm` is the reference: one TCP round-trip to a `c4d` whose
+//! memory LRU holds the verdict. `gateway_warm` adds the routing tier:
+//! client → gateway (ring lookup + forward over the persistent
+//! multiplexed backend link) → owning backend's memory LRU → back.
+//! Consistent-hash affinity is what makes the comparison fair — the
+//! resubmission always lands on the backend that computed the verdict,
+//! so the measured delta is pure gateway overhead (one extra hop and
+//! the event-loop bookkeeping), never a recompute. `gateway_warm_1000_idle`
+//! repeats the measurement while a thousand idle client connections
+//! sit registered on the gateway's epoll set, pinning down that idle
+//! connections cost O(1) per event-loop tick, not O(n).
+//!
+//! The served bytes are asserted identical across all paths before
+//! measuring. Baselines live in BENCH_gateway.json.
+
+use std::net::TcpStream;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::AnalysisFeatures;
+use c4_gateway::{serve as serve_gateway, GatewayConfig};
+use c4_service::client::{Client, Endpoint};
+use c4_service::proto::JobState;
+use c4_service::server::{serve, ServerConfig};
+
+fn heaviest_benchmark() -> c4_suite::Benchmark {
+    c4_suite::benchmarks()
+        .into_iter()
+        .max_by_key(|b| b.paper.t * b.paper.e)
+        .expect("suite is nonempty")
+}
+
+fn warm_report(client: &Client, source: &str, features: &AnalysisFeatures) -> Vec<u8> {
+    match client.submit_wait(source, features) {
+        Ok((_, JobState::Done { report, .. })) => report,
+        other => panic!("warm submit failed: {other:?}"),
+    }
+}
+
+fn bench_gateway_throughput(c: &mut Criterion) {
+    let b = heaviest_benchmark();
+    let features = AnalysisFeatures::default();
+
+    let mut backends = Vec::new();
+    let mut backend_addrs = Vec::new();
+    for _ in 0..2 {
+        let handle = serve(ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .expect("backend starts");
+        backend_addrs.push(handle.tcp_addr.clone().expect("tcp bound"));
+        backends.push(handle);
+    }
+    let gateway = serve_gateway(GatewayConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        backends: backend_addrs.clone(),
+        // Hedging off: it would double-compute and pollute the warm
+        // timings with cancellation traffic.
+        hedge_after: None,
+        ..GatewayConfig::default()
+    })
+    .expect("gateway starts");
+    let gw_addr = gateway.tcp_addr.clone().expect("tcp bound");
+    let gw_client = Client::new(Endpoint::Tcp(gw_addr.clone()));
+
+    // Warm the owning backend through the gateway, then pin the
+    // byte-identity contract across direct, daemon-warm, and
+    // gateway-warm paths.
+    let direct = c4_service::run_analysis(b.source, &features).expect("direct run");
+    let first = warm_report(&gw_client, b.source, &features);
+    assert_eq!(first, direct.encode_report(), "gateway verdict differs from direct");
+    let again = warm_report(&gw_client, b.source, &features);
+    assert_eq!(again, first, "warm gateway verdict differs");
+
+    // The same warm submission straight to the owning backend — found
+    // by asking each backend and seeing whose cache answers from
+    // memory — is the single-daemon reference path.
+    let owner = backend_addrs
+        .iter()
+        .find(|addr| {
+            let c = Client::new(Endpoint::Tcp((*addr).clone()));
+            let before = c.stats().expect("stats").cache_mem_hits;
+            let _ = warm_report(&c, b.source, &features);
+            c.stats().expect("stats").cache_mem_hits > before
+        })
+        .expect("some backend owns the verdict")
+        .clone();
+    let owner_client = Client::new(Endpoint::Tcp(owner));
+
+    let mut group = c.benchmark_group(format!("gateway_throughput/{}", b.name));
+    group.sample_size(10);
+    group.bench_function("daemon_warm", |bencher| {
+        bencher.iter(|| warm_report(&owner_client, b.source, &features).len())
+    });
+    group.bench_function("gateway_warm", |bencher| {
+        bencher.iter(|| warm_report(&gw_client, b.source, &features).len())
+    });
+
+    // A thousand idle connections parked on the gateway's event loop
+    // must not tax the live request path.
+    let idle: Vec<TcpStream> =
+        (0..1000).map(|i| TcpStream::connect(&gw_addr).unwrap_or_else(|e| panic!("conn #{i}: {e}"))).collect();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    group.bench_function("gateway_warm_1000_idle", |bencher| {
+        bencher.iter(|| warm_report(&gw_client, b.source, &features).len())
+    });
+    drop(idle);
+    group.finish();
+
+    gw_client.shutdown().expect("gateway shutdown");
+    gateway.wait();
+    for (handle, addr) in backends.into_iter().zip(backend_addrs) {
+        Client::new(Endpoint::Tcp(addr)).shutdown().expect("backend shutdown");
+        handle.wait();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gateway_throughput
+}
+criterion_main!(benches);

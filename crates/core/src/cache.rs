@@ -141,6 +141,23 @@ impl CacheKey {
         CacheKey(sha256(&buf))
     }
 
+    /// The raw 256-bit digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// The key's first eight bytes as a big-endian integer: the point a
+    /// consistent-hash ring places this verdict at. Computable before
+    /// any analysis runs (the key is derived from the canonical source
+    /// alone), stable across processes and platforms (it is a SHA-256
+    /// prefix), and uniform enough that ring placement inherits the
+    /// hash's distribution. Routing by this point gives a sharded
+    /// cluster cache affinity for free: resubmissions of the same
+    /// canonicalized program always land on the same backend.
+    pub fn ring_point(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+    }
+
     /// The key as lowercase hex (used for on-disk file names).
     pub fn hex(&self) -> String {
         let mut s = String::with_capacity(64);

@@ -40,7 +40,7 @@ pub mod ssg;
 pub mod unfold;
 
 pub use abstract_history::{AbsArg, AbsEventSpec, AbsTx, AbstractHistory, Cond, Node, RelOp};
-pub use cache::{CacheCounters, CacheKey, CacheTier, VerdictCache};
+pub use cache::{sha256, CacheCounters, CacheKey, CacheTier, VerdictCache};
 pub use check::{AnalysisFeatures, CancelToken, Checker};
 pub use report::{AnalysisResult, AnalysisStats, DecodeError, Violation};
 pub use intern::{BodyId, ShapeId, TxArena};

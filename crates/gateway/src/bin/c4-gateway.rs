@@ -1,0 +1,107 @@
+//! `c4-gateway` — consistent-hash routing tier over `c4d` backends.
+//!
+//! ```text
+//! c4-gateway --backend ADDR [--backend ADDR ...]
+//!            [--tcp ADDR] [--socket PATH]
+//!            [--vnodes N] [--hedge-ms MS] [--retries N]
+//!            [--retry-backoff-ms MS] [--health-ms MS]
+//!            [--metrics-addr ADDR]
+//! ```
+//!
+//! Clients use the ordinary daemon protocol against the gateway's
+//! address; `c4 --tcp <gateway> ...` works unchanged. `--hedge-ms 0`
+//! disables hedging. Runs until a client sends `shutdown` (which
+//! drains the gateway's in-flight jobs; the backends keep running).
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use c4_gateway::{serve, GatewayConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: c4-gateway --backend ADDR [--backend ADDR ...] \
+         [--tcp ADDR] [--socket PATH] [--vnodes N] [--hedge-ms MS] \
+         [--retries N] [--retry-backoff-ms MS] [--health-ms MS] \
+         [--metrics-addr ADDR]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = GatewayConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                exit(2)
+            })
+        };
+        match a.as_str() {
+            "--backend" => cfg.backends.push(value("--backend")),
+            "--tcp" => cfg.tcp = Some(value("--tcp")),
+            "--socket" => cfg.unix_socket = Some(PathBuf::from(value("--socket"))),
+            "--vnodes" => cfg.vnodes = parse_num(&value("--vnodes"), "--vnodes") as usize,
+            "--hedge-ms" => {
+                let ms = parse_num(&value("--hedge-ms"), "--hedge-ms");
+                cfg.hedge_after = if ms == 0 { None } else { Some(Duration::from_millis(ms)) };
+            }
+            "--retries" => cfg.retry_limit = parse_num(&value("--retries"), "--retries") as u32,
+            "--retry-backoff-ms" => {
+                cfg.retry_backoff =
+                    Duration::from_millis(parse_num(&value("--retry-backoff-ms"), "--retry-backoff-ms"))
+            }
+            "--health-ms" => {
+                cfg.health_interval =
+                    Duration::from_millis(parse_num(&value("--health-ms"), "--health-ms").max(10))
+            }
+            "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    if cfg.backends.is_empty() {
+        eprintln!("error: at least one --backend is required");
+        usage()
+    }
+    if cfg.tcp.is_none() && cfg.unix_socket.is_none() {
+        cfg.tcp = Some("127.0.0.1:4340".into());
+    }
+
+    let backends = cfg.backends.clone();
+    let handle = match serve(cfg.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("c4-gateway: failed to start: {e}");
+            exit(1)
+        }
+    };
+    if let Some(path) = &cfg.unix_socket {
+        println!("c4-gateway listening on unix socket {}", path.display());
+    }
+    if let Some(addr) = &handle.tcp_addr {
+        println!("c4-gateway listening on tcp {addr}");
+    }
+    if let Some(addr) = &handle.metrics_addr {
+        println!("c4-gateway metrics on http://{addr}/metrics");
+    }
+    println!(
+        "c4-gateway routing to {} backend(s): {}",
+        backends.len(),
+        backends.join(", ")
+    );
+    handle.wait();
+    println!("c4-gateway shut down cleanly");
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} needs a number, got {s}");
+        exit(2)
+    })
+}

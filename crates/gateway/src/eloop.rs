@@ -1,0 +1,1110 @@
+//! The gateway event loop: one thread owning the client listeners,
+//! every client connection, and one persistent multiplexed connection
+//! per backend.
+//!
+//! The loop is the same readiness design as the daemon's
+//! (`c4_service::server`): non-blocking fds, epoll via
+//! `c4_service::poll`, per-connection framing buffers via
+//! `c4_service::conn`, a self-pipe waker for cross-thread notices, and
+//! transient side threads for the one genuinely blocking proxy
+//! (`Trace`). On top of that it runs a timer heap for the two
+//! latency-tolerant decisions — hedging a slow job and retrying after
+//! a backend loss with backoff.
+//!
+//! **Backend links.** Each backend gets one connection carrying v3
+//! `Forward` frames. The daemon acks `Forwarded { job_id }` in request
+//! order and pushes the terminal `Status { job_id, .. }` whenever the
+//! job finishes, so replies on a link are a FIFO of *direct* acks
+//! (forward/cancel) interleaved with id-tagged status pushes: the loop
+//! keeps a `pending` queue of what direct ack it expects next and
+//! matches status pushes through a `(backend, remote job id) → gateway
+//! job` map. A link error fails every attempt riding on it over to the
+//! next backend in the job's ring preference order.
+//!
+//! **Job lifecycle.** A client submission becomes a [`GwJob`] with a
+//! gateway-assigned id, routed by the content-addressed ring point of
+//! its cache key. The first terminal verdict from any attempt wins;
+//! other attempts are cancelled through the daemon's job-cancellation
+//! path and their late statuses are ignored. Because verdict bytes are
+//! content-addressed and deterministic, the winner's identity never
+//! changes the reply.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use c4::AnalysisFeatures;
+use c4_service::client::{Client, Endpoint};
+use c4_service::conn::{FrameConn, NetStream, ReadOutcome};
+use c4_service::poll::{Poller, WakeRx, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use c4_service::proto::{JobState, ProtoError, Request, Response, PROTO_VERSION};
+
+use crate::{Gateway, Notice};
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER_BASE: u64 = 1;
+const TOKEN_BACKEND_BASE: u64 = 8;
+const TOKEN_CLIENT_BASE: u64 = 1 << 16;
+
+/// How long the loop keeps flushing write buffers after shutdown acks.
+const SHUTDOWN_LINGER: Duration = Duration::from_secs(5);
+
+/// Idle poll bound: timers, drain checks, and exit progress are
+/// re-evaluated at least this often.
+const POLL_TICK: Duration = Duration::from_millis(500);
+
+fn terminal(s: &JobState) -> bool {
+    matches!(s, JobState::Done { .. } | JobState::Cancelled | JobState::Failed { .. })
+}
+
+/// What the next non-status reply on a backend link answers.
+enum Direct {
+    ForwardAck { job: u64 },
+    CancelAck,
+}
+
+struct BackendLink {
+    conn: FrameConn,
+    pending: VecDeque<Direct>,
+    registered: Option<u32>,
+}
+
+/// One placement of a job on a backend.
+struct Attempt {
+    backend: usize,
+    /// The backend's job id, once `Forwarded` is acked.
+    remote_id: Option<u64>,
+    /// Acked-and-resolved, failed, or abandoned — no longer live.
+    done: bool,
+}
+
+struct JobWaiter {
+    token: u64,
+    version: u16,
+    /// Whether the reply unblocks the client connection's dispatch
+    /// (submit-wait: yes; forward: no).
+    unblocks: bool,
+}
+
+struct GwJob {
+    source: String,
+    features: AnalysisFeatures,
+    point: u64,
+    state: JobState,
+    waiters: Vec<JobWaiter>,
+    attempts: Vec<Attempt>,
+    /// Backends this job has been placed on (never reused).
+    tried: Vec<usize>,
+    failures: u32,
+    hedged: bool,
+    cancel_requested: bool,
+    created: Instant,
+}
+
+impl GwJob {
+    fn live_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| !a.done).count()
+    }
+}
+
+struct ConnEntry {
+    conn: FrameConn,
+    blocked: u32,
+    eof: bool,
+    registered: Option<u32>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Timer {
+    Hedge(u64),
+    Retry(u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SendKind {
+    Primary,
+    Hedge,
+    Retry,
+}
+
+struct EventLoop {
+    gw: Arc<Gateway>,
+    poller: Poller,
+    wake_rx: WakeRx,
+    listeners: HashMap<u64, Listener>,
+    /// Backend index → live link.
+    backends: Vec<Option<BackendLink>>,
+    conns: HashMap<u64, ConnEntry>,
+    jobs: HashMap<u64, GwJob>,
+    /// (backend index, backend job id) → gateway job id.
+    remote: HashMap<(usize, u64), u64>,
+    timers: BinaryHeap<Reverse<(Instant, u64, Timer)>>,
+    timer_seq: u64,
+    ack_waiting: Vec<(u64, u16)>,
+    next_id: u64,
+    next_token: u64,
+    exiting: bool,
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn fd(&self) -> i32 {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Option<NetStream>> {
+        let res = match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| NetStream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| NetStream::Tcp(s)),
+        };
+        match res {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Binds the client listeners, spawns the loop thread, and returns
+/// (join handle, resolved client TCP address).
+pub(crate) fn spawn(
+    gw: Arc<Gateway>,
+    wake_rx: WakeRx,
+) -> io::Result<(JoinHandle<()>, Option<String>)> {
+    let mut listeners = HashMap::new();
+    let mut token = TOKEN_LISTENER_BASE;
+    if let Some(path) = &gw.cfg.unix_socket {
+        let _ = std::fs::remove_file(path);
+        let l = UnixListener::bind(path)?;
+        l.set_nonblocking(true)?;
+        listeners.insert(token, Listener::Unix(l));
+        token += 1;
+    }
+    let mut tcp_addr = None;
+    if let Some(addr) = &gw.cfg.tcp {
+        let l = TcpListener::bind(addr.as_str())?;
+        l.set_nonblocking(true)?;
+        tcp_addr = Some(l.local_addr()?.to_string());
+        listeners.insert(token, Listener::Tcp(l));
+    }
+    let backends = (0..gw.backends.len()).map(|_| None).collect();
+    let mut el = EventLoop {
+        gw,
+        poller: Poller::new()?,
+        wake_rx,
+        listeners,
+        backends,
+        conns: HashMap::new(),
+        jobs: HashMap::new(),
+        remote: HashMap::new(),
+        timers: BinaryHeap::new(),
+        timer_seq: 0,
+        ack_waiting: Vec::new(),
+        next_id: 1,
+        next_token: TOKEN_CLIENT_BASE,
+        exiting: false,
+    };
+    let handle = std::thread::spawn(move || {
+        if let Err(e) = el.run() {
+            eprintln!("c4-gateway: event loop failed: {e}");
+        }
+    });
+    Ok((handle, tcp_addr))
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        self.poller.register(self.wake_rx.fd(), EPOLLIN, TOKEN_WAKER)?;
+        for (&token, l) in &self.listeners {
+            self.poller.register(l.fd(), EPOLLIN, token)?;
+        }
+        let mut events = Vec::with_capacity(256);
+        let mut ready: Vec<(u64, u32)> = Vec::new();
+        let mut linger_until: Option<Instant> = None;
+        loop {
+            self.fire_due_timers();
+            self.drain_check();
+            if self.exiting {
+                self.listeners.clear();
+                for b in 0..self.backends.len() {
+                    if let Some(link) = self.backends[b].take() {
+                        if link.registered.is_some() {
+                            self.poller.deregister(link.conn.fd());
+                        }
+                        self.gw.backends[b].connected.store(false, Ordering::Relaxed);
+                    }
+                }
+                self.conns.retain(|_, e| e.conn.wants_write() || e.blocked > 0);
+                let deadline =
+                    *linger_until.get_or_insert_with(|| Instant::now() + SHUTDOWN_LINGER);
+                if self.conns.is_empty() || Instant::now() >= deadline {
+                    return Ok(());
+                }
+            }
+            let timeout = if self.exiting {
+                Duration::from_millis(50)
+            } else {
+                let now = Instant::now();
+                self.timers
+                    .peek()
+                    .map(|Reverse((at, _, _))| at.saturating_duration_since(now))
+                    .unwrap_or(POLL_TICK)
+                    .min(POLL_TICK)
+            };
+            self.poller.wait(&mut events, Some(timeout))?;
+            ready.clear();
+            ready.extend(events.iter().map(|e| (e.token(), e.events())));
+            for &(token, bits) in &ready {
+                if token == TOKEN_WAKER {
+                    self.wake_rx.drain();
+                } else if self.listeners.contains_key(&token) {
+                    self.accept_all(token);
+                } else if (TOKEN_BACKEND_BASE..TOKEN_CLIENT_BASE).contains(&token) {
+                    self.backend_event((token - TOKEN_BACKEND_BASE) as usize, bits);
+                } else {
+                    self.conn_event(token, bits);
+                }
+            }
+            for notice in self.gw.notices.take() {
+                match notice {
+                    Notice::Connected { backend, stream } => self.install_backend(backend, stream),
+                    Notice::SideDone { token, version, resp } => {
+                        let known = match self.conns.get_mut(&token) {
+                            Some(e) => {
+                                e.blocked = e.blocked.saturating_sub(1);
+                                true
+                            }
+                            None => false,
+                        };
+                        if known {
+                            self.queue_reply(token, &resp, version);
+                            self.pump_conn(token);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // -- timers ----------------------------------------------------------
+
+    fn arm(&mut self, after: Duration, t: Timer) {
+        self.timer_seq += 1;
+        self.timers.push(Reverse((Instant::now() + after, self.timer_seq, t)));
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now = Instant::now();
+        while let Some(Reverse((at, _, _))) = self.timers.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, timer)) = self.timers.pop().unwrap();
+            match timer {
+                Timer::Hedge(id) => {
+                    let eligible = self
+                        .jobs
+                        .get(&id)
+                        .is_some_and(|j| !terminal(&j.state) && !j.hedged && !j.cancel_requested);
+                    if eligible {
+                        if let Some(j) = self.jobs.get_mut(&id) {
+                            j.hedged = true;
+                        }
+                        self.try_send(id, SendKind::Hedge);
+                    }
+                }
+                Timer::Retry(id) => {
+                    let eligible = self
+                        .jobs
+                        .get(&id)
+                        .is_some_and(|j| !terminal(&j.state) && j.live_attempts() == 0);
+                    if eligible {
+                        self.try_send(id, SendKind::Retry);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- backend links ---------------------------------------------------
+
+    fn install_backend(&mut self, b: usize, stream: std::net::TcpStream) {
+        if self.backends[b].is_some() || self.exiting {
+            return;
+        }
+        let conn = match FrameConn::new(stream) {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        let token = TOKEN_BACKEND_BASE + b as u64;
+        if self.poller.register(conn.fd(), EPOLLIN, token).is_err() {
+            return;
+        }
+        self.backends[b] = Some(BackendLink {
+            conn,
+            pending: VecDeque::new(),
+            registered: Some(EPOLLIN),
+        });
+        self.gw.backends[b].connected.store(true, Ordering::Relaxed);
+    }
+
+    fn backend_event(&mut self, b: usize, bits: u32) {
+        if b >= self.backends.len() {
+            return;
+        }
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.fail_backend(b);
+            return;
+        }
+        if bits & EPOLLIN != 0 {
+            let outcome = match &mut self.backends[b] {
+                Some(link) => link.conn.on_readable(),
+                None => return,
+            };
+            match outcome {
+                Ok(ReadOutcome::Open) => self.pump_backend(b),
+                Ok(ReadOutcome::Eof) => {
+                    // Drain what the backend said before it closed.
+                    self.pump_backend(b);
+                    self.fail_backend(b);
+                }
+                Err(_) => self.fail_backend(b),
+            }
+        } else if bits & EPOLLOUT != 0 {
+            self.backend_after_io(b);
+        }
+    }
+
+    fn pump_backend(&mut self, b: usize) {
+        loop {
+            let frame = match &mut self.backends[b] {
+                Some(link) => link.conn.next_frame(),
+                None => return,
+            };
+            match frame {
+                Ok(Some(payload)) => self.handle_backend_frame(b, &payload),
+                Ok(None) => break,
+                Err(_) => {
+                    self.fail_backend(b);
+                    return;
+                }
+            }
+        }
+        self.backend_after_io(b);
+    }
+
+    fn handle_backend_frame(&mut self, b: usize, payload: &[u8]) {
+        let resp = match Response::decode(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                self.fail_backend(b);
+                return;
+            }
+        };
+        if let Response::Status { job_id: rid, state } = resp {
+            if terminal(&state) {
+                if let Some(&gid) = self.remote.get(&(b, rid)) {
+                    self.attempt_terminal(gid, b, rid, state);
+                }
+            }
+            return;
+        }
+        let direct = match &mut self.backends[b] {
+            Some(link) => link.pending.pop_front(),
+            None => return,
+        };
+        match direct {
+            Some(Direct::ForwardAck { job: gid }) => match resp {
+                Response::Forwarded { job_id: rid } => self.attempt_acked(gid, b, rid),
+                Response::Busy { retry_after_ms } => {
+                    self.gw.backends[b].busy.fetch_add(1, Ordering::Relaxed);
+                    self.attempt_failed(gid, b);
+                    self.surface_busy(gid, retry_after_ms);
+                }
+                Response::Error { message } => {
+                    self.attempt_failed(gid, b);
+                    self.retry_after_loss(gid, &message);
+                }
+                _ => self.fail_backend(b),
+            },
+            // Any reply shape settles a cancel; its effect arrives as
+            // the job's terminal status push.
+            Some(Direct::CancelAck) => {}
+            None => self.fail_backend(b),
+        }
+    }
+
+    fn attempt_acked(&mut self, gid: u64, b: usize, rid: u64) {
+        self.remote.insert((b, rid), gid);
+        let cancel_now = match self.jobs.get_mut(&gid) {
+            Some(job) => {
+                if let Some(a) = job.attempts.iter_mut().find(|a| a.backend == b && !a.done) {
+                    a.remote_id = Some(rid);
+                }
+                if job.state == JobState::Queued {
+                    job.state = JobState::Running;
+                }
+                // The job was cancelled (by the client, or as a losing
+                // hedge) while this forward was still unacked.
+                job.cancel_requested || terminal(&job.state)
+            }
+            None => true,
+        };
+        if cancel_now {
+            self.send_cancel(b, rid);
+        }
+    }
+
+    /// A terminal status for `(b, rid)` arrived. First one wins the
+    /// job; later ones (losing hedges, post-cancel echoes) only settle
+    /// their attempt's accounting.
+    fn attempt_terminal(&mut self, gid: u64, b: usize, rid: u64, state: JobState) {
+        self.remote.remove(&(b, rid));
+        let won = match self.jobs.get_mut(&gid) {
+            Some(job) => {
+                if let Some(a) = job
+                    .attempts
+                    .iter_mut()
+                    .find(|a| a.backend == b && a.remote_id == Some(rid) && !a.done)
+                {
+                    a.done = true;
+                    self.gw.backends[b].inflight.fetch_sub(1, Ordering::Relaxed);
+                }
+                !terminal(&job.state)
+            }
+            None => false,
+        };
+        if !won {
+            return;
+        }
+        let elapsed = self.jobs.get(&gid).map(|j| j.created.elapsed()).unwrap_or_default();
+        self.gw.backends[b].forward_hist.observe(elapsed.as_millis() as u64);
+        self.gw.forward_hist.observe(elapsed.as_millis() as u64);
+        self.finish_job(gid, state, None);
+    }
+
+    /// Marks the live attempt on `b` failed and settles its counters.
+    fn attempt_failed(&mut self, gid: u64, b: usize) {
+        if let Some(job) = self.jobs.get_mut(&gid) {
+            if let Some(a) = job.attempts.iter_mut().find(|a| a.backend == b && !a.done) {
+                a.done = true;
+                if let Some(rid) = a.remote_id {
+                    self.remote.remove(&(b, rid));
+                }
+                self.gw.backends[b].inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// An attempt was lost (backend error or dead link). If a hedge
+    /// copy is still running the job just rides on it; otherwise the
+    /// job re-routes, bounded by the retry budget.
+    fn retry_after_loss(&mut self, gid: u64, reason: &str) {
+        let decide = self.jobs.get(&gid).map(|j| (terminal(&j.state), j.live_attempts()));
+        match decide {
+            Some((false, 0)) => self.try_send(gid, SendKind::Retry),
+            _ => {
+                let _ = reason;
+            }
+        }
+    }
+
+    /// A backend said `Busy`. Hedged jobs ride the other copy; a job
+    /// with nowhere else to run surfaces the typed backpressure to its
+    /// submitter instead of camping on the queue.
+    fn surface_busy(&mut self, gid: u64, retry_after_ms: u64) {
+        let decide = self.jobs.get(&gid).map(|j| (terminal(&j.state), j.live_attempts()));
+        if !matches!(decide, Some((false, 0))) {
+            return;
+        }
+        self.gw.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let state = JobState::Failed {
+            message: format!("backend busy; retry after {retry_after_ms} ms"),
+        };
+        self.finish_job(gid, state, Some(retry_after_ms));
+    }
+
+    /// Drops a backend link and re-routes everything that was riding
+    /// on it: unacked forwards in its pending queue and acked attempts
+    /// in the remote map.
+    fn fail_backend(&mut self, b: usize) {
+        let link = match self.backends[b].take() {
+            Some(l) => l,
+            None => return,
+        };
+        if link.registered.is_some() {
+            self.poller.deregister(link.conn.fd());
+        }
+        self.gw.backends[b].connected.store(false, Ordering::Relaxed);
+        self.gw.backends[b].healthy.store(false, Ordering::Relaxed);
+        let mut affected: Vec<u64> = link
+            .pending
+            .iter()
+            .filter_map(|d| match d {
+                Direct::ForwardAck { job } => Some(*job),
+                Direct::CancelAck => None,
+            })
+            .collect();
+        affected.extend(
+            self.remote.iter().filter(|((bb, _), _)| *bb == b).map(|(_, &gid)| gid),
+        );
+        for gid in affected {
+            self.attempt_failed(gid, b);
+            self.retry_after_loss(gid, "backend connection lost");
+        }
+    }
+
+    fn send_cancel(&mut self, b: usize, rid: u64) {
+        let frame = Request::Cancel { job_id: rid }.encode();
+        let queued = match &mut self.backends[b] {
+            Some(link) => {
+                link.conn.queue_frame(&frame);
+                link.pending.push_back(Direct::CancelAck);
+                true
+            }
+            None => false,
+        };
+        if queued {
+            self.backend_after_io(b);
+        }
+    }
+
+    /// Routes one placement of `gid`: the first backend in its ring
+    /// preference that is connected, preferably probe-healthy, and not
+    /// yet tried. With nowhere to place it, hedges dissolve silently,
+    /// primaries and retries back off — bounded by the retry budget.
+    fn try_send(&mut self, gid: u64, kind: SendKind) {
+        let (point, tried, frame) = match self.jobs.get(&gid) {
+            Some(job) if !terminal(&job.state) => (
+                job.point,
+                job.tried.clone(),
+                Request::Forward {
+                    features: job.features.clone(),
+                    source: job.source.clone(),
+                }
+                .encode(),
+            ),
+            _ => return,
+        };
+        let pref = self.gw.ring.preference(point);
+        let up = |b: &usize| self.backends[*b].is_some() && !tried.contains(b);
+        let pick = pref
+            .iter()
+            .find(|b| up(b) && self.gw.backends[**b].healthy.load(Ordering::Relaxed))
+            .or_else(|| pref.iter().find(|b| up(b)))
+            .copied();
+        let b = match pick {
+            Some(b) => b,
+            None => {
+                if kind == SendKind::Hedge {
+                    if let Some(job) = self.jobs.get_mut(&gid) {
+                        job.hedged = false;
+                    }
+                    return;
+                }
+                let failures = match self.jobs.get_mut(&gid) {
+                    Some(job) => {
+                        job.failures += 1;
+                        job.failures
+                    }
+                    None => return,
+                };
+                if failures <= self.gw.cfg.retry_limit {
+                    let backoff = self.gw.cfg.retry_backoff * 2u32.pow(failures - 1);
+                    self.arm(backoff, Timer::Retry(gid));
+                } else {
+                    self.finish_job(
+                        gid,
+                        JobState::Failed { message: "no backends available".into() },
+                        None,
+                    );
+                }
+                return;
+            }
+        };
+        if let Some(link) = &mut self.backends[b] {
+            link.conn.queue_frame(&frame);
+            link.pending.push_back(Direct::ForwardAck { job: gid });
+        }
+        if let Some(job) = self.jobs.get_mut(&gid) {
+            job.attempts.push(Attempt { backend: b, remote_id: None, done: false });
+            job.tried.push(b);
+        }
+        let bs = &self.gw.backends[b];
+        bs.inflight.fetch_add(1, Ordering::Relaxed);
+        bs.forwards.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            SendKind::Hedge => {
+                bs.hedges.fetch_add(1, Ordering::Relaxed);
+            }
+            SendKind::Retry => {
+                bs.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            SendKind::Primary => {
+                if let Some(delay) = self.gw.cfg.hedge_after {
+                    if self.gw.backends.len() > 1 {
+                        self.arm(delay, Timer::Hedge(gid));
+                    }
+                }
+            }
+        }
+        self.backend_after_io(b);
+    }
+
+    /// Settles a job terminally: state, counters, waiter replies, and
+    /// cancellation of any attempts still racing. `busy_hint` switches
+    /// submit-wait replies to the typed `Busy` frame.
+    fn finish_job(&mut self, gid: u64, state: JobState, busy_hint: Option<u64>) {
+        let waiters = match self.jobs.get_mut(&gid) {
+            Some(job) if !terminal(&job.state) => {
+                job.state = state.clone();
+                std::mem::take(&mut job.waiters)
+            }
+            _ => return,
+        };
+        self.gw.jobs_live.fetch_sub(1, Ordering::Relaxed);
+        let counter = match &state {
+            JobState::Done { .. } => &self.gw.counters.completed,
+            JobState::Cancelled => &self.gw.counters.cancelled,
+            _ => &self.gw.counters.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+
+        // Cancel the racing attempts; unacked ones are cancelled when
+        // their `Forwarded` arrives (see `attempt_acked`).
+        let racing: Vec<(usize, u64)> = self
+            .jobs
+            .get(&gid)
+            .map(|job| {
+                job.attempts
+                    .iter()
+                    .filter(|a| !a.done)
+                    .filter_map(|a| a.remote_id.map(|rid| (a.backend, rid)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (b, rid) in racing {
+            self.send_cancel(b, rid);
+        }
+
+        let mut unblocked = Vec::new();
+        for w in waiters {
+            let known = match self.conns.get_mut(&w.token) {
+                Some(e) => {
+                    if w.unblocks {
+                        e.blocked = e.blocked.saturating_sub(1);
+                        unblocked.push(w.token);
+                    }
+                    true
+                }
+                None => false,
+            };
+            if known {
+                let resp = match busy_hint {
+                    // Typed backpressure for a sequential submitter; a
+                    // forwarding peer correlates by job id and gets the
+                    // failed status instead.
+                    Some(ms) if w.unblocks => Response::Busy { retry_after_ms: ms },
+                    _ => Response::Status { job_id: gid, state: state.clone() },
+                };
+                self.queue_reply(w.token, &resp, w.version);
+            }
+        }
+        for token in unblocked {
+            self.pump_conn(token);
+        }
+        self.drain_check();
+    }
+
+    fn drain_check(&mut self) {
+        if self.exiting
+            || !self.gw.draining.load(Ordering::SeqCst)
+            || self.ack_waiting.is_empty()
+            || self.gw.jobs_live.load(Ordering::Relaxed) > 0
+        {
+            return;
+        }
+        for (token, version) in std::mem::take(&mut self.ack_waiting) {
+            let known = match self.conns.get_mut(&token) {
+                Some(e) => {
+                    e.blocked = e.blocked.saturating_sub(1);
+                    true
+                }
+                None => false,
+            };
+            if known {
+                self.queue_reply(token, &Response::ShutdownAck, version);
+            }
+        }
+        self.gw.shutdown.store(true, Ordering::SeqCst);
+        self.exiting = true;
+    }
+
+    // -- client connections ---------------------------------------------
+
+    fn accept_all(&mut self, token: u64) {
+        loop {
+            let accepted = match self.listeners.get(&token) {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok(Some(stream)) => {
+                    let conn = match FrameConn::new(stream) {
+                        Ok(c) => c,
+                        Err(_) => continue,
+                    };
+                    let t = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.register(conn.fd(), EPOLLIN, t).is_ok() {
+                        self.conns.insert(
+                            t,
+                            ConnEntry { conn, blocked: 0, eof: false, registered: Some(EPOLLIN) },
+                        );
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.drop_conn(token);
+            return;
+        }
+        if bits & EPOLLIN != 0 {
+            let outcome = match self.conns.get_mut(&token) {
+                Some(e) => e.conn.on_readable(),
+                None => return,
+            };
+            match outcome {
+                Ok(ReadOutcome::Open) => {}
+                Ok(ReadOutcome::Eof) => {
+                    if let Some(e) = self.conns.get_mut(&token) {
+                        e.eof = true;
+                    }
+                }
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+            self.pump_conn(token);
+        } else if bits & EPOLLOUT != 0 {
+            self.after_io(token);
+        }
+    }
+
+    fn pump_conn(&mut self, token: u64) {
+        loop {
+            let entry = match self.conns.get_mut(&token) {
+                Some(e) => e,
+                None => return,
+            };
+            if entry.blocked > 0 {
+                break;
+            }
+            match entry.conn.next_frame() {
+                Ok(Some(frame)) => self.dispatch(token, &frame),
+                Ok(None) => break,
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+        self.after_io(token);
+    }
+
+    /// Admits a job and returns its gateway id.
+    fn admit(&mut self, features: AnalysisFeatures, source: String) -> u64 {
+        let point = match c4_service::cache_key(&source, &features) {
+            Ok(key) => key.ring_point(),
+            // Unparseable programs still route (and fail) somewhere
+            // deterministic: hash the raw bytes instead.
+            Err(_) => u64::from_be_bytes(
+                c4::sha256(source.as_bytes())[..8].try_into().unwrap(),
+            ),
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            GwJob {
+                source,
+                features,
+                point,
+                state: JobState::Queued,
+                waiters: Vec::new(),
+                attempts: Vec::new(),
+                tried: Vec::new(),
+                failures: 0,
+                hedged: false,
+                cancel_requested: false,
+                created: Instant::now(),
+            },
+        );
+        self.gw.jobs_live.fetch_add(1, Ordering::Relaxed);
+        self.gw.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    fn dispatch(&mut self, token: u64, payload: &[u8]) {
+        let draining = self.gw.draining.load(Ordering::SeqCst);
+        let (reply, version) = match Request::decode_versioned(payload) {
+            Ok((Request::Submit { wait, features, source }, v)) => {
+                if draining {
+                    self.gw.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    (Some(Response::Error { message: "gateway is shutting down".into() }), v)
+                } else {
+                    let id = self.admit(features, source);
+                    if wait {
+                        if let Some(job) = self.jobs.get_mut(&id) {
+                            job.waiters.push(JobWaiter { token, version: v, unblocks: true });
+                        }
+                        if let Some(e) = self.conns.get_mut(&token) {
+                            e.blocked += 1;
+                        }
+                        self.try_send(id, SendKind::Primary);
+                        (None, v)
+                    } else {
+                        self.queue_reply(token, &Response::Submitted { job_id: id }, v);
+                        self.try_send(id, SendKind::Primary);
+                        (None, v)
+                    }
+                }
+            }
+            Ok((Request::Forward { features, source }, v)) => {
+                if draining {
+                    self.gw.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    (Some(Response::Error { message: "gateway is shutting down".into() }), v)
+                } else {
+                    let id = self.admit(features, source);
+                    if let Some(job) = self.jobs.get_mut(&id) {
+                        job.waiters.push(JobWaiter { token, version: v, unblocks: false });
+                    }
+                    self.queue_reply(token, &Response::Forwarded { job_id: id }, v);
+                    self.try_send(id, SendKind::Primary);
+                    (None, v)
+                }
+            }
+            Ok((Request::Status { job_id }, v)) => {
+                let resp = match self.jobs.get(&job_id) {
+                    Some(job) => Response::Status { job_id, state: job.state.clone() },
+                    None => Response::Error { message: format!("unknown job {job_id}") },
+                };
+                (Some(resp), v)
+            }
+            Ok((Request::Cancel { job_id }, v)) => {
+                let targets: Option<Vec<(usize, u64)>> = match self.jobs.get_mut(&job_id) {
+                    Some(job) if !terminal(&job.state) => {
+                        job.cancel_requested = true;
+                        Some(
+                            job.attempts
+                                .iter()
+                                .filter(|a| !a.done)
+                                .filter_map(|a| a.remote_id.map(|rid| (a.backend, rid)))
+                                .collect(),
+                        )
+                    }
+                    _ => None,
+                };
+                let resp = match targets {
+                    Some(targets) => {
+                        for (b, rid) in targets {
+                            self.send_cancel(b, rid);
+                        }
+                        Response::Cancelled { ok: true }
+                    }
+                    None => Response::Cancelled { ok: false },
+                };
+                (Some(resp), v)
+            }
+            Ok((Request::Stats, v)) => (Some(Response::Stats(self.gw.stats())), v),
+            Ok((Request::Metrics, v)) => {
+                (Some(Response::Metrics { text: self.gw.metrics_text() }), v)
+            }
+            Ok((Request::Health, v)) => (Some(Response::Health(self.gw.health())), v),
+            Ok((Request::Trace { features, source }, v)) => {
+                self.proxy_trace(token, v, features, source);
+                (None, v)
+            }
+            Ok((Request::Shutdown, v)) => {
+                if let Some(e) = self.conns.get_mut(&token) {
+                    e.blocked += 1;
+                }
+                self.ack_waiting.push((token, v));
+                self.gw.draining.store(true, Ordering::SeqCst);
+                self.drain_check();
+                (None, v)
+            }
+            Err(ProtoError(msg)) => (
+                Some(Response::Error { message: format!("protocol error: {msg}") }),
+                PROTO_VERSION,
+            ),
+        };
+        if let Some(resp) = reply {
+            self.queue_reply(token, &resp, version);
+        }
+    }
+
+    /// Proxies a `Trace` to the routed backend on a side thread — the
+    /// request is synchronous on the backend, so it must not occupy
+    /// the loop or a multiplexed link.
+    fn proxy_trace(&mut self, token: u64, v: u16, features: AnalysisFeatures, source: String) {
+        let point = match c4_service::cache_key(&source, &features) {
+            Ok(key) => key.ring_point(),
+            Err(_) => u64::from_be_bytes(
+                c4::sha256(source.as_bytes())[..8].try_into().unwrap(),
+            ),
+        };
+        let addr = self
+            .gw
+            .ring
+            .preference(point)
+            .into_iter()
+            .find(|&b| self.backends[b].is_some())
+            .map(|b| self.gw.backends[b].addr.clone());
+        let addr = match addr {
+            Some(a) => a,
+            None => {
+                self.queue_reply(
+                    token,
+                    &Response::Error { message: "no backends available".into() },
+                    v,
+                );
+                return;
+            }
+        };
+        if let Some(e) = self.conns.get_mut(&token) {
+            e.blocked += 1;
+        }
+        let gw = Arc::clone(&self.gw);
+        let handle = std::thread::spawn(move || {
+            let client = Client::new(Endpoint::Tcp(addr));
+            let resp = match client.trace(&source, &features) {
+                Ok((report, trace)) => Response::Trace { report, trace },
+                Err(e) => Response::Error { message: e.to_string() },
+            };
+            gw.notices.post(Notice::SideDone { token, version: v, resp });
+        });
+        self.gw.side_threads.lock().unwrap().push(handle);
+    }
+
+    fn queue_reply(&mut self, token: u64, resp: &Response, version: u16) {
+        if let Some(e) = self.conns.get_mut(&token) {
+            e.conn.queue_frame(&resp.encode_for_version(version));
+        }
+        self.after_io(token);
+    }
+
+    fn after_io(&mut self, token: u64) {
+        let (fd, cur, want, finished) = {
+            let entry = match self.conns.get_mut(&token) {
+                Some(e) => e,
+                None => return,
+            };
+            let fd = entry.conn.fd();
+            if entry.conn.on_writable().is_err()
+                || (entry.eof && entry.blocked == 0 && !entry.conn.wants_write())
+            {
+                (fd, entry.registered, 0, true)
+            } else {
+                let want = if entry.eof {
+                    if entry.conn.wants_write() {
+                        EPOLLOUT
+                    } else {
+                        0
+                    }
+                } else {
+                    entry.conn.interest()
+                };
+                (fd, entry.registered, want, false)
+            }
+        };
+        if finished {
+            self.drop_conn(token);
+            return;
+        }
+        let outcome = match (cur, want) {
+            (Some(_), 0) => {
+                self.poller.deregister(fd);
+                Ok(None)
+            }
+            (Some(c), w) if c != w => self.poller.reregister(fd, w, token).map(|()| Some(w)),
+            (None, w) if w != 0 => self.poller.register(fd, w, token).map(|()| Some(w)),
+            (r, _) => Ok(r),
+        };
+        match outcome {
+            Ok(registered) => {
+                if let Some(e) = self.conns.get_mut(&token) {
+                    e.registered = registered;
+                }
+            }
+            Err(_) => self.drop_conn(token),
+        }
+    }
+
+    fn backend_after_io(&mut self, b: usize) {
+        let (fd, cur, want, failed) = {
+            let link = match &mut self.backends[b] {
+                Some(l) => l,
+                None => return,
+            };
+            let fd = link.conn.fd();
+            if link.conn.on_writable().is_err() {
+                (fd, link.registered, 0, true)
+            } else {
+                (fd, link.registered, link.conn.interest(), false)
+            }
+        };
+        let _ = fd;
+        if failed {
+            self.fail_backend(b);
+            return;
+        }
+        let outcome = match (cur, want) {
+            (Some(c), w) if c != w => {
+                let token = TOKEN_BACKEND_BASE + b as u64;
+                let fd = self.backends[b].as_ref().unwrap().conn.fd();
+                self.poller.reregister(fd, w, token).map(|()| Some(w))
+            }
+            (r, _) => Ok(r),
+        };
+        match outcome {
+            Ok(registered) => {
+                if let Some(link) = &mut self.backends[b] {
+                    link.registered = registered;
+                }
+            }
+            Err(_) => self.fail_backend(b),
+        }
+    }
+
+    /// Closes and forgets a client connection. Jobs it submitted keep
+    /// running (nowait submissions are queryable by other clients);
+    /// its waiters become no-ops.
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(e) = self.conns.remove(&token) {
+            if e.registered.is_some() {
+                self.poller.deregister(e.conn.fd());
+            }
+        }
+    }
+}

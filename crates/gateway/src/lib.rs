@@ -1,0 +1,490 @@
+//! `c4-gateway`: a routing tier that fronts a cluster of `c4d`
+//! backends behind the ordinary daemon protocol.
+//!
+//! Clients speak to the gateway exactly as they would to a single
+//! daemon: `c4 --tcp <gateway> submit ...` works unchanged, and the
+//! reports that come back are byte-identical to a direct single-daemon
+//! run — the verdict wire format is content-addressed and
+//! deterministic, so *which* backend computes a job is unobservable in
+//! its bytes. That determinism is what makes the failure handling
+//! below safe.
+//!
+//! Routing is a consistent hash ([`ring`]) of the job's
+//! content-addressed cache key: resubmissions of the same canonical
+//! program land on the same backend and hit its warm in-memory verdict
+//! cache (cache affinity). Around that core the gateway layers:
+//!
+//! * **Health checks** ([`health`]): a probe thread sends `Health` to
+//!   every backend on an interval, marks them in or out of rotation,
+//!   and re-establishes the gateway's persistent multiplexed
+//!   connection when a backend comes back.
+//! * **Retry with backoff**: if a backend connection dies (crash,
+//!   kill, network), every job in flight on it is re-forwarded to the
+//!   next backend in its ring preference order, with bounded
+//!   exponential backoff when no backend is immediately available.
+//! * **Hedging**: a job still unresolved after the hedge delay is
+//!   duplicated onto its next preferred backend; the first terminal
+//!   verdict wins and the loser is cancelled through the daemon's
+//!   job-cancellation path. Both copies would produce the same bytes,
+//!   so hedging trades spare capacity for tail latency without
+//!   affecting output.
+//! * **Typed backpressure**: a backend's `Busy { retry_after_ms }` is
+//!   surfaced to the submitting client as-is (downgraded to the legacy
+//!   queue-full error for pre-v3 clients) rather than swallowed.
+//!
+//! Like the daemon, the gateway is a single-threaded epoll event loop
+//! ([`eloop`], reusing `c4_service::{poll, conn}`): one thread owns the
+//! client listener, every client connection, and one persistent
+//! multiplexed connection per backend (the daemon's v3 `Forward` frame
+//! acks immediately and pushes the terminal `Status` later, so one
+//! link carries any number of in-flight jobs). Thread count is
+//! O(backends), independent of client count.
+
+pub mod eloop;
+pub mod health;
+pub mod ring;
+
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use c4_obs::hist::Histogram;
+use c4_obs::prom::PromPage;
+use c4_service::poll::Waker;
+use c4_service::proto::{DaemonStats, HealthInfo, Response};
+
+use ring::Ring;
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// TCP address to listen on for clients, e.g. `127.0.0.1:4340`.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path to listen on (stale files replaced).
+    pub unix_socket: Option<PathBuf>,
+    /// Backend `c4d` TCP addresses. At least one is required.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Duplicate a still-unresolved job onto its next preferred
+    /// backend after this long; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// How many times a job is re-forwarded after backend failures
+    /// before it fails with an error.
+    pub retry_limit: u32,
+    /// Base backoff when no backend is available (doubles per retry).
+    pub retry_backoff: Duration,
+    /// Health-probe interval.
+    pub health_interval: Duration,
+    /// Per-probe connect/read timeout.
+    pub probe_timeout: Duration,
+    /// Optional HTTP listener for the Prometheus `/metrics` page.
+    pub metrics_addr: Option<String>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            tcp: None,
+            unix_socket: None,
+            backends: Vec::new(),
+            vnodes: 64,
+            hedge_after: Some(Duration::from_millis(1000)),
+            retry_limit: 4,
+            retry_backoff: Duration::from_millis(100),
+            health_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_millis(250),
+            metrics_addr: None,
+        }
+    }
+}
+
+/// Shared per-backend state: the probe thread writes health, the event
+/// loop writes traffic counters, the metrics page reads both.
+pub(crate) struct BackendState {
+    pub addr: String,
+    /// Last health probe succeeded and the backend is accepting.
+    pub healthy: AtomicBool,
+    /// The event loop holds a live multiplexed connection.
+    pub connected: AtomicBool,
+    /// Forwards awaiting their terminal status.
+    pub inflight: AtomicU64,
+    pub forwards: AtomicU64,
+    pub retries: AtomicU64,
+    pub hedges: AtomicU64,
+    pub busy: AtomicU64,
+    /// Queue depth reported by the last successful probe.
+    pub probe_queue_len: AtomicU64,
+    /// Submit-to-terminal latency of jobs this backend won.
+    pub forward_hist: Histogram,
+}
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected: AtomicU64,
+}
+
+/// A cross-thread message into the event loop.
+pub(crate) enum Notice {
+    /// The probe thread (re-)established a backend connection.
+    Connected { backend: usize, stream: TcpStream },
+    /// A side thread produced the reply for a blocked client.
+    SideDone { token: u64, version: u16, resp: Response },
+}
+
+pub(crate) struct NoticeBox {
+    pub queue: Mutex<Vec<Notice>>,
+    pub waker: Waker,
+}
+
+impl NoticeBox {
+    pub fn post(&self, n: Notice) {
+        self.queue.lock().unwrap().push(n);
+        self.waker.wake();
+    }
+
+    pub fn take(&self) -> Vec<Notice> {
+        std::mem::take(&mut *self.queue.lock().unwrap())
+    }
+}
+
+/// State shared between the event loop, the probe thread, and the
+/// metrics listener.
+pub(crate) struct Gateway {
+    pub cfg: GatewayConfig,
+    pub backends: Vec<BackendState>,
+    pub ring: Ring,
+    pub counters: Counters,
+    /// Jobs admitted but not yet terminal.
+    pub jobs_live: AtomicU64,
+    pub started: Instant,
+    /// Stop admitting; set by a client `Shutdown`.
+    pub draining: AtomicBool,
+    /// Everything is over; probe and metrics threads exit.
+    pub shutdown: AtomicBool,
+    pub notices: NoticeBox,
+    pub side_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Submit-to-terminal latency across all backends.
+    pub forward_hist: Histogram,
+    pub metrics_addr: Option<String>,
+    pub unix_path: Option<PathBuf>,
+}
+
+impl Gateway {
+    pub fn healthy_backends(&self) -> u64 {
+        self.backends
+            .iter()
+            .filter(|b| b.healthy.load(Ordering::Relaxed) && b.connected.load(Ordering::Relaxed))
+            .count() as u64
+    }
+
+    pub fn health(&self) -> HealthInfo {
+        HealthInfo {
+            accepting: !self.draining.load(Ordering::SeqCst),
+            queue_len: self.jobs_live.load(Ordering::Relaxed),
+            queue_cap: 0,
+            running: self.backends.iter().map(|b| b.inflight.load(Ordering::Relaxed)).sum(),
+            workers: self.healthy_backends(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Gateway statistics in the daemon's stats shape, so `c4 stats`
+    /// works unchanged against a gateway: queue fields describe jobs
+    /// in flight through the gateway, `workers` is the healthy backend
+    /// count, cache fields are zero (caches live in the backends), and
+    /// the run summaries are end-to-end forward latencies.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            queue_len: self.jobs_live.load(Ordering::Relaxed),
+            running: self.backends.iter().map(|b| b.inflight.load(Ordering::Relaxed)).sum(),
+            queue_cap: 0,
+            workers: self.healthy_backends(),
+            cache_mem_hits: 0,
+            cache_disk_hits: 0,
+            cache_misses: 0,
+            cache_stores: 0,
+            cache_evictions: 0,
+            cache_stale_drops: 0,
+            cache_mem_entries: 0,
+            cache_disk_entries: 0,
+            wait_p50_ms: 0,
+            wait_p95_ms: 0,
+            wait_max_ms: 0,
+            run_p50_ms: self.forward_hist.quantile(0.50),
+            run_p95_ms: self.forward_hist.quantile(0.95),
+            run_max_ms: self.forward_hist.max(),
+        }
+    }
+
+    /// The gateway's Prometheus text page: totals plus per-backend
+    /// health, traffic, and latency series labeled by backend address.
+    pub fn metrics_text(&self) -> String {
+        let mut page = PromPage::new();
+        page.counter(
+            "c4gw_jobs_submitted_total",
+            "Jobs admitted by the gateway.",
+            self.counters.submitted.load(Ordering::Relaxed),
+        );
+        page.counter(
+            "c4gw_jobs_completed_total",
+            "Jobs that reached a verdict.",
+            self.counters.completed.load(Ordering::Relaxed),
+        );
+        page.counter(
+            "c4gw_jobs_cancelled_total",
+            "Jobs cancelled.",
+            self.counters.cancelled.load(Ordering::Relaxed),
+        );
+        page.counter(
+            "c4gw_jobs_failed_total",
+            "Jobs that failed (front end, exhausted retries, or busy).",
+            self.counters.failed.load(Ordering::Relaxed),
+        );
+        page.counter(
+            "c4gw_jobs_rejected_total",
+            "Submissions refused while draining.",
+            self.counters.rejected.load(Ordering::Relaxed),
+        );
+        page.gauge(
+            "c4gw_jobs_live",
+            "Jobs admitted but not yet terminal.",
+            self.jobs_live.load(Ordering::Relaxed),
+        );
+        page.gauge(
+            "c4gw_backends_healthy",
+            "Backends in rotation (probe healthy and connected).",
+            self.healthy_backends(),
+        );
+        page.gauge(
+            "c4gw_uptime_milliseconds",
+            "Milliseconds since the gateway started.",
+            self.started.elapsed().as_millis() as u64,
+        );
+
+        let labels: Vec<[(&str, &str); 1]> =
+            self.backends.iter().map(|b| [("backend", b.addr.as_str())]).collect();
+        let series = |f: &dyn Fn(&BackendState) -> u64| -> Vec<(&[(&str, &str)], u64)> {
+            self.backends
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (labels[i].as_slice(), f(b)))
+                .collect()
+        };
+        page.gauge_family(
+            "c4gw_backend_healthy",
+            "1 if the backend's last probe was healthy, else 0.",
+            &series(&|b| u64::from(b.healthy.load(Ordering::Relaxed))),
+        );
+        page.gauge_family(
+            "c4gw_backend_connected",
+            "1 if the multiplexed backend connection is up, else 0.",
+            &series(&|b| u64::from(b.connected.load(Ordering::Relaxed))),
+        );
+        page.gauge_family(
+            "c4gw_backend_inflight",
+            "Forwards awaiting their terminal status, per backend.",
+            &series(&|b| b.inflight.load(Ordering::Relaxed)),
+        );
+        page.gauge_family(
+            "c4gw_backend_queue_depth",
+            "Backend queue depth from its last health probe.",
+            &series(&|b| b.probe_queue_len.load(Ordering::Relaxed)),
+        );
+        page.counter_family(
+            "c4gw_forwards_total",
+            "Forwards sent, per backend.",
+            &series(&|b| b.forwards.load(Ordering::Relaxed)),
+        );
+        page.counter_family(
+            "c4gw_retries_total",
+            "Re-forwards after a backend failure, per (new) backend.",
+            &series(&|b| b.retries.load(Ordering::Relaxed)),
+        );
+        page.counter_family(
+            "c4gw_hedges_total",
+            "Hedge duplicates sent, per backend.",
+            &series(&|b| b.hedges.load(Ordering::Relaxed)),
+        );
+        page.counter_family(
+            "c4gw_busy_total",
+            "Busy responses received, per backend.",
+            &series(&|b| b.busy.load(Ordering::Relaxed)),
+        );
+        let hist_series: Vec<(&[(&str, &str)], &Histogram)> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (labels[i].as_slice(), &b.forward_hist))
+            .collect();
+        page.histogram_family(
+            "c4gw_forward_milliseconds",
+            "Submit-to-terminal latency of jobs each backend won.",
+            &hist_series,
+        );
+        page.finish()
+    }
+}
+
+/// A running gateway. Call [`wait`](GatewayHandle::wait) after a
+/// client-initiated shutdown.
+pub struct GatewayHandle {
+    gw: Arc<Gateway>,
+    event_loop: JoinHandle<()>,
+    prober: JoinHandle<()>,
+    metrics: Option<JoinHandle<()>>,
+    /// The bound client-facing TCP address (port resolved).
+    pub tcp_addr: Option<String>,
+    /// The bound metrics address (port resolved).
+    pub metrics_addr: Option<String>,
+}
+
+impl GatewayHandle {
+    /// Blocks until the gateway has fully shut down.
+    pub fn wait(self) {
+        let _ = self.event_loop.join();
+        let _ = self.prober.join();
+        if let Some(addr) = &self.gw.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(h) = self.metrics {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.gw.side_threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.gw.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One blocking connect with a timeout, resolving the address first.
+/// `TCP_NODELAY` is set — probe and forward frames are small and
+/// latency-bound, so Nagle batching only costs.
+pub(crate) fn connect_timeout(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// The metrics acceptor, identical in shape to the daemon's.
+fn metrics_loop(gw: Arc<Gateway>, listener: TcpListener) {
+    loop {
+        if gw.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if gw.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        c4_obs::prom::serve_http_conn(&mut stream, &|| gw.metrics_text());
+    }
+}
+
+/// Starts the gateway: binds the client listeners, connects to the
+/// backends it can reach (the probe thread keeps trying the rest), and
+/// returns immediately.
+///
+/// # Errors
+///
+/// `InvalidInput` if no listener or no backend is configured; I/O
+/// errors binding a listener. Unreachable backends are not startup
+/// errors — they enter rotation when their probes succeed.
+pub fn serve(cfg: GatewayConfig) -> io::Result<GatewayHandle> {
+    if cfg.tcp.is_none() && cfg.unix_socket.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no listener configured (need a socket path or TCP address)",
+        ));
+    }
+    if cfg.backends.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "no backends configured"));
+    }
+
+    let (wake, wake_rx) = c4_service::poll::waker()?;
+    let ring = Ring::new(&cfg.backends, cfg.vnodes);
+    let backends: Vec<BackendState> = cfg
+        .backends
+        .iter()
+        .map(|addr| BackendState {
+            addr: addr.clone(),
+            healthy: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            forwards: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            probe_queue_len: AtomicU64::new(0),
+            forward_hist: Histogram::latency_ms(),
+        })
+        .collect();
+
+    let mut metrics_listener = None;
+    let mut metrics_addr = None;
+    if let Some(addr) = &cfg.metrics_addr {
+        let l = TcpListener::bind(addr.as_str())?;
+        metrics_addr = Some(l.local_addr()?.to_string());
+        metrics_listener = Some(l);
+    }
+
+    let gw = Arc::new(Gateway {
+        backends,
+        ring,
+        counters: Counters::default(),
+        jobs_live: AtomicU64::new(0),
+        started: Instant::now(),
+        draining: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        notices: NoticeBox { queue: Mutex::new(Vec::new()), waker: wake },
+        side_threads: Mutex::new(Vec::new()),
+        forward_hist: Histogram::latency_ms(),
+        metrics_addr: metrics_addr.clone(),
+        unix_path: cfg.unix_socket.clone(),
+        cfg,
+    });
+
+    // Reach the backends that are already up so the first submissions
+    // don't wait for a probe tick. An initial connection marks the
+    // backend healthy optimistically; the first probe corrects it.
+    for (i, b) in gw.backends.iter().enumerate() {
+        if let Ok(stream) = connect_timeout(&b.addr, gw.cfg.probe_timeout) {
+            b.healthy.store(true, Ordering::Relaxed);
+            gw.notices.post(Notice::Connected { backend: i, stream });
+        }
+    }
+
+    let (event_loop, tcp_addr) = eloop::spawn(Arc::clone(&gw), wake_rx)?;
+    let prober = {
+        let gw = Arc::clone(&gw);
+        std::thread::spawn(move || health::probe_loop(&gw))
+    };
+    let metrics = metrics_listener.map(|l| {
+        let gw = Arc::clone(&gw);
+        std::thread::spawn(move || metrics_loop(gw, l))
+    });
+
+    Ok(GatewayHandle { gw, event_loop, prober, metrics, tcp_addr, metrics_addr })
+}

@@ -1,0 +1,129 @@
+//! The consistent-hash ring that assigns jobs to backends.
+//!
+//! Each backend contributes `vnodes` points on a `u64` circle, derived
+//! by hashing `"{addr}#{i}"` with the same SHA-256 the verdict cache
+//! uses for content addressing. A job routes to the first point at or
+//! after its own ring point — the first 8 bytes of its cache-key
+//! digest ([`c4::CacheKey::ring_point`]) — so resubmissions of the
+//! same canonical program land on the same backend and hit its warm
+//! in-memory cache (cache affinity), while adding or removing a
+//! backend only remaps the arcs it owned.
+//!
+//! [`Ring::preference`] extends the lookup into a failover order: the
+//! distinct backends in clockwise ring order starting at the job's
+//! point. Retries and hedges walk that list, so the job's alternate
+//! placements are as stable as its primary one.
+
+/// A precomputed consistent-hash ring over backend indices.
+pub struct Ring {
+    /// Sorted (ring point, backend index) pairs.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl Ring {
+    /// Builds the ring for `addrs` with `vnodes` points per backend.
+    pub fn new(addrs: &[String], vnodes: usize) -> Ring {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(addrs.len() * vnodes);
+        for (idx, addr) in addrs.iter().enumerate() {
+            for i in 0..vnodes {
+                let digest = c4::sha256(format!("{addr}#{i}").as_bytes());
+                let point = u64::from_be_bytes(digest[..8].try_into().unwrap());
+                points.push((point, idx));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Ring { points, backends: addrs.len() }
+    }
+
+    /// The distinct backends in clockwise order from `point`: the
+    /// primary placement first, then each successive failover choice.
+    pub fn preference(&self, point: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends);
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&idx) {
+                order.push(idx);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary backend for `point`.
+    pub fn primary(&self, point: u64) -> Option<usize> {
+        self.preference(point).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 4000 + i)).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_preference_covers_all_backends() {
+        let ring = Ring::new(&addrs(3), 64);
+        for point in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000, 42_424_242] {
+            let a = ring.preference(point);
+            let b = ring.preference(point);
+            assert_eq!(a, b, "same point, same order");
+            assert_eq!(a.len(), 3, "every backend appears exactly once");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_remaps_its_own_arcs() {
+        let three = Ring::new(&addrs(3), 64);
+        let two = Ring::new(&addrs(2), 64);
+        // Points that mapped to backend 0 or 1 under three backends
+        // keep their primary when backend 2 is removed.
+        let mut kept = 0;
+        let mut total = 0;
+        for i in 0..1000u64 {
+            let point = u64::from_be_bytes(c4::sha256(&i.to_be_bytes())[..8].try_into().unwrap());
+            let was = three.primary(point).unwrap();
+            if was < 2 {
+                total += 1;
+                if two.primary(point).unwrap() == was {
+                    kept += 1;
+                }
+            }
+        }
+        assert_eq!(kept, total, "surviving backends keep their arcs");
+    }
+
+    #[test]
+    fn vnodes_spread_load_roughly_evenly() {
+        let ring = Ring::new(&addrs(4), 64);
+        let mut counts = [0usize; 4];
+        for i in 0..4000u64 {
+            let point = u64::from_be_bytes(c4::sha256(&i.to_be_bytes())[..8].try_into().unwrap());
+            counts[ring.primary(point).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 400, "no backend starves: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = Ring::new(&[], 64);
+        assert!(ring.primary(123).is_none());
+        assert!(ring.preference(123).is_empty());
+    }
+}

@@ -47,6 +47,7 @@ use std::time::Instant;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod prom;
 
 /// Well-known span argument tags: the pipeline stamps each SMT query
 /// span with its verdict so exporters and tests can classify queries

@@ -1,0 +1,202 @@
+//! Prometheus exposition-format helpers and the minimal `/metrics`
+//! HTTP listener shared by `c4d` and `c4-gateway`.
+//!
+//! The exposition format (text version 0.0.4) is simple enough to
+//! render by hand, but the `# HELP`/`# TYPE` header discipline — one
+//! header per metric *name* even when several label sets share it — is
+//! easy to get subtly wrong, so both daemons funnel their pages through
+//! [`PromPage`]. Label values here are addresses and stage names
+//! (no quotes, newlines, or backslashes), so no escaping is performed.
+//!
+//! [`serve_http`] is the deliberately minimal scrape endpoint both
+//! binaries expose: it reads a bounded request head with a timeout (a
+//! stalled client cannot wedge the single acceptor), answers
+//! `GET /metrics` with a freshly rendered page, anything else with 404,
+//! and closes. No keep-alive, no chunking — exactly what a Prometheus
+//! scraper needs.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::hist::Histogram;
+
+/// An exposition page under construction.
+#[derive(Default)]
+pub struct PromPage {
+    out: String,
+}
+
+impl PromPage {
+    /// An empty page.
+    pub fn new() -> PromPage {
+        PromPage::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    fn series(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        if labels.is_empty() {
+            self.out.push_str(&format!("{name} {v}\n"));
+        } else {
+            let joined: Vec<String> =
+                labels.iter().map(|(k, val)| format!("{k}=\"{val}\"")).collect();
+            self.out.push_str(&format!("{name}{{{}}} {v}\n", joined.join(",")));
+        }
+    }
+
+    /// A single unlabelled counter.
+    pub fn counter(&mut self, name: &str, help: &str, v: u64) {
+        self.header(name, help, "counter");
+        self.series(name, &[], v);
+    }
+
+    /// A single unlabelled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, v: u64) {
+        self.header(name, help, "gauge");
+        self.series(name, &[], v);
+    }
+
+    /// A counter family: one series per label set, one shared header.
+    pub fn counter_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&[(&str, &str)], u64)],
+    ) {
+        self.header(name, help, "counter");
+        for (labels, v) in series {
+            self.series(name, labels, *v);
+        }
+    }
+
+    /// A gauge family: one series per label set, one shared header.
+    pub fn gauge_family(&mut self, name: &str, help: &str, series: &[(&[(&str, &str)], u64)]) {
+        self.header(name, help, "gauge");
+        for (labels, v) in series {
+            self.series(name, labels, *v);
+        }
+    }
+
+    /// A histogram family: the full bucket/sum/count series of each
+    /// labelled [`Histogram`], under one shared header.
+    pub fn histogram_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&[(&str, &str)], &Histogram)],
+    ) {
+        self.header(name, help, "histogram");
+        for (labels, hist) in series {
+            hist.render_prometheus(&mut self.out, name, labels);
+        }
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Serves one already-accepted metrics connection: bounded head read,
+/// `GET /metrics` → `render()`, everything else → 404.
+pub fn serve_http_conn(stream: &mut TcpStream, render: &dyn Fn() -> String) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let is_metrics = line.starts_with(b"GET /metrics ") || line == b"GET /metrics";
+    let (status, ctype, body) = if is_metrics {
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render())
+    } else {
+        ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// The scrape acceptor loop: serves connections inline (scrapes are
+/// cheap and allocation-bounded) until `shutdown` is observed. The
+/// owner unblocks a parked `accept` by connecting to the listener once
+/// after setting the flag.
+pub fn serve_http(listener: TcpListener, shutdown: Arc<AtomicBool>, render: impl Fn() -> String) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        serve_http_conn(&mut stream, &render);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_renders_headers_once_per_family() {
+        let mut p = PromPage::new();
+        p.counter("x_total", "Total xs.", 3);
+        p.gauge_family(
+            "y",
+            "Per-backend y.",
+            &[(&[("backend", "a")], 1), (&[("backend", "b")], 2)],
+        );
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        p.histogram_family("z_ms", "Latency.", &[(&[("backend", "a")], &h)]);
+        let text = p.finish();
+        assert!(text.contains("# HELP x_total Total xs.\n# TYPE x_total counter\nx_total 3\n"));
+        assert_eq!(text.matches("# TYPE y gauge").count(), 1);
+        assert!(text.contains("y{backend=\"a\"} 1\n"));
+        assert!(text.contains("y{backend=\"b\"} 2\n"));
+        assert!(text.contains("z_ms_bucket{backend=\"a\",le=\"10\"} 1"));
+        assert!(text.contains("z_ms_count{backend=\"a\"} 1"));
+    }
+
+    #[test]
+    fn http_endpoint_serves_page_and_404s() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let server =
+            std::thread::spawn(move || serve_http(listener, flag, || "m_total 1\n".to_string()));
+
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            resp
+        };
+        let ok = get("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "got: {ok}");
+        assert!(ok.contains("m_total 1"));
+        assert!(get("/other").starts_with("HTTP/1.1 404"));
+
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        server.join().unwrap();
+    }
+}

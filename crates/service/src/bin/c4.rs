@@ -1,16 +1,26 @@
 //! `c4` — thin client for the `c4d` analysis daemon.
 //!
 //! ```text
-//! c4 [--socket PATH | --tcp ADDR] submit [--no-wait] [--budget S]
+//! c4 [--socket PATH | --tcp ADDR] [--connect-timeout MS] [--retry N]
+//!    <command>
+//!
+//! c4 ... submit [--no-wait] [--budget S]
 //!        [--threads N] [--max-k K] [--no-incremental] [--out FILE] FILE
-//! c4 [--socket PATH | --tcp ADDR] status [--out FILE] JOB
-//! c4 [--socket PATH | --tcp ADDR] cancel JOB
-//! c4 [--socket PATH | --tcp ADDR] stats
-//! c4 [--socket PATH | --tcp ADDR] metrics
-//! c4 [--socket PATH | --tcp ADDR] trace [--budget S] [--threads N]
+//! c4 ... status [--out FILE] JOB
+//! c4 ... cancel JOB
+//! c4 ... stats
+//! c4 ... health
+//! c4 ... metrics
+//! c4 ... trace [--budget S] [--threads N]
 //!        [--max-k K] [--out FILE] --trace-out FILE FILE
-//! c4 [--socket PATH | --tcp ADDR] shutdown
+//! c4 ... shutdown
 //! ```
+//!
+//! `--connect-timeout MS` bounds TCP connection establishment;
+//! `--retry N` retries refused/reset/dropped connections N times (with
+//! a short backoff) and honors the daemon's typed busy backpressure by
+//! sleeping out its retry-after hint before resubmitting. Both default
+//! off; all connection failures exit 1 with a message, never a panic.
 //!
 //! `--out FILE` writes the raw encoded report bytes (the cache-stable
 //! wire format) so scripts can compare daemon-served verdicts
@@ -27,7 +37,7 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use c4::{AnalysisFeatures, AnalysisResult};
-use c4_service::client::{Client, Endpoint};
+use c4_service::client::{Client, ClientConfig, Endpoint};
 use c4_service::proto::JobState;
 
 fn default_socket() -> PathBuf {
@@ -36,13 +46,15 @@ fn default_socket() -> PathBuf {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: c4 [--socket PATH | --tcp ADDR] <command>\n\
+        "usage: c4 [--socket PATH | --tcp ADDR] [--connect-timeout MS] \
+         [--retry N] <command>\n\
          commands:\n\
          \x20 submit [--no-wait] [--budget S] [--threads N] [--max-k K] \
          [--no-incremental] [--out FILE] FILE\n\
          \x20 status [--out FILE] JOB\n\
          \x20 cancel JOB\n\
          \x20 stats\n\
+         \x20 health\n\
          \x20 metrics\n\
          \x20 trace [--budget S] [--threads N] [--max-k K] [--out FILE] \
          --trace-out FILE FILE\n\
@@ -58,9 +70,10 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 
 fn main() {
     let mut endpoint: Option<Endpoint> = None;
+    let mut config = ClientConfig::default();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Global endpoint flags come before the command.
+    // Global endpoint/resilience flags come before the command.
     while let Some(first) = args.first().cloned() {
         match first.as_str() {
             "--socket" => {
@@ -77,10 +90,34 @@ fn main() {
                 endpoint = Some(Endpoint::Tcp(args.remove(1)));
                 args.remove(0);
             }
+            "--connect-timeout" => {
+                if args.len() < 2 {
+                    usage()
+                }
+                let ms: u64 = args.remove(1).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --connect-timeout needs a number of milliseconds");
+                    exit(2)
+                });
+                config.connect_timeout = Some(std::time::Duration::from_millis(ms.max(1)));
+                args.remove(0);
+            }
+            "--retry" => {
+                if args.len() < 2 {
+                    usage()
+                }
+                config.retries = args.remove(1).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --retry needs a number");
+                    exit(2)
+                });
+                args.remove(0);
+            }
             _ => break,
         }
     }
-    let client = Client::new(endpoint.unwrap_or_else(|| Endpoint::Unix(default_socket())));
+    let client = Client::with_config(
+        endpoint.unwrap_or_else(|| Endpoint::Unix(default_socket())),
+        config,
+    );
     if args.is_empty() {
         usage()
     }
@@ -90,6 +127,7 @@ fn main() {
         "status" => status(&client, args),
         "cancel" => cancel(&client, args),
         "stats" => stats(&client),
+        "health" => health(&client),
         "metrics" => match client.metrics() {
             Ok(text) => print!("{text}"),
             Err(e) => fail(e),
@@ -231,6 +269,20 @@ fn stats(client: &Client) {
         "run time ms      p50 {} / p95 {} / max {}",
         s.run_p50_ms, s.run_p95_ms, s.run_max_ms
     );
+}
+
+fn health(client: &Client) {
+    let h = match client.health() {
+        Ok(h) => h,
+        Err(e) => fail(e),
+    };
+    println!("accepting        {}", h.accepting);
+    println!("queue            {}/{} (running {})", h.queue_len, h.queue_cap, h.running);
+    println!("workers          {}", h.workers);
+    println!("uptime_ms        {}", h.uptime_ms);
+    if !h.accepting {
+        exit(3)
+    }
 }
 
 fn print_state(state: &JobState, out: Option<&std::path::Path>) {

@@ -5,15 +5,29 @@
 //! head-of-line-blocking other requests. [`Client::submit_wait`] is the
 //! high-traffic path used by the differential tests, the bench and
 //! `c4 submit`.
+//!
+//! [`ClientConfig`] adds the resilience knobs the `c4` CLI exposes as
+//! `--connect-timeout` and `--retry`: a bound on connection
+//! establishment and a bounded retry loop over transient failures —
+//! refused/reset/dropped connections and the daemon's typed
+//! [`Response::Busy`] backpressure (which is honored by sleeping out
+//! the hinted `retry_after_ms` before resubmitting). Retrying a submit
+//! is safe even if the original frame was admitted before the
+//! connection died: analysis is content-addressed, so a duplicate
+//! admission computes (or cache-hits) the same bytes. With the default
+//! config (no timeout, zero retries) behavior is unchanged.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use c4::AnalysisFeatures;
 
-use crate::proto::{read_frame, write_frame, DaemonStats, JobState, Request, Response};
+use crate::proto::{
+    read_frame, write_frame, DaemonStats, HealthInfo, JobState, Request, Response,
+};
 
 /// Where the daemon listens.
 #[derive(Debug, Clone)]
@@ -24,10 +38,31 @@ pub enum Endpoint {
     Tcp(String),
 }
 
+/// Resilience knobs for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on TCP connection establishment (`None` = OS default).
+    /// Unix-domain connects are local and not bounded.
+    pub connect_timeout: Option<Duration>,
+    /// How many times to retry after a transient failure (refused,
+    /// reset, or dropped connection; daemon `Busy`). Zero = fail fast.
+    pub retries: u32,
+    /// Pause between connection-failure retries. `Busy` retries sleep
+    /// the daemon's own `retry_after_ms` hint instead.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { connect_timeout: None, retries: 0, retry_backoff: Duration::from_millis(200) }
+    }
+}
+
 /// A blocking `c4d` client.
 #[derive(Debug, Clone)]
 pub struct Client {
     endpoint: Endpoint,
+    config: ClientConfig,
 }
 
 fn bad_reply(resp: Response) -> io::Error {
@@ -38,13 +73,58 @@ fn bad_reply(resp: Response) -> io::Error {
     io::Error::new(io::ErrorKind::Other, msg)
 }
 
+fn busy_error(retry_after_ms: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::WouldBlock,
+        format!("daemon busy; retry after {retry_after_ms} ms"),
+    )
+}
+
+/// Whether an error is worth a fresh connection attempt: the request
+/// may never have reached a healthy daemon.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotFound
+    )
+}
+
 impl Client {
-    /// A client for `endpoint` (no connection is made yet).
+    /// A client for `endpoint` with default (fail-fast) config. No
+    /// connection is made yet.
     pub fn new(endpoint: Endpoint) -> Client {
-        Client { endpoint }
+        Client { endpoint, config: ClientConfig::default() }
     }
 
-    fn roundtrip(&self, req: &Request) -> io::Result<Response> {
+    /// A client with explicit resilience knobs.
+    pub fn with_config(endpoint: Endpoint, config: ClientConfig) -> Client {
+        Client { endpoint, config }
+    }
+
+    fn connect_tcp(&self, addr: &str) -> io::Result<TcpStream> {
+        let stream = match self.config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                })?;
+                TcpStream::connect_timeout(&sock, timeout)?
+            }
+        };
+        // Requests are small frames; Nagle would trade ~40ms of
+        // latency for nothing on this request–reply protocol.
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// One connect–request–reply exchange, no retries.
+    fn roundtrip_once(&self, req: &Request) -> io::Result<Response> {
         let payload = req.encode();
         let reply = match &self.endpoint {
             Endpoint::Unix(path) => {
@@ -52,18 +132,44 @@ impl Client {
                 exchange(&mut s, &payload)?
             }
             Endpoint::Tcp(addr) => {
-                let mut s = TcpStream::connect(addr.as_str())?;
+                let mut s = self.connect_tcp(addr)?;
                 exchange(&mut s, &payload)?
             }
         };
         Ok(Response::decode(&reply)?)
     }
 
+    /// The exchange with the configured retry policy: transient
+    /// connection failures sleep `retry_backoff`, `Busy` replies sleep
+    /// the daemon's hint, both up to `retries` extra attempts.
+    fn roundtrip(&self, req: &Request) -> io::Result<Response> {
+        let mut remaining = self.config.retries;
+        loop {
+            match self.roundtrip_once(req) {
+                Ok(Response::Busy { retry_after_ms }) => {
+                    if remaining == 0 {
+                        return Err(busy_error(retry_after_ms));
+                    }
+                    remaining -= 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(10, 10_000)));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if remaining > 0 && is_transient(&e) => {
+                    remaining -= 1;
+                    std::thread::sleep(self.config.retry_backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Submits a program and blocks until its terminal [`JobState`].
     ///
     /// # Errors
     ///
-    /// Connection/protocol errors, or the daemon's admission rejection.
+    /// Connection/protocol errors, or the daemon's admission rejection
+    /// (a full queue surfaces as `WouldBlock` with the retry-after
+    /// hint in the message once retries are exhausted).
     pub fn submit_wait(
         &self,
         source: &str,
@@ -133,6 +239,19 @@ impl Client {
         }
     }
 
+    /// The daemon's health snapshot (v3+ daemons).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors (a pre-v3 daemon rejects the
+    /// request).
+    pub fn health(&self) -> io::Result<HealthInfo> {
+        match self.roundtrip(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            other => Err(bad_reply(other)),
+        }
+    }
+
     /// The daemon's Prometheus text-format metrics page (v2+ daemons).
     ///
     /// # Errors
@@ -165,13 +284,15 @@ impl Client {
     }
 
     /// Asks the daemon to drain and exit; returns once acknowledged
-    /// (all admitted jobs finished, cache index flushed).
+    /// (all admitted jobs finished, cache index flushed). Never
+    /// retried: a second shutdown frame against a daemon that already
+    /// started draining would just hang on a dead listener.
     ///
     /// # Errors
     ///
     /// Connection/protocol errors.
     pub fn shutdown(&self) -> io::Result<()> {
-        match self.roundtrip(&Request::Shutdown)? {
+        match self.roundtrip_once(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             other => Err(bad_reply(other)),
         }

@@ -21,7 +21,9 @@
 //!   `c4` binary and the test suites.
 
 pub mod client;
+pub mod conn;
 pub mod job;
+pub mod poll;
 pub mod proto;
 pub mod server;
 

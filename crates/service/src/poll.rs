@@ -1,0 +1,301 @@
+//! A minimal epoll readiness poller, std-only via raw syscalls.
+//!
+//! Both `c4d`'s rewritten connection handler and the `c4-gateway`
+//! event loop are single-threaded readiness loops: one thread owns all
+//! connection state and blocks in [`Poller::wait`]; worker threads that
+//! finish jobs never touch sockets, they post a notice and ring the
+//! loop through a [`Waker`] (the classic self-pipe trick — the read end
+//! is registered like any other fd, a write of one byte makes the loop
+//! runnable).
+//!
+//! Only the four epoll operations the loops need are bound
+//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, plus `pipe2` and
+//! `fcntl` for the waker and non-blocking mode). The bindings are
+//! x86-64/aarch64 Linux only, which is what the container runs; there
+//! is no fallback poll(2) path.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// -- raw syscall bindings (no libc crate) --------------------------------
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readiness: data to read (or a peer hangup, which also wakes readers).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// there has no padding between `events` and `data`); natural layout
+/// elsewhere.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// The readiness bit set reported by the kernel.
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The token this fd was registered under.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 { Err(io::Error::last_os_error()) } else { Ok(ret) }
+}
+
+/// Puts `fd` into non-blocking mode.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL on a fd we own; no memory is passed.
+    unsafe {
+        let flags = cvt(fcntl(fd, F_GETFL, 0))?;
+        cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+    }
+    Ok(())
+}
+
+/// An epoll instance. Closes the epoll fd on drop; registered fds are
+/// owned by their connections, not by the poller.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall, returns an owned fd or -1.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest, data: token };
+        let evp = if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
+        // SAFETY: `ev` outlives the call; DEL takes a null event.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, evp) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest bits under `token`.
+    /// (A peer close surfaces as `EPOLLIN` + a zero-byte read, so
+    /// plain read interest already observes hangups.)
+    pub fn register(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest bits of an already-registered `fd`.
+    pub fn reregister(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Removes `fd` from the interest set. Errors are ignored: the fd
+    /// may already be gone (closed fds leave the set automatically).
+    pub fn deregister(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks until at least one event is ready, `timeout` elapses
+    /// (`None` = forever), or a signal lands. Fills `events` and
+    /// returns the ready count (0 on timeout or EINTR).
+    pub fn wait(&self, events: &mut Vec<EpollEvent>, timeout: Option<Duration>) -> io::Result<usize> {
+        let cap = events.capacity().max(64);
+        events.clear();
+        events.reserve(cap);
+        let timeout_ms = match timeout {
+            None => -1,
+            // Round up so a 1ns deadline doesn't busy-spin at 0ms.
+            Some(d) => i32::try_from(d.as_millis().min(i32::MAX as u128)).unwrap().max(
+                i32::from(!d.is_zero()),
+            ),
+        };
+        // SAFETY: the spare capacity of `events` is a valid writable
+        // region of `cap` EpollEvents; the kernel writes `n <= cap` of
+        // them, which we then mark initialized.
+        let n = unsafe {
+            let ret = epoll_wait(self.epfd, events.as_mut_ptr(), cap as i32, timeout_ms);
+            if ret < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    0
+                } else {
+                    return Err(err);
+                }
+            } else {
+                events.set_len(ret as usize);
+                ret as usize
+            }
+        };
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: we own epfd.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// The write end of a self-pipe: any thread can [`Waker::wake`] the
+/// event loop out of `epoll_wait`. Cloneable and cheap.
+#[derive(Clone)]
+pub struct Waker {
+    wfd: std::sync::Arc<WakerFd>,
+}
+
+struct WakerFd(RawFd);
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        // SAFETY: we own the write end.
+        unsafe {
+            close(self.0);
+        }
+    }
+}
+
+/// The read end of the self-pipe, owned by the event loop. Register
+/// its [`WakeRx::fd`] with `EPOLLIN` and call [`WakeRx::drain`] when
+/// its token fires.
+pub struct WakeRx {
+    rfd: RawFd,
+}
+
+impl WakeRx {
+    /// The fd to register with the poller.
+    pub fn fd(&self) -> RawFd {
+        self.rfd
+    }
+
+    /// Empties the pipe so level-triggered polling goes quiet again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 256];
+        loop {
+            // SAFETY: reading into a local buffer from a fd we own.
+            let n = unsafe { read(self.rfd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 || (n as usize) < buf.len() {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakeRx {
+    fn drop(&mut self) {
+        // SAFETY: we own the read end.
+        unsafe {
+            close(self.rfd);
+        }
+    }
+}
+
+impl AsRawFd for WakeRx {
+    fn as_raw_fd(&self) -> RawFd {
+        self.rfd
+    }
+}
+
+/// A connected (waker, receiver) pair over a non-blocking pipe.
+pub fn waker() -> io::Result<(Waker, WakeRx)> {
+    let mut fds = [0i32; 2];
+    // SAFETY: pipe2 writes exactly two fds into the array.
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+    Ok((Waker { wfd: std::sync::Arc::new(WakerFd(fds[1])) }, WakeRx { rfd: fds[0] }))
+}
+
+impl Waker {
+    /// Makes the event loop runnable. A full pipe is fine — the loop
+    /// is already guaranteed to wake.
+    pub fn wake(&self) {
+        let b = 1u8;
+        // SAFETY: writing one byte from a local to a fd we own.
+        unsafe {
+            write(self.wfd.0, &b, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_reports_readiness_and_waker_wakes() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        set_nonblocking(server.as_raw_fd()).unwrap();
+        poller.register(server.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        // Nothing ready yet: a short wait times out empty.
+        let mut events = Vec::with_capacity(8);
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "no readiness before any write");
+
+        client.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].events() & EPOLLIN != 0);
+
+        // Interest can be switched off and the fd removed.
+        poller.reregister(server.as_raw_fd(), 0, 7).unwrap();
+        poller.deregister(server.as_raw_fd());
+
+        // The waker breaks an otherwise-idle wait.
+        let (wake, rx) = waker().unwrap();
+        poller.register(rx.fd(), EPOLLIN, 99).unwrap();
+        // Clone into the thread: dropping the last Waker closes the
+        // write end, which would raise EPOLLHUP on the read end.
+        let remote = wake.clone();
+        let t = std::thread::spawn(move || remote.wake());
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 99);
+        rx.drain();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "drained waker pipe is quiet");
+        t.join().unwrap();
+    }
+}

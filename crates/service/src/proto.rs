@@ -13,17 +13,23 @@
 //! an [`Response::Error`] rather than misparsing. Version 2 added the
 //! latency-summary fields on [`DaemonStats`] plus the `Metrics` and
 //! `Trace` messages; a v1 peer still gets the legacy 18-field stats
-//! payload (see [`Response::encode_for_version`]). Report payloads
-//! inside [`Response::Status`] use the independent report wire format
-//! of `c4::report` (itself versioned), so a cache serving old bytes
-//! can never be misdecoded.
+//! payload (see [`Response::encode_for_version`]). Version 3 added the
+//! cluster frames: [`Request::Health`]/[`Response::Health`] (gateway
+//! health checks), [`Request::Forward`]/[`Response::Forwarded`]
+//! (multiplexed gateway→backend submission: the terminal
+//! [`Response::Status`] arrives later on the same connection), and the
+//! typed [`Response::Busy`] backpressure signal, which v1/v2 peers
+//! receive downgraded to the pre-v3 [`Response::Error`] text. Report
+//! payloads inside [`Response::Status`] use the independent report wire
+//! format of `c4::report` (itself versioned), so a cache serving old
+//! bytes can never be misdecoded.
 
 use std::io::{self, Read, Write};
 
 use c4::{AnalysisFeatures, CacheTier};
 
 /// Protocol version spoken by this build.
-pub const PROTO_VERSION: u16 = 2;
+pub const PROTO_VERSION: u16 = 3;
 
 /// Oldest peer version the daemon still serves.
 pub const MIN_PROTO_VERSION: u16 = 1;
@@ -69,6 +75,21 @@ pub enum Request {
     /// recording, not the verdict.
     Trace {
         /// Analysis configuration for this run.
+        features: AnalysisFeatures,
+        /// CCL source text.
+        source: String,
+    },
+    /// Liveness/readiness probe (v3+): answered from scheduler state
+    /// without touching the queue, cheap enough for tight-interval
+    /// health checking.
+    Health,
+    /// A gateway-forwarded submission (v3+). Unlike `Submit{wait}`,
+    /// the daemon acknowledges immediately with
+    /// [`Response::Forwarded`] and pushes the terminal
+    /// [`Response::Status`] later *on the same connection*, so one
+    /// gateway↔backend connection multiplexes many in-flight jobs.
+    Forward {
+        /// Analysis configuration for this job.
         features: AnalysisFeatures,
         /// CCL source text.
         source: String,
@@ -155,6 +176,25 @@ pub struct DaemonStats {
     pub run_max_ms: u64,
 }
 
+/// A daemon's health snapshot (v3+), the payload of
+/// [`Response::Health`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Whether new submissions are being admitted (false once a drain
+    /// or shutdown has begun).
+    pub accepting: bool,
+    /// Jobs currently queued.
+    pub queue_len: u64,
+    /// Queue capacity (admission bound).
+    pub queue_cap: u64,
+    /// Jobs currently running.
+    pub running: u64,
+    /// Scheduler worker threads.
+    pub workers: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+}
+
 /// A daemon-to-client response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -196,6 +236,22 @@ pub enum Response {
         report: Vec<u8>,
         /// The recorded trace in compact JSONL (one event per line).
         trace: String,
+    },
+    /// Typed backpressure (v3+): the job queue is full; try again
+    /// after the hinted delay. v1/v2 peers receive this downgraded to
+    /// the legacy queue-full [`Response::Error`].
+    Busy {
+        /// Suggested client backoff before resubmitting, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Health snapshot (v3+).
+    Health(HealthInfo),
+    /// A [`Request::Forward`] was admitted (v3+); the terminal
+    /// [`Response::Status`] for `job_id` follows asynchronously on the
+    /// same connection.
+    Forwarded {
+        /// The id the follow-up [`Response::Status`] will carry.
+        job_id: u64,
     },
 }
 
@@ -353,22 +409,29 @@ fn read_features(r: &mut Reader<'_>) -> Result<AnalysisFeatures, ProtoError> {
 // Messages
 // ---------------------------------------------------------------------
 
-const REQ_SUBMIT: u8 = 0x01;
-const REQ_STATUS: u8 = 0x02;
-const REQ_CANCEL: u8 = 0x03;
-const REQ_STATS: u8 = 0x04;
-const REQ_SHUTDOWN: u8 = 0x05;
-const REQ_METRICS: u8 = 0x06;
-const REQ_TRACE: u8 = 0x07;
+// Wire tags, public for protocol-level tooling and the compatibility
+// tests that hand-craft frames.
+pub const REQ_SUBMIT: u8 = 0x01;
+pub const REQ_STATUS: u8 = 0x02;
+pub const REQ_CANCEL: u8 = 0x03;
+pub const REQ_STATS: u8 = 0x04;
+pub const REQ_SHUTDOWN: u8 = 0x05;
+pub const REQ_METRICS: u8 = 0x06;
+pub const REQ_TRACE: u8 = 0x07;
+pub const REQ_HEALTH: u8 = 0x08;
+pub const REQ_FORWARD: u8 = 0x09;
 
-const RESP_SUBMITTED: u8 = 0x81;
-const RESP_STATUS: u8 = 0x82;
-const RESP_CANCELLED: u8 = 0x83;
-const RESP_STATS: u8 = 0x84;
-const RESP_SHUTDOWN_ACK: u8 = 0x85;
-const RESP_ERROR: u8 = 0x86;
-const RESP_METRICS: u8 = 0x87;
-const RESP_TRACE: u8 = 0x88;
+pub const RESP_SUBMITTED: u8 = 0x81;
+pub const RESP_STATUS: u8 = 0x82;
+pub const RESP_CANCELLED: u8 = 0x83;
+pub const RESP_STATS: u8 = 0x84;
+pub const RESP_SHUTDOWN_ACK: u8 = 0x85;
+pub const RESP_ERROR: u8 = 0x86;
+pub const RESP_METRICS: u8 = 0x87;
+pub const RESP_TRACE: u8 = 0x88;
+pub const RESP_BUSY: u8 = 0x89;
+pub const RESP_HEALTH: u8 = 0x8A;
+pub const RESP_FORWARDED: u8 = 0x8B;
 
 const STATE_QUEUED: u8 = 0;
 const STATE_RUNNING: u8 = 1;
@@ -433,6 +496,16 @@ impl Request {
                 put_features(&mut out, features);
                 put_str(&mut out, source);
             }
+            Request::Health => {
+                out.push(REQ_HEALTH);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+            }
+            Request::Forward { features, source } => {
+                out.push(REQ_FORWARD);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+                put_features(&mut out, features);
+                put_str(&mut out, source);
+            }
         }
         out
     }
@@ -477,6 +550,11 @@ impl Request {
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_METRICS if version >= 2 => Request::Metrics,
             REQ_TRACE if version >= 2 => Request::Trace {
+                features: read_features(&mut r)?,
+                source: r.str()?,
+            },
+            REQ_HEALTH if version >= 3 => Request::Health,
+            REQ_FORWARD if version >= 3 => Request::Forward {
                 features: read_features(&mut r)?,
                 source: r.str()?,
             },
@@ -529,10 +607,20 @@ impl Response {
     }
 
     /// Encodes the response payload as a `version` peer expects it.
-    /// The only divergence is [`Response::Stats`]: v1 peers read a
-    /// fixed 18-`u64` payload, so the v2 latency summaries are
-    /// truncated away for them rather than breaking their parse.
+    /// Two divergences: [`Response::Stats`] for v1 peers is the fixed
+    /// 18-`u64` payload (the v2 latency summaries are truncated away
+    /// rather than breaking their parse), and [`Response::Busy`] for
+    /// v1/v2 peers becomes the legacy queue-full [`Response::Error`]
+    /// those clients already handle.
     pub fn encode_for_version(&self, version: u16) -> Vec<u8> {
+        if let Response::Busy { retry_after_ms } = self {
+            if version < 3 {
+                return Response::Error {
+                    message: format!("queue full; retry after {retry_after_ms} ms"),
+                }
+                .encode_for_version(version);
+            }
+        }
         let mut out = Vec::new();
         match self {
             Response::Submitted { job_id } => {
@@ -599,6 +687,21 @@ impl Response {
                 put_bytes(&mut out, report);
                 put_str(&mut out, trace);
             }
+            Response::Busy { retry_after_ms } => {
+                out.push(RESP_BUSY);
+                put_u64(&mut out, *retry_after_ms);
+            }
+            Response::Health(h) => {
+                out.push(RESP_HEALTH);
+                out.push(h.accepting as u8);
+                for v in [h.queue_len, h.queue_cap, h.running, h.workers, h.uptime_ms] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::Forwarded { job_id } => {
+                out.push(RESP_FORWARDED);
+                put_u64(&mut out, *job_id);
+            }
         }
         out
     }
@@ -658,6 +761,16 @@ impl Response {
             RESP_ERROR => Response::Error { message: r.str()? },
             RESP_METRICS => Response::Metrics { text: r.str()? },
             RESP_TRACE => Response::Trace { report: r.bytes()?, trace: r.str()? },
+            RESP_BUSY => Response::Busy { retry_after_ms: r.u64()? },
+            RESP_HEALTH => Response::Health(HealthInfo {
+                accepting: r.bool()?,
+                queue_len: r.u64()?,
+                queue_cap: r.u64()?,
+                running: r.u64()?,
+                workers: r.u64()?,
+                uptime_ms: r.u64()?,
+            }),
+            RESP_FORWARDED => Response::Forwarded { job_id: r.u64()? },
             _ => return Err(ProtoError("unknown response tag")),
         };
         r.finish()?;
@@ -727,6 +840,11 @@ mod tests {
             Request::Shutdown,
             Request::Metrics,
             Request::Trace {
+                features: AnalysisFeatures::default(),
+                source: "store { map M; }".into(),
+            },
+            Request::Health,
+            Request::Forward {
                 features: AnalysisFeatures::default(),
                 source: "store { map M; }".into(),
             },
@@ -816,11 +934,55 @@ mod tests {
             Response::Error { message: "queue full".into() },
             Response::Metrics { text: "# TYPE c4d_jobs_submitted_total counter\n".into() },
             Response::Trace { report: vec![9, 8, 7], trace: "{\"t_ns\":1}\n".into() },
+            Response::Busy { retry_after_ms: 150 },
+            Response::Health(HealthInfo {
+                accepting: true,
+                queue_len: 2,
+                queue_cap: 64,
+                running: 1,
+                workers: 4,
+                uptime_ms: 9001,
+            }),
+            Response::Forwarded { job_id: 31 },
         ];
         for resp in resps {
             let bytes = resp.encode();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    /// v3 frames are invisible to older peers: the cluster request
+    /// tags are rejected when framed as v1/v2, and the typed `Busy`
+    /// backpressure signal downgrades to the legacy queue-full error
+    /// string that pre-v3 clients already match on.
+    #[test]
+    fn v3_cluster_frames_are_gated_and_busy_downgrades() {
+        for version in [1u16, 2] {
+            for req in [
+                Request::Health,
+                Request::Forward {
+                    features: AnalysisFeatures::default(),
+                    source: "store { map M; }".into(),
+                },
+            ] {
+                let mut bytes = req.encode();
+                bytes[1..3].copy_from_slice(&version.to_be_bytes());
+                assert!(
+                    Request::decode_versioned(&bytes).is_err(),
+                    "v{version} peers must not reach the cluster tags"
+                );
+            }
+            let down = Response::Busy { retry_after_ms: 40 }.encode_for_version(version);
+            match Response::decode(&down).unwrap() {
+                Response::Error { message } => {
+                    assert_eq!(message, "queue full; retry after 40 ms");
+                }
+                other => panic!("expected downgraded Error, got {other:?}"),
+            }
+        }
+        // At v3 the typed form survives untouched.
+        let v3 = Response::Busy { retry_after_ms: 40 }.encode_for_version(3);
+        assert_eq!(Response::decode(&v3).unwrap(), Response::Busy { retry_after_ms: 40 });
     }
 
     #[test]

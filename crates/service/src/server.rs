@@ -1,20 +1,43 @@
-//! The `c4d` daemon: accept loops, scheduler workers, the
-//! cache-then-compute pipeline, and graceful shutdown.
+//! The `c4d` daemon: a single-threaded readiness event loop over all
+//! connections, scheduler workers, the cache-then-compute pipeline,
+//! and graceful shutdown.
 //!
 //! One daemon owns a single [`VerdictCache`] and a bounded
-//! [`Scheduler`]. Acceptor threads (one per listener) spawn a handler
-//! per connection; handlers translate [`Request`]s into job-table and
-//! scheduler operations. Worker threads loop on the queue and run the
-//! pipeline per job: parse → canonicalize → cache lookup → on a miss,
-//! the bounded search with the job's [`CancelToken`] threaded into the
-//! checker's deadline checks; completed full verdicts are stored back.
-//! Partial (deadline-hit) verdicts are served but never cached, which
-//! is what makes excluding the time budget from the cache key sound.
+//! [`Scheduler`]. Connection handling is **not** thread-per-connection:
+//! one event-loop thread owns every listener and every connection
+//! (non-blocking, epoll readiness via [`crate::poll`], per-connection
+//! framing buffers via [`crate::conn`]), so an idle connection costs a
+//! registered fd rather than a parked thread and the thread count stays
+//! O(workers), not O(connections). Worker threads loop on the queue and
+//! run the pipeline per job: parse → canonicalize → cache lookup → on a
+//! miss, the bounded search with the job's [`CancelToken`] threaded
+//! into the checker's deadline checks; completed full verdicts are
+//! stored back. Partial (deadline-hit) verdicts are served but never
+//! cached, which is what makes excluding the time budget from the cache
+//! key sound.
+//!
+//! Requests that cannot be answered from in-memory state never block
+//! the loop:
+//!
+//! * `Submit{wait}` registers a *waiter*; the worker that finishes the
+//!   job posts a [`Notice`] through the self-pipe waker and the loop
+//!   sends the terminal `Status`. Until then that connection's further
+//!   frames stay buffered (request-response order is preserved).
+//! * `Forward` (v3, the gateway's submission) is acknowledged
+//!   immediately with `Forwarded{job_id}` and does **not** block the
+//!   connection: the terminal `Status` is pushed later on the same
+//!   connection, so one gateway link multiplexes many in-flight jobs.
+//! * `Trace` runs the pipeline on a transient side thread (it needs the
+//!   process-global recorder); `Shutdown` runs the drain on one.
+//!
+//! Admission control is typed: a full queue yields `Busy{retry_after_ms}`
+//! (downgraded to the legacy queue-full `Error` for pre-v3 peers), a
+//! draining daemon yields an `Error`.
 //!
 //! Graceful shutdown (the `Shutdown` request) stops admission, drains
-//! every admitted job, flushes the cache index, acknowledges, then
-//! wakes the acceptors with dummy connections so `ServerHandle::wait`
-//! can join every thread and remove the socket file.
+//! every admitted job on a side thread, flushes the cache index, acks,
+//! then the loop lingers briefly to flush remaining write buffers and
+//! exits.
 //!
 //! Observability: every job feeds fixed-bucket latency histograms
 //! (queue wait, run time, per-stage durations on computed misses)
@@ -24,9 +47,10 @@
 //! `--metrics-addr`, over a minimal HTTP listener at `/metrics`.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -35,11 +59,13 @@ use std::time::{Duration, Instant};
 
 use c4::{CacheKey, CacheTier, VerdictCache};
 use c4_obs::hist::Histogram;
+use c4_obs::prom::PromPage;
 
+use crate::conn::{FrameConn, NetStream, ReadOutcome};
 use crate::job::{CancelOutcome, Job, Scheduler};
+use crate::poll::{waker, Poller, WakeRx, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::proto::{
-    read_frame, write_frame, DaemonStats, JobState, ProtoError, Request, Response,
-    PROTO_VERSION,
+    DaemonStats, HealthInfo, JobState, ProtoError, Request, Response, PROTO_VERSION,
 };
 
 /// Per-thread recorder capacity for daemon-side `Trace` requests.
@@ -48,6 +74,9 @@ const TRACE_CAPACITY: usize = 1 << 18;
 /// Stage-duration histogram keys, matching `AnalysisStats::timings`.
 const STAGES: [&str; 7] =
     ["unfold", "ssg_filter", "smt", "encoder_build", "query_solve", "validate", "merge"];
+
+/// How long the loop keeps flushing write buffers after shutdown acks.
+const SHUTDOWN_LINGER: Duration = Duration::from_secs(5);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -92,6 +121,41 @@ struct Counters {
     rejected: AtomicU64,
 }
 
+/// A cross-thread message into the event loop, paired with a waker
+/// ring so the loop observes it promptly.
+enum Notice {
+    /// A worker finished `job_id` (any terminal state).
+    JobDone(u64),
+    /// A side thread produced the reply for a blocked connection.
+    SideDone { token: u64, version: u16, resp: Response },
+    /// The drain thread finished: all admitted jobs terminal, cache
+    /// index flushed.
+    DrainDone,
+}
+
+struct NoticeBox {
+    queue: Mutex<Vec<Notice>>,
+    waker: Waker,
+}
+
+impl NoticeBox {
+    fn post(&self, n: Notice) {
+        self.queue.lock().unwrap().push(n);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<Notice> {
+        std::mem::take(&mut *self.queue.lock().unwrap())
+    }
+}
+
+/// Admission outcome for a submission-flavored request.
+enum Admit {
+    Job(u64),
+    Draining,
+    Busy(u64),
+}
+
 struct Daemon {
     cache: VerdictCache,
     sched: Scheduler,
@@ -104,36 +168,41 @@ struct Daemon {
     wait_hist: Histogram,
     run_hist: Histogram,
     stage_hists: Vec<(&'static str, Histogram)>,
-    // Listener endpoints, kept to send the shutdown wake-up connections.
+    notices: NoticeBox,
     unix_path: Option<PathBuf>,
-    tcp_addr: Option<String>,
     metrics_addr: Option<String>,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Transient side threads (trace runs, the drain), joined at exit.
+    side_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Daemon {
-    fn submit(&self, wait: bool, features: c4::AnalysisFeatures, source: String) -> Response {
+    /// Admits a submission: allocates the job and enqueues it, or
+    /// reports why not.
+    fn admit(&self, features: c4::AnalysisFeatures, source: String) -> Admit {
         if self.shutdown.load(Ordering::SeqCst) {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return Response::Error { message: "daemon is shutting down".into() };
+            return Admit::Draining;
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Job::new(id, source, features);
         self.jobs.lock().unwrap().insert(id, Arc::clone(&job));
-        if !self.sched.try_enqueue(Arc::clone(&job)) {
+        if !self.sched.try_enqueue(job) {
             self.jobs.lock().unwrap().remove(&id);
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return Response::Error {
-                message: format!("queue full ({} jobs queued)", self.sched.queue_cap),
-            };
+            return Admit::Busy(self.busy_retry_ms());
         }
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        if wait {
-            let state = job.wait_terminal();
-            Response::Status { job_id: id, state }
-        } else {
-            Response::Submitted { job_id: id }
-        }
+        Admit::Job(id)
+    }
+
+    /// The backoff hint attached to `Busy`: roughly the time for the
+    /// backlog ahead of the caller to clear at the median job rate,
+    /// clamped to a sane polling band.
+    fn busy_retry_ms(&self) -> u64 {
+        let (queue_len, _) = self.sched.lens();
+        let per_job = self.run_hist.quantile(0.50).max(50);
+        let rounds = (queue_len as u64) / (self.workers as u64).max(1) + 1;
+        per_job.saturating_mul(rounds).clamp(25, 10_000)
     }
 
     fn status(&self, job_id: u64) -> Response {
@@ -158,10 +227,26 @@ impl Daemon {
         }
     }
 
-    fn stats(&self) -> Response {
+    fn job_state(&self, job_id: u64) -> Option<JobState> {
+        self.jobs.lock().unwrap().get(&job_id).map(|j| j.state())
+    }
+
+    fn health(&self) -> HealthInfo {
+        let (queue_len, running) = self.sched.lens();
+        HealthInfo {
+            accepting: !self.shutdown.load(Ordering::SeqCst),
+            queue_len: queue_len as u64,
+            queue_cap: self.sched.queue_cap as u64,
+            running: running as u64,
+            workers: self.workers as u64,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    fn stats(&self) -> DaemonStats {
         let (queue_len, running) = self.sched.lens();
         let cc = self.cache.counters();
-        Response::Stats(DaemonStats {
+        DaemonStats {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             completed: self.counters.completed.load(Ordering::Relaxed),
@@ -186,90 +271,86 @@ impl Daemon {
             run_p50_ms: self.run_hist.quantile(0.50),
             run_p95_ms: self.run_hist.quantile(0.95),
             run_max_ms: self.run_hist.max(),
-        })
+        }
     }
 
     /// The Prometheus text-format (exposition 0.0.4) metrics page:
     /// every [`DaemonStats`] field as a counter or gauge, plus the
     /// full bucket vectors of the wait/run/stage histograms.
     fn metrics_text(&self) -> String {
-        let mut out = String::new();
-        let stats = match self.stats() {
-            Response::Stats(s) => s,
-            _ => unreachable!("stats() always returns Response::Stats"),
-        };
-        let mut counter = |name: &str, help: &str, v: u64| {
-            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
-        };
-        counter("c4d_jobs_submitted_total", "Jobs admitted.", stats.submitted);
-        counter("c4d_jobs_completed_total", "Jobs finished with a verdict.", stats.completed);
-        counter("c4d_jobs_cancelled_total", "Jobs cancelled.", stats.cancelled);
-        counter("c4d_jobs_failed_total", "Jobs failed in the front end.", stats.failed);
-        counter("c4d_jobs_rejected_total", "Submissions refused by admission control.", stats.rejected);
-        counter("c4d_cache_misses_total", "Verdict cache misses (computed).", stats.cache_misses);
-        counter("c4d_cache_stores_total", "Verdict cache stores.", stats.cache_stores);
-        counter("c4d_cache_evictions_total", "In-memory LRU evictions.", stats.cache_evictions);
-        counter(
+        let stats = self.stats();
+        let mut page = PromPage::new();
+        page.counter("c4d_jobs_submitted_total", "Jobs admitted.", stats.submitted);
+        page.counter("c4d_jobs_completed_total", "Jobs finished with a verdict.", stats.completed);
+        page.counter("c4d_jobs_cancelled_total", "Jobs cancelled.", stats.cancelled);
+        page.counter("c4d_jobs_failed_total", "Jobs failed in the front end.", stats.failed);
+        page.counter(
+            "c4d_jobs_rejected_total",
+            "Submissions refused by admission control.",
+            stats.rejected,
+        );
+        page.counter("c4d_cache_misses_total", "Verdict cache misses (computed).", stats.cache_misses);
+        page.counter("c4d_cache_stores_total", "Verdict cache stores.", stats.cache_stores);
+        page.counter("c4d_cache_evictions_total", "In-memory LRU evictions.", stats.cache_evictions);
+        page.counter(
             "c4d_cache_stale_drops_total",
             "Stale or corrupt disk entries dropped.",
             stats.cache_stale_drops,
         );
-        out.push_str(
-            "# HELP c4d_cache_hits_total Verdict cache hits by tier.\n\
-             # TYPE c4d_cache_hits_total counter\n",
+        page.counter_family(
+            "c4d_cache_hits_total",
+            "Verdict cache hits by tier.",
+            &[
+                (&[("tier", "memory")], stats.cache_mem_hits),
+                (&[("tier", "disk")], stats.cache_disk_hits),
+            ],
         );
-        out.push_str(&format!(
-            "c4d_cache_hits_total{{tier=\"memory\"}} {}\n",
-            stats.cache_mem_hits
-        ));
-        out.push_str(&format!(
-            "c4d_cache_hits_total{{tier=\"disk\"}} {}\n",
-            stats.cache_disk_hits
-        ));
-        let mut gauge = |name: &str, help: &str, v: u64| {
-            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
-        };
-        gauge("c4d_uptime_milliseconds", "Milliseconds since the daemon started.", stats.uptime_ms);
-        gauge("c4d_queue_depth", "Jobs currently queued.", stats.queue_len);
-        gauge("c4d_jobs_running", "Jobs currently running.", stats.running);
-        gauge("c4d_queue_capacity", "Admission bound on the queue.", stats.queue_cap);
-        gauge("c4d_workers", "Scheduler worker threads.", stats.workers);
-        out.push_str(
-            "# HELP c4d_cache_entries Verdict cache residency by tier.\n\
-             # TYPE c4d_cache_entries gauge\n",
+        page.gauge("c4d_uptime_milliseconds", "Milliseconds since the daemon started.", stats.uptime_ms);
+        page.gauge("c4d_queue_depth", "Jobs currently queued.", stats.queue_len);
+        page.gauge("c4d_jobs_running", "Jobs currently running.", stats.running);
+        page.gauge("c4d_queue_capacity", "Admission bound on the queue.", stats.queue_cap);
+        page.gauge("c4d_workers", "Scheduler worker threads.", stats.workers);
+        page.gauge_family(
+            "c4d_cache_entries",
+            "Verdict cache residency by tier.",
+            &[
+                (&[("tier", "memory")], stats.cache_mem_entries),
+                (&[("tier", "disk")], stats.cache_disk_entries),
+            ],
         );
-        out.push_str(&format!(
-            "c4d_cache_entries{{tier=\"memory\"}} {}\n",
-            stats.cache_mem_entries
-        ));
-        out.push_str(&format!("c4d_cache_entries{{tier=\"disk\"}} {}\n", stats.cache_disk_entries));
-        out.push_str(
-            "# HELP c4d_job_wait_milliseconds Queue wait per completed job.\n\
-             # TYPE c4d_job_wait_milliseconds histogram\n",
+        page.histogram_family(
+            "c4d_job_wait_milliseconds",
+            "Queue wait per completed job.",
+            &[(&[], &self.wait_hist)],
         );
-        self.wait_hist.render_prometheus(&mut out, "c4d_job_wait_milliseconds", &[]);
-        out.push_str(
-            "# HELP c4d_job_run_milliseconds Pipeline run time per completed job.\n\
-             # TYPE c4d_job_run_milliseconds histogram\n",
+        page.histogram_family(
+            "c4d_job_run_milliseconds",
+            "Pipeline run time per completed job.",
+            &[(&[], &self.run_hist)],
         );
-        self.run_hist.render_prometheus(&mut out, "c4d_job_run_milliseconds", &[]);
-        out.push_str(
-            "# HELP c4d_stage_duration_milliseconds Per-stage durations of computed jobs.\n\
-             # TYPE c4d_stage_duration_milliseconds histogram\n",
+        let stage_labels: Vec<[(&str, &str); 1]> =
+            self.stage_hists.iter().map(|(s, _)| [("stage", *s)]).collect();
+        let series: Vec<(&[(&str, &str)], &Histogram)> = self
+            .stage_hists
+            .iter()
+            .enumerate()
+            .map(|(i, (_, hist))| (stage_labels[i].as_slice(), hist))
+            .collect();
+        page.histogram_family(
+            "c4d_stage_duration_milliseconds",
+            "Per-stage durations of computed jobs.",
+            &series,
         );
-        for (stage, hist) in &self.stage_hists {
-            hist.render_prometheus(&mut out, "c4d_stage_duration_milliseconds", &[("stage", stage)]);
-        }
-        out
+        page.finish()
     }
 
-    /// Serves a `Trace` request: runs the pipeline synchronously on
-    /// the handler thread with the recorder enabled and returns both
-    /// the report and the JSONL trace. The recorder is process-global,
-    /// so concurrent trace requests are serialized under a lock; jobs
-    /// the scheduler happens to run meanwhile contribute their events
-    /// too (it is a whole-process trace). Tracing is verdict-neutral:
-    /// the report bytes equal an untraced run's.
+    /// Serves a `Trace` request: runs the pipeline synchronously on a
+    /// side thread with the recorder enabled and returns both the
+    /// report and the JSONL trace. The recorder is process-global, so
+    /// concurrent trace requests are serialized under a lock; jobs the
+    /// scheduler happens to run meanwhile contribute their events too
+    /// (it is a whole-process trace). Tracing is verdict-neutral: the
+    /// report bytes equal an untraced run's.
     fn trace_job(&self, features: c4::AnalysisFeatures, source: String) -> Response {
         static TRACE_LOCK: Mutex<()> = Mutex::new(());
         let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -285,36 +366,13 @@ impl Daemon {
         }
     }
 
-    /// Graceful shutdown: refuse new work, drain everything admitted,
-    /// persist the cache index. Idempotent; callable from any handler.
-    fn shutdown_and_drain(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.sched.begin_drain();
-        self.sched.await_drained();
-        if let Err(e) = self.cache.flush_index() {
-            eprintln!("c4d: failed to flush cache index: {e}");
-        }
-    }
-
-    /// Wakes blocked acceptors so they observe the shutdown flag. A
-    /// failed connect means the acceptor is already gone — fine.
-    fn wake_acceptors(&self) {
-        if let Some(path) = &self.unix_path {
-            let _ = UnixStream::connect(path);
-        }
-        if let Some(addr) = &self.tcp_addr {
-            let _ = TcpStream::connect(addr);
-        }
-        if let Some(addr) = &self.metrics_addr {
-            let _ = TcpStream::connect(addr);
-        }
-    }
-
-    /// One scheduler worker: run jobs until drained.
+    /// One scheduler worker: run jobs until drained, ringing the event
+    /// loop after each so waiters get their terminal `Status`.
     fn worker_loop(self: &Arc<Self>) {
         while let Some(job) = self.sched.next() {
             if job.claim_for_run() {
                 self.process(&job);
+                self.notices.post(Notice::JobDone(job.id));
             }
             self.sched.done_one();
         }
@@ -388,82 +446,11 @@ impl Daemon {
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         job.set_state(done(CacheTier::Miss, bytes));
     }
-
-    /// Serves one connection: a loop of request frames until EOF.
-    /// Returns `true` if this connection requested shutdown.
-    fn handle_conn(self: &Arc<Self>, stream: &mut (impl io::Read + io::Write)) -> bool {
-        loop {
-            let payload = match read_frame(stream) {
-                Ok(Some(payload)) => payload,
-                Ok(None) | Err(_) => return false,
-            };
-            let (resp, version, is_shutdown) = match Request::decode_versioned(&payload) {
-                Ok((Request::Submit { wait, features, source }, v)) => {
-                    (self.submit(wait, features, source), v, false)
-                }
-                Ok((Request::Status { job_id }, v)) => (self.status(job_id), v, false),
-                Ok((Request::Cancel { job_id }, v)) => (self.cancel(job_id), v, false),
-                Ok((Request::Stats, v)) => (self.stats(), v, false),
-                Ok((Request::Metrics, v)) => {
-                    (Response::Metrics { text: self.metrics_text() }, v, false)
-                }
-                Ok((Request::Trace { features, source }, v)) => {
-                    (self.trace_job(features, source), v, false)
-                }
-                Ok((Request::Shutdown, v)) => {
-                    self.shutdown_and_drain();
-                    (Response::ShutdownAck, v, true)
-                }
-                Err(ProtoError(msg)) => (
-                    Response::Error { message: format!("protocol error: {msg}") },
-                    PROTO_VERSION,
-                    false,
-                ),
-            };
-            if write_frame(stream, &resp.encode_for_version(version)).is_err() {
-                return is_shutdown;
-            }
-            if is_shutdown {
-                return true;
-            }
-        }
-    }
-}
-
-/// Serves one HTTP connection on the metrics listener. Deliberately
-/// minimal: reads the request head (bounded, with a timeout so a
-/// stalled client cannot wedge the single acceptor), answers
-/// `GET /metrics` with the exposition page, anything else with 404,
-/// and closes. No keep-alive, no chunking — exactly what a Prometheus
-/// scraper needs.
-fn serve_metrics_conn(daemon: &Daemon, stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => head.extend_from_slice(&buf[..n]),
-        }
-    }
-    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
-    let is_metrics = line.starts_with(b"GET /metrics ") || line == b"GET /metrics";
-    let (status, ctype, body) = if is_metrics {
-        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", daemon.metrics_text())
-    } else {
-        ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string())
-    };
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    let _ = stream.flush();
 }
 
 /// The metrics acceptor: serves scrapes inline (they are cheap and
-/// allocation-bounded) until the shutdown flag is observed, which
-/// `wake_acceptors` guarantees by poking the listener.
+/// allocation-bounded) until the shutdown flag is observed, which the
+/// event loop guarantees by poking the listener at exit.
 fn metrics_loop(daemon: Arc<Daemon>, listener: TcpListener) {
     loop {
         if daemon.shutdown.load(Ordering::SeqCst) {
@@ -476,7 +463,7 @@ fn metrics_loop(daemon: Arc<Daemon>, listener: TcpListener) {
         if daemon.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        serve_metrics_conn(&daemon, &mut stream);
+        c4_obs::prom::serve_http_conn(&mut stream, &|| daemon.metrics_text());
     }
 }
 
@@ -486,43 +473,427 @@ enum Listener {
 }
 
 impl Listener {
-    fn accept_loop(self, daemon: Arc<Daemon>) {
-        loop {
-            if daemon.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            let accepted: io::Result<Box<dyn ConnStream>> = match &self {
-                Listener::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn ConnStream>),
-                Listener::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn ConnStream>),
-            };
-            let mut stream = match accepted {
-                Ok(stream) => stream,
-                Err(_) => continue,
-            };
-            if daemon.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            let d = Arc::clone(&daemon);
-            let handle = std::thread::spawn(move || {
-                if d.handle_conn(&mut stream) {
-                    d.wake_acceptors();
-                }
-            });
-            daemon.conn_threads.lock().unwrap().push(handle);
+    fn fd(&self) -> i32 {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    /// One non-blocking accept. `Ok(None)` when the backlog is empty.
+    fn accept(&self) -> io::Result<Option<NetStream>> {
+        let res = match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| NetStream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| NetStream::Tcp(s)),
+        };
+        match res {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
         }
     }
 }
 
-trait ConnStream: io::Read + io::Write + Send {}
-impl ConnStream for UnixStream {}
-impl ConnStream for TcpStream {}
+/// A waiter for a job's terminal state: who to tell, how to encode,
+/// and whether the reply unblocks that connection's frame dispatch
+/// (`Submit{wait}`: yes; `Forward`: no — forwards are multiplexed).
+struct JobWaiter {
+    token: u64,
+    version: u16,
+    unblocks: bool,
+}
+
+struct ConnEntry {
+    conn: FrameConn,
+    /// Pending blocking replies (submit-wait, trace, shutdown): while
+    /// non-zero, buffered frames are not dispatched, preserving the
+    /// request-response order a sequential client expects.
+    blocked: u32,
+    eof: bool,
+    /// Present in the epoll interest set, and with which bits.
+    registered: Option<u32>,
+}
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_CONN_BASE: u64 = 64;
+
+/// The daemon's event loop: owns the poller, every listener, and every
+/// connection.
+struct EventLoop {
+    daemon: Arc<Daemon>,
+    poller: Poller,
+    wake_rx: WakeRx,
+    /// Listener token → listener; tokens below [`TOKEN_CONN_BASE`].
+    listeners: HashMap<u64, Listener>,
+    conns: HashMap<u64, ConnEntry>,
+    /// job id → connections awaiting its terminal `Status`.
+    waiters: HashMap<u64, Vec<JobWaiter>>,
+    /// Connections awaiting `ShutdownAck` (token, version).
+    ack_waiting: Vec<(u64, u16)>,
+    drain_started: bool,
+    exiting: bool,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        self.poller.register(self.wake_rx.fd(), EPOLLIN, TOKEN_WAKER)?;
+        for (&token, l) in &self.listeners {
+            self.poller.register(l.fd(), EPOLLIN, token)?;
+        }
+        let mut events = Vec::with_capacity(256);
+        let mut ready: Vec<(u64, u32)> = Vec::new();
+        let mut linger_until: Option<Instant> = None;
+        loop {
+            if self.exiting {
+                // Stop accepting; drop connections with nothing left
+                // to say; once everyone is flushed (or the linger cap
+                // passes), exit.
+                self.listeners.clear();
+                self.conns.retain(|_, e| e.conn.wants_write() || e.blocked > 0);
+                let deadline = *linger_until.get_or_insert_with(|| Instant::now() + SHUTDOWN_LINGER);
+                if self.conns.is_empty() || Instant::now() >= deadline {
+                    return Ok(());
+                }
+            }
+            let timeout = if self.exiting { Some(Duration::from_millis(50)) } else { None };
+            self.poller.wait(&mut events, timeout)?;
+            ready.clear();
+            ready.extend(events.iter().map(|e| (e.token(), e.events())));
+            for &(token, bits) in &ready {
+                if token == TOKEN_WAKER {
+                    self.wake_rx.drain();
+                } else if self.listeners.contains_key(&token) {
+                    self.accept_all(token);
+                } else {
+                    self.conn_event(token, bits);
+                }
+            }
+            for notice in self.daemon.notices.take() {
+                match notice {
+                    Notice::JobDone(job_id) => self.resolve_job(job_id),
+                    Notice::SideDone { token, version, resp } => {
+                        let known = match self.conns.get_mut(&token) {
+                            Some(e) => {
+                                e.blocked = e.blocked.saturating_sub(1);
+                                true
+                            }
+                            None => false,
+                        };
+                        if known {
+                            self.queue_reply(token, &resp, version);
+                            self.pump_conn(token);
+                        }
+                    }
+                    Notice::DrainDone => {
+                        for (token, version) in std::mem::take(&mut self.ack_waiting) {
+                            let known = match self.conns.get_mut(&token) {
+                                Some(e) => {
+                                    e.blocked = e.blocked.saturating_sub(1);
+                                    true
+                                }
+                                None => false,
+                            };
+                            if known {
+                                self.queue_reply(token, &Response::ShutdownAck, version);
+                            }
+                        }
+                        self.exiting = true;
+                        linger_until = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains a listener's accept backlog.
+    fn accept_all(&mut self, token: u64) {
+        loop {
+            let accepted = match self.listeners.get(&token) {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok(Some(stream)) => {
+                    let conn = match FrameConn::new(stream) {
+                        Ok(c) => c,
+                        Err(_) => continue,
+                    };
+                    let t = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.register(conn.fd(), EPOLLIN, t).is_ok() {
+                        self.conns.insert(
+                            t,
+                            ConnEntry { conn, blocked: 0, eof: false, registered: Some(EPOLLIN) },
+                        );
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.drop_conn(token);
+            return;
+        }
+        if bits & EPOLLIN != 0 {
+            let outcome = match self.conns.get_mut(&token) {
+                Some(e) => e.conn.on_readable(),
+                None => return,
+            };
+            match outcome {
+                Ok(ReadOutcome::Open) => {}
+                Ok(ReadOutcome::Eof) => {
+                    if let Some(e) = self.conns.get_mut(&token) {
+                        e.eof = true;
+                    }
+                }
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+            self.pump_conn(token);
+        } else if bits & EPOLLOUT != 0 {
+            self.after_io(token);
+        }
+    }
+
+    /// Dispatches every complete buffered frame (unless the connection
+    /// is blocked on a pending reply), then settles I/O state.
+    fn pump_conn(&mut self, token: u64) {
+        loop {
+            let entry = match self.conns.get_mut(&token) {
+                Some(e) => e,
+                None => return,
+            };
+            if entry.blocked > 0 {
+                break;
+            }
+            match entry.conn.next_frame() {
+                Ok(Some(frame)) => self.dispatch(token, &frame),
+                Ok(None) => break,
+                Err(_) => {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+        self.after_io(token);
+    }
+
+    /// Handles one request frame from `token`'s connection.
+    fn dispatch(&mut self, token: u64, payload: &[u8]) {
+        let daemon = Arc::clone(&self.daemon);
+        let (reply, version) = match Request::decode_versioned(payload) {
+            Ok((Request::Submit { wait, features, source }, v)) => {
+                match daemon.admit(features, source) {
+                    Admit::Job(job_id) if wait => {
+                        self.waiters
+                            .entry(job_id)
+                            .or_default()
+                            .push(JobWaiter { token, version: v, unblocks: true });
+                        if let Some(e) = self.conns.get_mut(&token) {
+                            e.blocked += 1;
+                        }
+                        // The job may already be terminal (a fast
+                        // worker, or a pre-drain race): resolve now.
+                        self.resolve_job(job_id);
+                        (None, v)
+                    }
+                    Admit::Job(job_id) => (Some(Response::Submitted { job_id }), v),
+                    Admit::Draining => {
+                        (Some(Response::Error { message: "daemon is shutting down".into() }), v)
+                    }
+                    Admit::Busy(ms) => (Some(Response::Busy { retry_after_ms: ms }), v),
+                }
+            }
+            Ok((Request::Forward { features, source }, v)) => match daemon.admit(features, source) {
+                Admit::Job(job_id) => {
+                    self.waiters
+                        .entry(job_id)
+                        .or_default()
+                        .push(JobWaiter { token, version: v, unblocks: false });
+                    // Forwarded jobs are usually terminal long after
+                    // this ack, but a cache hit can land instantly.
+                    self.queue_reply(token, &Response::Forwarded { job_id }, v);
+                    self.resolve_job(job_id);
+                    (None, v)
+                }
+                Admit::Draining => {
+                    (Some(Response::Error { message: "daemon is shutting down".into() }), v)
+                }
+                Admit::Busy(ms) => (Some(Response::Busy { retry_after_ms: ms }), v),
+            },
+            Ok((Request::Status { job_id }, v)) => (Some(daemon.status(job_id)), v),
+            Ok((Request::Cancel { job_id }, v)) => {
+                let reply = daemon.cancel(job_id);
+                self.queue_reply(token, &reply, v);
+                // A queued job cancels synchronously — no worker will
+                // ever announce it, so wake its waiters here.
+                self.resolve_job(job_id);
+                (None, v)
+            }
+            Ok((Request::Stats, v)) => (Some(Response::Stats(daemon.stats())), v),
+            Ok((Request::Metrics, v)) => {
+                (Some(Response::Metrics { text: daemon.metrics_text() }), v)
+            }
+            Ok((Request::Health, v)) => (Some(Response::Health(daemon.health())), v),
+            Ok((Request::Trace { features, source }, v)) => {
+                if let Some(e) = self.conns.get_mut(&token) {
+                    e.blocked += 1;
+                }
+                let d = Arc::clone(&daemon);
+                let handle = std::thread::spawn(move || {
+                    let resp = d.trace_job(features, source);
+                    d.notices.post(Notice::SideDone { token, version: v, resp });
+                });
+                daemon.side_threads.lock().unwrap().push(handle);
+                (None, v)
+            }
+            Ok((Request::Shutdown, v)) => {
+                if let Some(e) = self.conns.get_mut(&token) {
+                    e.blocked += 1;
+                }
+                self.ack_waiting.push((token, v));
+                daemon.shutdown.store(true, Ordering::SeqCst);
+                if !self.drain_started {
+                    self.drain_started = true;
+                    let d = Arc::clone(&daemon);
+                    let handle = std::thread::spawn(move || {
+                        d.sched.begin_drain();
+                        d.sched.await_drained();
+                        if let Err(e) = d.cache.flush_index() {
+                            eprintln!("c4d: failed to flush cache index: {e}");
+                        }
+                        d.notices.post(Notice::DrainDone);
+                    });
+                    daemon.side_threads.lock().unwrap().push(handle);
+                }
+                (None, v)
+            }
+            Err(ProtoError(msg)) => (
+                Some(Response::Error { message: format!("protocol error: {msg}") }),
+                PROTO_VERSION,
+            ),
+        };
+        if let Some(resp) = reply {
+            self.queue_reply(token, &resp, version);
+        }
+    }
+
+    /// If `job_id` is terminal, sends its `Status` to every waiter.
+    fn resolve_job(&mut self, job_id: u64) {
+        if !self.waiters.contains_key(&job_id) {
+            return;
+        }
+        let state = match self.daemon.job_state(job_id) {
+            Some(
+                s @ (JobState::Done { .. } | JobState::Cancelled | JobState::Failed { .. }),
+            ) => s,
+            _ => return,
+        };
+        let ws = self.waiters.remove(&job_id).unwrap_or_default();
+        let mut unblocked = Vec::new();
+        for w in ws {
+            let known = match self.conns.get_mut(&w.token) {
+                Some(e) => {
+                    if w.unblocks {
+                        e.blocked = e.blocked.saturating_sub(1);
+                        unblocked.push(w.token);
+                    }
+                    true
+                }
+                None => false,
+            };
+            if known {
+                let resp = Response::Status { job_id, state: state.clone() };
+                self.queue_reply(w.token, &resp, w.version);
+            }
+        }
+        // Unblocked connections may have buffered follow-up requests.
+        for token in unblocked {
+            self.pump_conn(token);
+        }
+    }
+
+    /// Stages a reply and settles I/O state.
+    fn queue_reply(&mut self, token: u64, resp: &Response, version: u16) {
+        if let Some(e) = self.conns.get_mut(&token) {
+            e.conn.queue_frame(&resp.encode_for_version(version));
+        }
+        self.after_io(token);
+    }
+
+    /// Flushes what the socket will take and reconciles epoll interest
+    /// with buffer state; drops the connection when it is finished.
+    fn after_io(&mut self, token: u64) {
+        let (fd, cur, want, finished) = {
+            let entry = match self.conns.get_mut(&token) {
+                Some(e) => e,
+                None => return,
+            };
+            let fd = entry.conn.fd();
+            if entry.conn.on_writable().is_err()
+                || (entry.eof && entry.blocked == 0 && !entry.conn.wants_write())
+            {
+                (fd, entry.registered, 0, true)
+            } else {
+                let want = if entry.eof {
+                    // Nothing more to read; only flushing (or waiting
+                    // for a blocked reply, during which the fd needs
+                    // no events).
+                    if entry.conn.wants_write() { EPOLLOUT } else { 0 }
+                } else {
+                    entry.conn.interest()
+                };
+                (fd, entry.registered, want, false)
+            }
+        };
+        if finished {
+            self.drop_conn(token);
+            return;
+        }
+        let outcome = match (cur, want) {
+            (Some(_), 0) => {
+                self.poller.deregister(fd);
+                Ok(None)
+            }
+            (Some(c), w) if c != w => self.poller.reregister(fd, w, token).map(|()| Some(w)),
+            (None, w) if w != 0 => self.poller.register(fd, w, token).map(|()| Some(w)),
+            (r, _) => Ok(r),
+        };
+        match outcome {
+            Ok(registered) => {
+                if let Some(e) = self.conns.get_mut(&token) {
+                    e.registered = registered;
+                }
+            }
+            Err(_) => self.drop_conn(token),
+        }
+    }
+
+    /// Closes and forgets a connection. Waiters pointing at it become
+    /// no-ops when their job resolves.
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(e) = self.conns.remove(&token) {
+            if e.registered.is_some() {
+                self.poller.deregister(e.conn.fd());
+            }
+        }
+    }
+}
 
 /// A running daemon. Dropping the handle does **not** stop the daemon;
 /// call [`wait`](ServerHandle::wait) after a client-initiated shutdown.
 pub struct ServerHandle {
     daemon: Arc<Daemon>,
-    acceptors: Vec<JoinHandle<()>>,
+    event_loop: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
     /// The bound TCP address (with the OS-assigned port if `:0` was
     /// requested), for clients.
     pub tcp_addr: Option<String>,
@@ -535,14 +906,18 @@ impl ServerHandle {
     /// `Shutdown` and every thread exited), then removes the socket
     /// file.
     pub fn wait(self) {
-        for h in self.acceptors {
-            let _ = h.join();
-        }
+        let _ = self.event_loop.join();
         for h in self.workers {
             let _ = h.join();
         }
-        // Handlers spawned before the acceptors exited.
-        let handles: Vec<_> = self.daemon.conn_threads.lock().unwrap().drain(..).collect();
+        // Wake the metrics acceptor so it observes the shutdown flag.
+        if let Some(addr) = &self.daemon.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(h) = self.metrics {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.daemon.side_threads.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -553,7 +928,7 @@ impl ServerHandle {
 }
 
 /// Starts the daemon: binds the configured listeners, spawns the
-/// scheduler workers and acceptors, and returns immediately.
+/// scheduler workers and the event loop, and returns immediately.
 ///
 /// # Errors
 ///
@@ -571,19 +946,24 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         None => VerdictCache::in_memory(cfg.mem_cache),
     };
 
-    let mut listeners = Vec::new();
+    let mut listeners = HashMap::new();
+    let mut listener_token = TOKEN_WAKER + 1;
     if let Some(path) = &cfg.unix_socket {
         // A stale socket file from a crashed daemon would make bind
         // fail; replace it. A *live* daemon is not detected here —
         // callers use distinct paths per instance.
         let _ = std::fs::remove_file(path);
-        listeners.push(Listener::Unix(UnixListener::bind(path)?));
+        let l = UnixListener::bind(path)?;
+        l.set_nonblocking(true)?;
+        listeners.insert(listener_token, Listener::Unix(l));
+        listener_token += 1;
     }
     let mut tcp_addr = None;
     if let Some(addr) = &cfg.tcp {
         let l = TcpListener::bind(addr.as_str())?;
+        l.set_nonblocking(true)?;
         tcp_addr = Some(l.local_addr()?.to_string());
-        listeners.push(Listener::Tcp(l));
+        listeners.insert(listener_token, Listener::Tcp(l));
     }
     let mut metrics_listener = None;
     let mut metrics_addr = None;
@@ -593,6 +973,8 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         metrics_listener = Some(l);
     }
 
+    let (wake, wake_rx) = waker()?;
+    let poller = Poller::new()?;
     let workers = cfg.workers.max(1);
     let daemon = Arc::new(Daemon {
         cache,
@@ -606,10 +988,10 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         wait_hist: Histogram::latency_ms(),
         run_hist: Histogram::latency_ms(),
         stage_hists: STAGES.iter().map(|&s| (s, Histogram::latency_ms())).collect(),
+        notices: NoticeBox { queue: Mutex::new(Vec::new()), waker: wake },
         unix_path: cfg.unix_socket.clone(),
-        tcp_addr: tcp_addr.clone(),
         metrics_addr: metrics_addr.clone(),
-        conn_threads: Mutex::new(Vec::new()),
+        side_threads: Mutex::new(Vec::new()),
     });
 
     let worker_handles = (0..workers)
@@ -618,22 +1000,33 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
             std::thread::spawn(move || d.worker_loop())
         })
         .collect();
-    let mut acceptor_handles: Vec<JoinHandle<()>> = listeners
-        .into_iter()
-        .map(|l| {
-            let d = Arc::clone(&daemon);
-            std::thread::spawn(move || l.accept_loop(d))
-        })
-        .collect();
-    if let Some(l) = metrics_listener {
+    let mut event_loop = EventLoop {
+        daemon: Arc::clone(&daemon),
+        poller,
+        wake_rx,
+        listeners,
+        conns: HashMap::new(),
+        waiters: HashMap::new(),
+        ack_waiting: Vec::new(),
+        drain_started: false,
+        exiting: false,
+        next_token: TOKEN_CONN_BASE,
+    };
+    let loop_handle = std::thread::spawn(move || {
+        if let Err(e) = event_loop.run() {
+            eprintln!("c4d: event loop failed: {e}");
+        }
+    });
+    let metrics_handle = metrics_listener.map(|l| {
         let d = Arc::clone(&daemon);
-        acceptor_handles.push(std::thread::spawn(move || metrics_loop(d, l)));
-    }
+        std::thread::spawn(move || metrics_loop(d, l))
+    });
 
     Ok(ServerHandle {
         daemon,
-        acceptors: acceptor_handles,
+        event_loop: loop_handle,
         workers: worker_handles,
+        metrics: metrics_handle,
         tcp_addr,
         metrics_addr,
     })
@@ -643,6 +1036,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
 mod tests {
     use super::*;
     use crate::client::{Client, Endpoint};
+    use std::io::{Read, Write};
 
     const PROG: &str = "store { map M; }\n\
         txn t1() { M.put(1, 10); }\n\
@@ -855,6 +1249,103 @@ mod tests {
             client.submit(slow_prog, &slow).is_err(),
             "draining daemon rejects new submissions"
         );
+        handle.wait();
+    }
+
+    /// The new v3 surface end-to-end against a live daemon: health
+    /// probes, typed busy backpressure, and multiplexed forwards on a
+    /// single connection.
+    #[test]
+    fn health_busy_and_forward_multiplexing() {
+        let handle = serve(ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 1,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.tcp_addr.clone().unwrap();
+        let client = Client::new(Endpoint::Tcp(addr.clone()));
+
+        let h = client.health().unwrap();
+        assert!(h.accepting);
+        assert_eq!(h.workers, 1);
+        assert_eq!(h.queue_cap, 1);
+
+        // One multiplexed connection: two forwards of the same program
+        // produce two Forwarded acks, then two terminal Status frames
+        // with byte-identical reports (the second is a cache hit). The
+        // 1-slot queue may still hold the first job when the second
+        // forward lands, in which case admission answers Busy — retry
+        // it, exactly as the gateway does for a busy backend.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let features = c4::AnalysisFeatures::default();
+        let forward =
+            Request::Forward { features: features.clone(), source: PROG.into() }.encode();
+        for _ in 0..2 {
+            crate::proto::write_frame(&mut stream, &forward).unwrap();
+        }
+        let mut acked = Vec::new();
+        let mut reports = HashMap::new();
+        while reports.len() < 2 {
+            let payload = crate::proto::read_frame(&mut stream).unwrap().expect("open");
+            match Response::decode(&payload).unwrap() {
+                Response::Forwarded { job_id } => acked.push(job_id),
+                Response::Status { job_id, state } => {
+                    let (_, rep) = report_of(state);
+                    reports.insert(job_id, rep);
+                }
+                Response::Busy { .. } => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    crate::proto::write_frame(&mut stream, &forward).unwrap();
+                }
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+        assert_eq!(acked.len(), 2);
+        let reps: Vec<_> = acked.iter().map(|id| reports[id].clone()).collect();
+        assert_eq!(reps[0], reps[1], "forwarded jobs are byte-identical");
+
+        // Busy: occupy the single worker, fill the 1-slot queue, and
+        // the next submission gets a typed retry-after, not an error.
+        let slow_prog = "store { map M; map N; }\n\
+            txn a(k, v) { M.put(k, v); N.put(k, v); }\n\
+            txn b(k) { if (M.contains(k)) { N.remove(k); } }\n\
+            txn c(k, v) { N.put(k, v); M.remove(k); }\n\
+            session { a, b, c }\n\
+            session { c, a, b }\n\
+            session { b, c, a }";
+        let mut slow = c4::AnalysisFeatures::default();
+        slow.max_k = 12;
+        let blocker = client.submit(slow_prog, &slow).unwrap();
+        while client.status(blocker).unwrap() == JobState::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut slow2 = slow.clone();
+        slow2.max_k = 13;
+        let queued = client.submit(slow_prog, &slow2).unwrap();
+
+        let mut slow3 = slow.clone();
+        slow3.max_k = 14;
+        let mut s = TcpStream::connect(&addr).unwrap();
+        crate::proto::write_frame(
+            &mut s,
+            &Request::Submit { wait: false, features: slow3, source: slow_prog.into() }.encode(),
+        )
+        .unwrap();
+        let payload = crate::proto::read_frame(&mut s).unwrap().expect("open");
+        match Response::decode(&payload).unwrap() {
+            Response::Busy { retry_after_ms } => {
+                assert!((25..=10_000).contains(&retry_after_ms));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        let health = client.health().unwrap();
+        assert_eq!(health.queue_len, 1, "one job queued behind the runner");
+
+        client.cancel(queued).unwrap();
+        client.cancel(blocker).unwrap();
+        client.shutdown().unwrap();
         handle.wait();
     }
 }

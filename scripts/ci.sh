@@ -224,6 +224,128 @@ wait "$C4D_PID"
 [ ! -S "$SOCK" ] || { echo "c4d left its socket behind" >&2; exit 1; }
 echo "==> c4d daemon smoke OK"
 
+# Gateway cluster smoke: two c4d backends behind c4-gateway with forced
+# hedging (1 ms), a direct reference daemon, and the full Table 1 suite
+# routed through both paths. Every report must be byte-identical to the
+# direct daemon's; then one backend is killed and the whole suite is
+# resubmitted (dead-backend arcs fail over to the survivor, warm arcs
+# hit their owner's cache), again byte-identical. Finally the survivor
+# is saturated to check the typed busy path and the client retry flags.
+echo "==> c4-gateway cluster smoke"
+GW_DIR="$(mktemp -d)"
+trap 'kill "${C4D_PID:-}" "${GA_PID:-}" "${GB_PID:-}" "${GD_PID:-}" "${GW_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "$GW_DIR"' EXIT
+
+# Starts a daemon/gateway and echoes the tcp address from its banner.
+await_banner() { # log-file banner-prefix
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n "s|^$2 listening on tcp ||p" "$1" | head -n 1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "$2 did not announce a tcp address" >&2; exit 1; }
+    echo "$addr"
+}
+
+./target/release/c4d --tcp 127.0.0.1:0 --cache-dir "$GW_DIR/cache-a" \
+    --jobs 1 --queue-cap 1 > "$GW_DIR/a.log" & GA_PID=$!
+./target/release/c4d --tcp 127.0.0.1:0 --cache-dir "$GW_DIR/cache-b" \
+    --jobs 1 --queue-cap 1 > "$GW_DIR/b.log" & GB_PID=$!
+./target/release/c4d --tcp 127.0.0.1:0 --cache-dir "$GW_DIR/cache-direct" \
+    --jobs 1 > "$GW_DIR/direct.log" & GD_PID=$!
+ADDR_A=$(await_banner "$GW_DIR/a.log" c4d)
+ADDR_B=$(await_banner "$GW_DIR/b.log" c4d)
+ADDR_D=$(await_banner "$GW_DIR/direct.log" c4d)
+./target/release/c4-gateway --backend "$ADDR_A" --backend "$ADDR_B" \
+    --tcp 127.0.0.1:0 --hedge-ms 1 --health-ms 100 > "$GW_DIR/gw.log" & GW_PID=$!
+ADDR_GW=$(await_banner "$GW_DIR/gw.log" c4-gateway)
+./target/release/c4 --tcp "$ADDR_GW" --connect-timeout 2000 --retry 2 health \
+    | grep -qE "^accepting +true"
+
+# Round 1: the full suite, cold, through the gateway and the direct
+# daemon; byte-identical reports (content-addressed determinism makes
+# the hedge winner's identity unobservable).
+mkdir -p "$GW_DIR/gw" "$GW_DIR/direct"
+i=0
+./target/release/suite_src --list | while IFS= read -r name; do
+    i=$((i + 1))
+    ./target/release/suite_src "$name" > "$GW_DIR/prog.ccl"
+    ./target/release/c4 --tcp "$ADDR_GW" submit --out "$GW_DIR/gw/$i.bin" "$GW_DIR/prog.ccl" > /dev/null
+    ./target/release/c4 --tcp "$ADDR_D" submit --out "$GW_DIR/direct/$i.bin" "$GW_DIR/prog.ccl" > /dev/null
+    cmp "$GW_DIR/gw/$i.bin" "$GW_DIR/direct/$i.bin" \
+        || { echo "gateway report for '$name' differs from direct daemon" >&2; exit 1; }
+done
+./target/release/c4 --tcp "$ADDR_GW" metrics > "$GW_DIR/m1.txt"
+grep -q '^c4gw_backends_healthy 2' "$GW_DIR/m1.txt"
+for a in "$ADDR_A" "$ADDR_B"; do
+    awk -v b="backend=\"$a\"" \
+        'index($0, "c4gw_forwards_total{") == 1 && index($0, b) {f = $2} END {exit !(f > 0)}' \
+        "$GW_DIR/m1.txt" || { echo "backend $a received no forwards" >&2; exit 1; }
+done
+awk 'index($0, "c4gw_hedges_total{") == 1 {h += $2} END {exit !(h > 0)}' "$GW_DIR/m1.txt" \
+    || { echo "forced 1 ms hedging recorded no hedges" >&2; exit 1; }
+
+# Kill one backend; the gateway must drop to one healthy worker and the
+# resubmitted suite must still match byte-for-byte (the dead backend's
+# arcs fail over to the survivor).
+kill "$GA_PID"; wait "$GA_PID" 2>/dev/null || true
+for _ in $(seq 1 100); do
+    if ./target/release/c4 --tcp "$ADDR_GW" health | grep -qE "^workers +1$"; then break; fi
+    sleep 0.1
+done
+./target/release/c4 --tcp "$ADDR_GW" health | grep -qE "^workers +1$" \
+    || { echo "gateway did not notice the dead backend" >&2; exit 1; }
+i=0
+./target/release/suite_src --list | while IFS= read -r name; do
+    i=$((i + 1))
+    ./target/release/suite_src "$name" > "$GW_DIR/prog.ccl"
+    ./target/release/c4 --tcp "$ADDR_GW" --retry 3 submit --out "$GW_DIR/gw2.bin" "$GW_DIR/prog.ccl" > /dev/null
+    cmp "$GW_DIR/gw2.bin" "$GW_DIR/direct/$i.bin" \
+        || { echo "post-failover report for '$name' differs from direct daemon" >&2; exit 1; }
+done
+
+# Busy path: saturate the survivor (1 worker + 1 queue slot), then a
+# third submission through the gateway must surface the typed
+# retry-after as a clean error, not a hang or a panic.
+BLOCKER=$(./target/release/c4 --tcp "$ADDR_B" submit --no-wait --max-k 15 "$SMOKE_DIR/slow.ccl" | awk '{print $2}')
+until ./target/release/c4 --tcp "$ADDR_B" status "$BLOCKER" | grep -q "running"; do sleep 0.05; done
+QUEUED=$(./target/release/c4 --tcp "$ADDR_B" submit --no-wait --max-k 15 "$SMOKE_DIR/slow.ccl" | awk '{print $2}')
+if ./target/release/c4 --tcp "$ADDR_GW" submit --max-k 15 "$SMOKE_DIR/slow.ccl" > "$GW_DIR/busy.txt" 2>&1; then
+    echo "submission against a saturated cluster must fail" >&2; exit 1
+fi
+grep -q "retry after" "$GW_DIR/busy.txt" \
+    || { echo "busy error lacks the retry-after hint:" >&2; cat "$GW_DIR/busy.txt" >&2; exit 1; }
+./target/release/c4 --tcp "$ADDR_B" cancel "$QUEUED" > /dev/null
+./target/release/c4 --tcp "$ADDR_B" cancel "$BLOCKER" > /dev/null || true
+
+# Client connection-error hygiene: nothing listens on port 1; the CLI
+# must fail fast with a clean error (no panic, no hang).
+if ./target/release/c4 --tcp 127.0.0.1:1 --connect-timeout 500 --retry 1 health > "$GW_DIR/refused.txt" 2>&1; then
+    echo "c4 against a dead address must exit nonzero" >&2; exit 1
+fi
+grep -q "^c4: " "$GW_DIR/refused.txt" || { echo "no clean error line" >&2; exit 1; }
+if grep -q "panicked" "$GW_DIR/refused.txt"; then
+    echo "c4 panicked on a refused connection" >&2; exit 1
+fi
+
+# Graceful drain: the gateway acks shutdown once its jobs are done; the
+# backends are shut down directly afterwards.
+./target/release/c4 --tcp "$ADDR_GW" shutdown
+wait "$GW_PID"
+grep -q "c4-gateway shut down cleanly" "$GW_DIR/gw.log"
+./target/release/c4 --tcp "$ADDR_B" shutdown
+wait "$GB_PID" 2>/dev/null || true
+./target/release/c4 --tcp "$ADDR_D" shutdown
+wait "$GD_PID" 2>/dev/null || true
+rm -rf "$GW_DIR"
+echo "==> c4-gateway cluster smoke OK"
+
+# The event-loop connection-scaling property (1000 idle connections,
+# O(workers) threads) runs under `cargo test` above; re-run it by name
+# so the CI log shows the verdict explicitly.
+echo "==> connection-scaling test"
+cargo test -q -p c4-tests --test conn_scale
+
 # The determinism suite guarantees identical results at any thread count;
 # speedup is only observable with real hardware parallelism, so the
 # scaling expectation is informational on single-core machines.

@@ -1,0 +1,81 @@
+//! Connection scaling: the rewritten `c4d` serves every connection
+//! from one epoll event loop, so holding a thousand idle connections
+//! open costs file descriptors, not threads. The thread count is
+//! O(workers); before the rewrite it was O(connections) (one
+//! blocking-I/O thread per accepted socket).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use c4_service::client::{Client, Endpoint};
+use c4_service::proto::{read_frame, write_frame, Request, Response};
+use c4_service::server::{serve, ServerConfig};
+
+/// The process's thread count from `/proc/self/status` (the tests run
+/// on Linux; an in-process daemon's threads are our own).
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn a_thousand_idle_connections_cost_no_threads() {
+    const CONNS: usize = 1000;
+
+    let handle = serve(ServerConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.tcp_addr.clone().expect("tcp bound");
+
+    // Baseline after the daemon is fully up: main + event loop +
+    // 2 workers (+ the test harness's own bookkeeping).
+    let baseline = thread_count();
+
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let c = TcpStream::connect(&addr).unwrap_or_else(|e| panic!("connect #{i}: {e}"));
+        conns.push(c);
+    }
+    // Let the event loop drain its accept backlog.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let now = thread_count();
+    assert!(
+        now <= baseline,
+        "{CONNS} idle connections grew the thread count {baseline} -> {now}; \
+         connection handling must not spawn threads"
+    );
+    assert!(
+        now < 20,
+        "thread count {now} is not O(workers) for a 2-worker daemon"
+    );
+
+    // The idle connections are live peers, not a half-accepted backlog:
+    // the first and the last one both complete a request round-trip.
+    for idx in [0, CONNS - 1] {
+        let c = &mut conns[idx];
+        c.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        write_frame(c, &Request::Health.encode()).expect("write on idle conn");
+        let payload = read_frame(c).expect("read on idle conn").expect("open");
+        match Response::decode(&payload).expect("decode") {
+            Response::Health(h) => assert!(h.accepting, "daemon accepting under load"),
+            other => panic!("expected health, got {other:?}"),
+        }
+    }
+
+    // And a fresh connection still gets served promptly.
+    let client = Client::new(Endpoint::Tcp(addr));
+    let stats = client.stats().expect("stats under 1000 idle connections");
+    assert_eq!(stats.workers, 2);
+
+    drop(conns);
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
