@@ -5,13 +5,21 @@
 //!            [--tcp ADDR] [--socket PATH]
 //!            [--vnodes N] [--hedge-ms MS] [--retries N]
 //!            [--retry-backoff-ms MS] [--health-ms MS]
-//!            [--metrics-addr ADDR]
+//!            [--metrics-addr ADDR] [--trace-ring]
+//!            [--flight-dir DIR] [--flight-cap N] [--flight-latency-ms MS]
 //! ```
 //!
 //! Clients use the ordinary daemon protocol against the gateway's
 //! address; `c4 --tcp <gateway> ...` works unchanged. `--hedge-ms 0`
-//! disables hedging. Runs until a client sends `shutdown` (which
-//! drains the gateway's in-flight jobs; the backends keep running).
+//! disables hedging. `--trace-ring` arms the gateway's recorder ring:
+//! admitted jobs get sampled trace contexts that ride every forward,
+//! and `c4 trace --cluster` assembles the gateway's ring with every
+//! backend's into one clock-aligned trace. `--flight-dir` makes
+//! flight-recorder anomalies (busy, failover, hedge fired, lost
+//! backend, over-threshold latency per `--flight-latency-ms`) dump the
+//! last `--flight-cap` request timelines as JSONL into DIR. Runs until
+//! a client sends `shutdown` (which drains the gateway's in-flight
+//! jobs; the backends keep running).
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -24,7 +32,8 @@ fn usage() -> ! {
         "usage: c4-gateway --backend ADDR [--backend ADDR ...] \
          [--tcp ADDR] [--socket PATH] [--vnodes N] [--hedge-ms MS] \
          [--retries N] [--retry-backoff-ms MS] [--health-ms MS] \
-         [--metrics-addr ADDR]"
+         [--metrics-addr ADDR] [--trace-ring] [--flight-dir DIR] \
+         [--flight-cap N] [--flight-latency-ms MS]"
     );
     exit(2)
 }
@@ -58,6 +67,14 @@ fn main() {
                     Duration::from_millis(parse_num(&value("--health-ms"), "--health-ms").max(10))
             }
             "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")),
+            "--trace-ring" => cfg.trace_ring = true,
+            "--flight-dir" => cfg.flight_dir = Some(PathBuf::from(value("--flight-dir"))),
+            "--flight-cap" => {
+                cfg.flight_cap = parse_num(&value("--flight-cap"), "--flight-cap") as usize
+            }
+            "--flight-latency-ms" => {
+                cfg.flight_latency_ms = parse_num(&value("--flight-latency-ms"), "--flight-latency-ms")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");

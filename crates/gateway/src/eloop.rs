@@ -41,10 +41,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use c4::AnalysisFeatures;
+use c4_obs::ctx::TraceCtx;
+use c4_obs::flight::FlightEntry;
+use c4_obs::merge::ProcessRing;
 use c4_service::client::{Client, Endpoint};
 use c4_service::conn::{FrameConn, NetStream, ReadOutcome};
 use c4_service::poll::{Poller, WakeRx, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
-use c4_service::proto::{JobState, ProtoError, Request, Response, PROTO_VERSION};
+use c4_service::proto::{
+    JobState, ProtoError, ReqTiming, Request, Response, PROTO_VERSION,
+};
 
 use crate::{Gateway, Notice};
 
@@ -106,6 +111,14 @@ struct GwJob {
     hedged: bool,
     cancel_requested: bool,
     created: Instant,
+    /// Distributed trace identity: propagated from a v4 submitter, or
+    /// minted at admission. Travels on every `Forward` for this job.
+    ctx: TraceCtx,
+    /// Failover re-forwards actually sent (distinct from `failures`,
+    /// which counts placement attempts that found no backend).
+    retry_sends: u32,
+    /// The backend whose terminal verdict won, once one has.
+    winner: Option<usize>,
 }
 
 impl GwJob {
@@ -494,6 +507,9 @@ impl EventLoop {
         let elapsed = self.jobs.get(&gid).map(|j| j.created.elapsed()).unwrap_or_default();
         self.gw.backends[b].forward_hist.observe(elapsed.as_millis() as u64);
         self.gw.forward_hist.observe(elapsed.as_millis() as u64);
+        if let Some(job) = self.jobs.get_mut(&gid) {
+            job.winner = Some(b);
+        }
         self.finish_job(gid, state, None);
     }
 
@@ -562,6 +578,18 @@ impl EventLoop {
         affected.extend(
             self.remote.iter().filter(|((bb, _), _)| *bb == b).map(|(_, &gid)| gid),
         );
+        // A lost backend is always an anomaly worth a dump: the ring
+        // around it holds the requests that were in flight when it
+        // died, before their failovers rewrite the story.
+        let _ = self.gw.flight.record(FlightEntry {
+            job_id: 0,
+            trace_id: 0,
+            outcome: "backend_lost".to_string(),
+            anomaly: Some("backend_lost".to_string()),
+            total_ms: 0,
+            marks: vec![("backend".to_string(), b as u64)],
+        });
+        c4_obs::instant("gw_backend_lost", b as u64);
         for gid in affected {
             self.attempt_failed(gid, b);
             self.retry_after_loss(gid, "backend connection lost");
@@ -588,13 +616,18 @@ impl EventLoop {
     /// yet tried. With nowhere to place it, hedges dissolve silently,
     /// primaries and retries back off — bounded by the retry budget.
     fn try_send(&mut self, gid: u64, kind: SendKind) {
-        let (point, tried, frame) = match self.jobs.get(&gid) {
+        let (point, tried, trace_id, frame) = match self.jobs.get(&gid) {
             Some(job) if !terminal(&job.state) => (
                 job.point,
                 job.tried.clone(),
+                job.ctx.trace_id,
                 Request::Forward {
                     features: job.features.clone(),
                     source: job.source.clone(),
+                    // This hop's span id is the gateway job id: the
+                    // backend's `request` span nests under it in the
+                    // merged cluster trace.
+                    ctx: Some(job.ctx.forwarded(gid)),
                 }
                 .encode(),
             ),
@@ -643,16 +676,25 @@ impl EventLoop {
         if let Some(job) = self.jobs.get_mut(&gid) {
             job.attempts.push(Attempt { backend: b, remote_id: None, done: false });
             job.tried.push(b);
+            if kind == SendKind::Retry {
+                job.retry_sends += 1;
+            }
         }
+        // The forward edge in the merged cluster trace: its arg is the
+        // trace id the backend's `request` span will carry, and its
+        // timestamp is the causal lower bound `merge::check` verifies.
+        c4_obs::instant("gw_forward", trace_id);
         let bs = &self.gw.backends[b];
         bs.inflight.fetch_add(1, Ordering::Relaxed);
         bs.forwards.fetch_add(1, Ordering::Relaxed);
         match kind {
             SendKind::Hedge => {
                 bs.hedges.fetch_add(1, Ordering::Relaxed);
+                c4_obs::instant("gw_hedge", trace_id);
             }
             SendKind::Retry => {
                 bs.retries.fetch_add(1, Ordering::Relaxed);
+                c4_obs::instant("gw_retry", trace_id);
             }
             SendKind::Primary => {
                 if let Some(delay) = self.gw.cfg.hedge_after {
@@ -668,15 +710,78 @@ impl EventLoop {
     /// Settles a job terminally: state, counters, waiter replies, and
     /// cancellation of any attempts still racing. `busy_hint` switches
     /// submit-wait replies to the typed `Busy` frame.
-    fn finish_job(&mut self, gid: u64, state: JobState, busy_hint: Option<u64>) {
-        let waiters = match self.jobs.get_mut(&gid) {
-            Some(job) if !terminal(&job.state) => {
-                job.state = state.clone();
-                std::mem::take(&mut job.waiters)
-            }
-            _ => return,
-        };
+    ///
+    /// A winning `Done` gets its timing summary augmented with the
+    /// gateway's view — trace id, winning backend, failover/hedge
+    /// counts, end-to-end gateway milliseconds — and every settlement
+    /// (v4 or not) is recorded in the flight ring, with busy/failover/
+    /// hedge settlements flagged as anomalies.
+    fn finish_job(&mut self, gid: u64, mut state: JobState, busy_hint: Option<u64>) {
+        let (waiters, trace_id, hedged, retry_sends, winner, gateway_ms) =
+            match self.jobs.get_mut(&gid) {
+                Some(job) if !terminal(&job.state) => {
+                    let gateway_ms = job.created.elapsed().as_millis() as u64;
+                    if let JobState::Done { timing, .. } = &mut state {
+                        let t = timing.get_or_insert_with(ReqTiming::default);
+                        if t.trace_id == 0 {
+                            t.trace_id = job.ctx.trace_id;
+                        }
+                        t.backend = job
+                            .winner
+                            .map(|b| self.gw.backends[b].addr.clone())
+                            .unwrap_or_default();
+                        t.retries = job.retry_sends;
+                        t.hedged = job.hedged;
+                        t.gateway_ms = gateway_ms;
+                    }
+                    job.state = state.clone();
+                    (
+                        std::mem::take(&mut job.waiters),
+                        job.ctx.trace_id,
+                        job.hedged,
+                        job.retry_sends,
+                        job.winner,
+                        gateway_ms,
+                    )
+                }
+                _ => return,
+            };
         self.gw.jobs_live.fetch_sub(1, Ordering::Relaxed);
+        c4_obs::counter("gw_jobs_live", self.gw.jobs_live.load(Ordering::Relaxed));
+        let outcome = match &state {
+            JobState::Done { .. } => "done",
+            JobState::Cancelled => "cancelled",
+            _ => "failed",
+        };
+        let anomaly = if busy_hint.is_some() {
+            Some("busy")
+        } else if retry_sends > 0 {
+            Some("failover")
+        } else if hedged {
+            Some("hedge")
+        } else {
+            None
+        };
+        let mut marks = vec![
+            ("retries".to_string(), u64::from(retry_sends)),
+            ("hedged".to_string(), u64::from(hedged)),
+        ];
+        if let Some(b) = winner {
+            marks.push(("winner".to_string(), b as u64));
+        }
+        let _ = self.gw.flight.record(FlightEntry {
+            job_id: gid,
+            trace_id,
+            outcome: outcome.to_string(),
+            anomaly: anomaly.map(String::from),
+            total_ms: gateway_ms,
+            marks,
+        });
+        if busy_hint.is_some() {
+            c4_obs::instant("gw_busy", trace_id);
+        } else {
+            c4_obs::instant("gw_done", trace_id);
+        }
         let counter = match &state {
             JobState::Done { .. } => &self.gw.counters.completed,
             JobState::Cancelled => &self.gw.counters.cancelled,
@@ -832,8 +937,10 @@ impl EventLoop {
         self.after_io(token);
     }
 
-    /// Admits a job and returns its gateway id.
-    fn admit(&mut self, features: AnalysisFeatures, source: String) -> u64 {
+    /// Admits a job and returns its gateway id. A v4 submitter's trace
+    /// context is propagated; otherwise the gateway mints one, sampled
+    /// iff its own recorder ring is armed.
+    fn admit(&mut self, features: AnalysisFeatures, source: String, ctx: Option<TraceCtx>) -> u64 {
         let point = match c4_service::cache_key(&source, &features) {
             Ok(key) => key.ring_point(),
             // Unparseable programs still route (and fail) somewhere
@@ -842,6 +949,7 @@ impl EventLoop {
                 c4::sha256(source.as_bytes())[..8].try_into().unwrap(),
             ),
         };
+        let ctx = ctx.unwrap_or_else(|| c4_obs::ctx::mint(self.gw.cfg.trace_ring));
         let id = self.next_id;
         self.next_id += 1;
         self.jobs.insert(
@@ -858,22 +966,27 @@ impl EventLoop {
                 hedged: false,
                 cancel_requested: false,
                 created: Instant::now(),
+                ctx,
+                retry_sends: 0,
+                winner: None,
             },
         );
         self.gw.jobs_live.fetch_add(1, Ordering::Relaxed);
         self.gw.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        c4_obs::counter("gw_jobs_live", self.gw.jobs_live.load(Ordering::Relaxed));
         id
     }
 
     fn dispatch(&mut self, token: u64, payload: &[u8]) {
+        let _sp = c4_obs::span("gw_dispatch");
         let draining = self.gw.draining.load(Ordering::SeqCst);
         let (reply, version) = match Request::decode_versioned(payload) {
-            Ok((Request::Submit { wait, features, source }, v)) => {
+            Ok((Request::Submit { wait, features, source, ctx }, v)) => {
                 if draining {
                     self.gw.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     (Some(Response::Error { message: "gateway is shutting down".into() }), v)
                 } else {
-                    let id = self.admit(features, source);
+                    let id = self.admit(features, source, ctx);
                     if wait {
                         if let Some(job) = self.jobs.get_mut(&id) {
                             job.waiters.push(JobWaiter { token, version: v, unblocks: true });
@@ -890,12 +1003,12 @@ impl EventLoop {
                     }
                 }
             }
-            Ok((Request::Forward { features, source }, v)) => {
+            Ok((Request::Forward { features, source, ctx }, v)) => {
                 if draining {
                     self.gw.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     (Some(Response::Error { message: "gateway is shutting down".into() }), v)
                 } else {
-                    let id = self.admit(features, source);
+                    let id = self.admit(features, source, ctx);
                     if let Some(job) = self.jobs.get_mut(&id) {
                         job.waiters.push(JobWaiter { token, version: v, unblocks: false });
                     }
@@ -943,6 +1056,17 @@ impl EventLoop {
             Ok((Request::Health, v)) => (Some(Response::Health(self.gw.health())), v),
             Ok((Request::Trace { features, source }, v)) => {
                 self.proxy_trace(token, v, features, source);
+                (None, v)
+            }
+            Ok((Request::RingDump, v)) => (
+                Some(Response::RingDump {
+                    now_ns: c4_obs::now_ns(),
+                    trace: c4_obs::export::jsonl(&c4_obs::snapshot()),
+                }),
+                v,
+            ),
+            Ok((Request::ClusterTrace, v)) => {
+                self.cluster_trace(token, v);
                 (None, v)
             }
             Ok((Request::Shutdown, v)) => {
@@ -1001,6 +1125,56 @@ impl EventLoop {
             let resp = match client.trace(&source, &features) {
                 Ok((report, trace)) => Response::Trace { report, trace },
                 Err(e) => Response::Error { message: e.to_string() },
+            };
+            gw.notices.post(Notice::SideDone { token, version: v, resp });
+        });
+        self.gw.side_threads.lock().unwrap().push(handle);
+    }
+
+    /// Assembles one cluster-wide trace: the gateway's own ring plus a
+    /// `RingDump` from every connected backend, each mapped onto the
+    /// gateway's timeline by the probe-estimated clock offsets. The
+    /// blocking backend pulls run on a side thread (same discipline as
+    /// [`proxy_trace`](Self::proxy_trace)); the gateway's ring is
+    /// snapshotted here on the loop thread so the trace reflects the
+    /// moment of the request.
+    fn cluster_trace(&mut self, token: u64, v: u16) {
+        let own = c4_obs::export::jsonl(&c4_obs::snapshot());
+        let peers: Vec<(String, i64, u64)> = self
+            .gw
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| self.backends[*b].is_some())
+            .map(|(_, bs)| {
+                (
+                    bs.addr.clone(),
+                    bs.clock_offset_ns.load(Ordering::Relaxed),
+                    bs.clock_err_ns.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        if let Some(e) = self.conns.get_mut(&token) {
+            e.blocked += 1;
+        }
+        let gw = Arc::clone(&self.gw);
+        let handle = std::thread::spawn(move || {
+            let mut rings = vec![ProcessRing {
+                name: "c4-gateway".to_string(),
+                jsonl: own,
+                offset_ns: 0,
+                uncertainty_ns: 0,
+            }];
+            for (addr, offset_ns, uncertainty_ns) in peers {
+                // A backend that fails the pull (restarting, pre-v4) is
+                // left out rather than failing the whole assembly.
+                if let Ok((_now, jsonl)) = Client::new(Endpoint::Tcp(addr.clone())).ring_dump() {
+                    rings.push(ProcessRing { name: addr, jsonl, offset_ns, uncertainty_ns });
+                }
+            }
+            let resp = match c4_obs::merge::merge(&rings) {
+                Ok(trace) => Response::Trace { report: Vec::new(), trace },
+                Err(e) => Response::Error { message: format!("trace merge failed: {e}") },
             };
             gw.notices.post(Notice::SideDone { token, version: v, resp });
         });

@@ -19,11 +19,25 @@ use c4_service::proto::{read_frame, write_frame, HealthInfo, Request, Response};
 use crate::{connect_timeout, Gateway, Notice};
 
 /// One probe round-trip against `addr`. `None` on any failure.
-fn probe(addr: &str, timeout: Duration) -> Option<HealthInfo> {
+///
+/// A successful probe against a v4 backend (one reporting a non-zero
+/// recorder clock) also yields a clock estimate
+/// `(offset_ns, uncertainty_ns)`: the backend's recorder clock minus
+/// the gateway's at the exchange midpoint, uncertain by half the
+/// round-trip. Trace merging uses it to put backend ring events on the
+/// gateway's timeline.
+fn probe(addr: &str, timeout: Duration) -> Option<(HealthInfo, Option<(i64, u64)>)> {
     let mut stream = connect_timeout(addr, timeout).ok()?;
     stream.set_read_timeout(Some(timeout)).ok()?;
     stream.set_write_timeout(Some(timeout)).ok()?;
-    probe_exchange(&mut stream)
+    let t0 = c4_obs::now_ns();
+    let h = probe_exchange(&mut stream)?;
+    let t1 = c4_obs::now_ns();
+    let clock = (h.now_ns != 0).then(|| {
+        let mid = t0 + (t1 - t0) / 2;
+        (h.now_ns as i64 - mid as i64, (t1 - t0) / 2)
+    });
+    Some((h, clock))
 }
 
 fn probe_exchange(stream: &mut (impl Read + Write)) -> Option<HealthInfo> {
@@ -44,9 +58,13 @@ pub(crate) fn probe_loop(gw: &Gateway) {
         for (i, b) in gw.backends.iter().enumerate() {
             let verdict = probe(&b.addr, gw.cfg.probe_timeout);
             match verdict {
-                Some(h) => {
+                Some((h, clock)) => {
                     b.healthy.store(h.accepting, Ordering::Relaxed);
                     b.probe_queue_len.store(h.queue_len, Ordering::Relaxed);
+                    if let Some((offset, err)) = clock {
+                        b.clock_offset_ns.store(offset, Ordering::Relaxed);
+                        b.clock_err_ns.store(err, Ordering::Relaxed);
+                    }
                     if h.accepting && !b.connected.load(Ordering::Relaxed) {
                         if let Ok(stream) = connect_timeout(&b.addr, gw.cfg.probe_timeout) {
                             gw.notices.post(Notice::Connected { backend: i, stream });
@@ -77,7 +95,7 @@ mod tests {
     /// frame; garbage or closed streams read as unhealthy.
     #[test]
     fn probe_parses_health_and_rejects_garbage() {
-        use std::net::{TcpListener, TcpStream};
+        use std::net::TcpListener;
 
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
@@ -93,6 +111,7 @@ mod tests {
                 running: 1,
                 workers: 2,
                 uptime_ms: 5,
+                now_ns: c4_obs::now_ns(),
             };
             write_frame(&mut s, &Response::Health(h).encode()).unwrap();
             let (mut s, _) = listener.accept().unwrap();
@@ -103,9 +122,11 @@ mod tests {
         });
 
         let t = Duration::from_millis(500);
-        let h = probe(&addr, t).expect("healthy probe");
+        let (h, clock) = probe(&addr, t).expect("healthy probe");
         assert!(h.accepting);
         assert_eq!(h.queue_len, 3);
+        let (_offset, err) = clock.expect("v4 health carries a clock stamp");
+        assert!(err < 500_000_000, "uncertainty bounded by the round-trip");
         assert!(probe(&addr, t).is_none(), "garbage frame is unhealthy");
         assert!(probe(&addr, t).is_none(), "closed stream is unhealthy");
         server.join().unwrap();

@@ -47,17 +47,21 @@ pub mod ring;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use c4_obs::flight::FlightRecorder;
 use c4_obs::hist::Histogram;
 use c4_obs::prom::PromPage;
 use c4_service::poll::Waker;
 use c4_service::proto::{DaemonStats, HealthInfo, Response};
 
 use ring::Ring;
+
+/// Per-thread recorder ring capacity when `--trace-ring` is on.
+pub(crate) const TRACE_CAPACITY: usize = 1 << 18;
 
 /// Gateway configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +88,19 @@ pub struct GatewayConfig {
     pub probe_timeout: Duration,
     /// Optional HTTP listener for the Prometheus `/metrics` page.
     pub metrics_addr: Option<String>,
+    /// Keep the process-global recorder ring armed
+    /// (`c4-gateway --trace-ring`): admitted jobs get sampled trace
+    /// contexts, gateway hops record ring events, and `ClusterTrace`
+    /// assembles the gateway's ring with every backend's.
+    pub trace_ring: bool,
+    /// Directory for flight-recorder anomaly dumps
+    /// (`c4-gateway --flight-dir`); `None` keeps the ring in-memory.
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity (last N request timelines).
+    pub flight_cap: usize,
+    /// Latency threshold (ms) flagging a request as a `latency`
+    /// anomaly; 0 disables.
+    pub flight_latency_ms: u64,
 }
 
 impl Default for GatewayConfig {
@@ -99,6 +116,10 @@ impl Default for GatewayConfig {
             health_interval: Duration::from_millis(500),
             probe_timeout: Duration::from_millis(250),
             metrics_addr: None,
+            trace_ring: false,
+            flight_dir: None,
+            flight_cap: 256,
+            flight_latency_ms: 0,
         }
     }
 }
@@ -119,6 +140,15 @@ pub(crate) struct BackendState {
     pub busy: AtomicU64,
     /// Queue depth reported by the last successful probe.
     pub probe_queue_len: AtomicU64,
+    /// Estimated recorder-clock offset of this backend relative to the
+    /// gateway's recorder clock (`backend_now − gateway_now`, ns),
+    /// refined by every successful health probe from its paired
+    /// send/receive stamps. Trace merging maps backend timestamps onto
+    /// the gateway timeline by subtracting this.
+    pub clock_offset_ns: AtomicI64,
+    /// Half the probe round-trip (ns): the uncertainty bound on
+    /// `clock_offset_ns`, declared in the merged trace header.
+    pub clock_err_ns: AtomicU64,
     /// Submit-to-terminal latency of jobs this backend won.
     pub forward_hist: Histogram,
 }
@@ -176,6 +206,8 @@ pub(crate) struct Gateway {
     pub forward_hist: Histogram,
     pub metrics_addr: Option<String>,
     pub unix_path: Option<PathBuf>,
+    /// Per-request flight recorder (always on; dumps when configured).
+    pub flight: FlightRecorder,
 }
 
 impl Gateway {
@@ -194,6 +226,7 @@ impl Gateway {
             running: self.backends.iter().map(|b| b.inflight.load(Ordering::Relaxed)).sum(),
             workers: self.healthy_backends(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            now_ns: c4_obs::now_ns(),
         }
     }
 
@@ -274,6 +307,16 @@ impl Gateway {
             "c4gw_uptime_milliseconds",
             "Milliseconds since the gateway started.",
             self.started.elapsed().as_millis() as u64,
+        );
+        page.counter(
+            "c4gw_flight_recorded_total",
+            "Request timelines recorded by the flight recorder.",
+            self.flight.recorded(),
+        );
+        page.counter(
+            "c4gw_flight_dumps_total",
+            "Flight-recorder anomaly dumps written.",
+            self.flight.dumped(),
         );
 
         let labels: Vec<[(&str, &str); 1]> =
@@ -438,9 +481,15 @@ pub fn serve(cfg: GatewayConfig) -> io::Result<GatewayHandle> {
             hedges: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             probe_queue_len: AtomicU64::new(0),
+            clock_offset_ns: AtomicI64::new(0),
+            clock_err_ns: AtomicU64::new(0),
             forward_hist: Histogram::latency_ms(),
         })
         .collect();
+
+    if cfg.trace_ring {
+        c4_obs::enable(TRACE_CAPACITY);
+    }
 
     let mut metrics_listener = None;
     let mut metrics_addr = None;
@@ -463,6 +512,7 @@ pub fn serve(cfg: GatewayConfig) -> io::Result<GatewayHandle> {
         forward_hist: Histogram::latency_ms(),
         metrics_addr: metrics_addr.clone(),
         unix_path: cfg.unix_socket.clone(),
+        flight: FlightRecorder::new(cfg.flight_cap, cfg.flight_latency_ms, cfg.flight_dir.clone()),
         cfg,
     });
 

@@ -1,17 +1,23 @@
 //! `trace_check`: validate an exported trace file.
 //!
-//! Usage: `trace_check [--expect-events N] FILE`
+//! Usage: `trace_check [--cluster] [--expect-events N] FILE`
 //!
 //! * `FILE` ending in `.jsonl` — every line must parse as a JSON
 //!   value; the event count is the line count.
 //! * anything else — the file must parse as a Chrome trace-event
 //!   document with a `traceEvents` array; the event count is its
 //!   length.
+//! * `--cluster` — the file must be a merged multi-process trace
+//!   (`c4 trace --cluster`): beyond JSON validity, every per-thread
+//!   timeline must be monotone, Begin/End spans must nest, and every
+//!   backend `request` span must causally follow a gateway
+//!   `gw_forward` edge within the declared clock uncertainty.
 //!
-//! Prints `trace_check: FILE: N events` on success. With
-//! `--expect-events N`, exits nonzero if the count differs — ci.sh
-//! cross-checks the count `table1 --trace` reports from the recorder
-//! ledger against what actually landed in the file.
+//! Prints `trace_check: FILE: N events` on success (plus the
+//! process/edge summary under `--cluster`). With `--expect-events N`,
+//! exits nonzero if the count differs — ci.sh cross-checks the count
+//! `table1 --trace` reports from the recorder ledger against what
+//! actually landed in the file.
 
 use c4_obs::json;
 
@@ -22,14 +28,17 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let mut expect: Option<usize> = None;
+    let mut cluster = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--expect-events" {
             let v = args.next().unwrap_or_else(|| fail("--expect-events needs a value"));
             expect = Some(v.parse().unwrap_or_else(|_| fail("--expect-events must be an integer")));
+        } else if a == "--cluster" {
+            cluster = true;
         } else if a == "--help" || a == "-h" {
-            eprintln!("usage: trace_check [--expect-events N] FILE");
+            eprintln!("usage: trace_check [--cluster] [--expect-events N] FILE");
             return;
         } else if path.is_none() {
             path = Some(a);
@@ -37,9 +46,25 @@ fn main() {
             fail(&format!("unexpected argument {a:?}"));
         }
     }
-    let path = path.unwrap_or_else(|| fail("usage: trace_check [--expect-events N] FILE"));
+    let path =
+        path.unwrap_or_else(|| fail("usage: trace_check [--cluster] [--expect-events N] FILE"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+
+    if cluster {
+        let summary = c4_obs::merge::check(&text)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        println!(
+            "trace_check: {path}: {} events across {} process(es), {} cross-process edge(s)",
+            summary.events, summary.processes, summary.edges
+        );
+        if let Some(want) = expect {
+            if summary.events != want {
+                fail(&format!("{path}: expected {want} events, found {}", summary.events));
+            }
+        }
+        return;
+    }
 
     let events = if path.ends_with(".jsonl") {
         let mut n = 0usize;

@@ -1,0 +1,104 @@
+//! Cross-process trace context.
+//!
+//! A [`TraceCtx`] is the identity a request carries as it crosses
+//! process boundaries: a cluster-unique `trace_id`, the span id of the
+//! hop that forwarded it (`parent_span`), and a `sampled` flag saying
+//! whether the originating process is recording. The gateway mints one
+//! per admitted job ([`mint`]) and propagates it on every `Forward`;
+//! a daemon that receives a sampled context wraps the job's pipeline
+//! work in a `request` span carrying the trace id, which is how
+//! `abstract_interp`/`unfold`/`smt_query` spans end up nested under
+//! the originating request when [`crate::merge`] assembles the
+//! per-process rings into one timeline.
+//!
+//! Trace ids are minted from a splitmix64 stream seeded with the
+//! process id and the wall clock at first use, so ids minted by
+//! different gateway instances (or across restarts) collide with
+//! negligible probability; id `0` is reserved to mean "no context".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The per-request context that travels on proto v4 frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Cluster-unique request id; never 0 (0 encodes "absent").
+    pub trace_id: u64,
+    /// Span id of the forwarding hop (the gateway's job id), or 0 at
+    /// the trace root.
+    pub parent_span: u64,
+    /// Whether the originator is recording; an unsampled context still
+    /// identifies the request (for flight-recorder correlation) but
+    /// asks downstream processes not to open ring spans for it.
+    pub sampled: bool,
+}
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    *SEED.get_or_init(|| {
+        let wall = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(wall ^ ((std::process::id() as u64) << 32))
+    })
+}
+
+/// The next trace id from this process's stream; never 0.
+pub fn next_trace_id() -> u64 {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(seed().wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Mint a fresh root context.
+pub fn mint(sampled: bool) -> TraceCtx {
+    TraceCtx { trace_id: next_trace_id(), parent_span: 0, sampled }
+}
+
+impl TraceCtx {
+    /// The context to put on a forwarded hop: same trace, this hop's
+    /// span id as the parent.
+    pub fn forwarded(&self, parent_span: u64) -> TraceCtx {
+        TraceCtx { trace_id: self.trace_id, parent_span, sampled: self.sampled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "trace id repeated");
+        }
+    }
+
+    #[test]
+    fn forwarded_contexts_keep_the_trace_id() {
+        let root = mint(true);
+        assert!(root.sampled);
+        assert_eq!(root.parent_span, 0);
+        let hop = root.forwarded(42);
+        assert_eq!(hop.trace_id, root.trace_id);
+        assert_eq!(hop.parent_span, 42);
+        assert!(hop.sampled);
+    }
+}

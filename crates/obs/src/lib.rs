@@ -44,9 +44,12 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
+pub mod ctx;
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod json;
+pub mod merge;
 pub mod prom;
 
 /// Well-known span argument tags: the pipeline stamps each SMT query
@@ -250,6 +253,45 @@ pub fn enable(capacity_per_thread: usize) {
     EPOCH.get_or_init(Instant::now);
     GENERATION.fetch_add(1, Ordering::AcqRel);
     ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// A non-destructive copy of everything recorded so far in the current
+/// generation: live buffers (cloned, rotated into time order) plus the
+/// exit-flush sink. The recorder stays armed and no events are
+/// consumed — this is the primitive behind the cluster ring-dump
+/// request, where a long-running daemon reports its ring without
+/// interrupting its own recording. A snapshot taken mid-span contains
+/// the `Begin` without its `End`; consumers must tolerate spans that
+/// are still open at the snapshot instant.
+pub fn snapshot() -> TraceLog {
+    let gen = GENERATION.load(Ordering::Acquire);
+    let mut threads = Vec::new();
+    if ENABLED.load(Ordering::Relaxed) {
+        let handles: Vec<Weak<Mutex<LocalBuf>>> =
+            REGISTRY.lock().expect("obs registry poisoned").clone();
+        for weak in handles {
+            if let Some(arc) = weak.upgrade() {
+                let buf = arc.lock().expect("obs buffer poisoned");
+                if buf.gen == gen && !buf.buf.is_empty() {
+                    let mut events = buf.buf.clone();
+                    if buf.dropped > 0 {
+                        let split = (buf.written % buf.cap as u64) as usize;
+                        events.rotate_left(split);
+                    }
+                    threads.push(ThreadLog { tid: buf.tid, dropped: buf.dropped, events });
+                }
+            }
+        }
+        for log in SINK.lock().expect("obs sink poisoned").iter() {
+            threads.push(ThreadLog {
+                tid: log.tid,
+                dropped: log.dropped,
+                events: log.events.clone(),
+            });
+        }
+    }
+    threads.sort_by_key(|t| t.tid);
+    TraceLog { threads }
 }
 
 /// Disarm the recorder and collect everything recorded since
@@ -523,6 +565,30 @@ mod tests {
         log.check_nesting().unwrap();
         let tids: std::collections::HashSet<u32> = log.threads.iter().map(|t| t.tid).collect();
         assert_eq!(tids.len(), 4, "each thread gets a distinct tid");
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_tolerates_open_spans() {
+        let _g = TEST_LOCK.lock().unwrap();
+        enable(1024);
+        let open = span("still_open");
+        instant("mark", 1);
+        let snap = snapshot();
+        assert_eq!(snap.count_instants("mark", 1), 1);
+        assert_eq!(snap.event_count(), 2, "begin + instant visible mid-span");
+        assert!(enabled(), "snapshot leaves the recorder armed");
+        drop(open);
+        let log = drain();
+        assert_eq!(log.count_instants("mark", 1), 1, "snapshot consumed nothing");
+        log.check_nesting().unwrap();
+    }
+
+    #[test]
+    fn snapshot_of_a_disabled_recorder_is_empty() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let _ = drain();
+        instant("ghost", 1);
+        assert_eq!(snapshot().event_count(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! c4 [--socket PATH | --tcp ADDR] [--connect-timeout MS] [--retry N]
 //!    <command>
 //!
-//! c4 ... submit [--no-wait] [--budget S]
+//! c4 ... submit [--no-wait] [--timing] [--budget S]
 //!        [--threads N] [--max-k K] [--no-incremental] [--out FILE] FILE
 //! c4 ... status [--out FILE] JOB
 //! c4 ... cancel JOB
@@ -13,6 +13,7 @@
 //! c4 ... metrics
 //! c4 ... trace [--budget S] [--threads N]
 //!        [--max-k K] [--out FILE] --trace-out FILE FILE
+//! c4 ... trace --cluster --trace-out FILE
 //! c4 ... shutdown
 //! ```
 //!
@@ -29,6 +30,13 @@
 //! `trace` analyzes a program synchronously with structured tracing
 //! enabled and writes the recorded JSONL trace to `--trace-out`
 //! (tracing is verdict-neutral — the report equals an untraced run's).
+//! `trace --cluster` instead asks the peer for one merged cluster
+//! trace: against a gateway that is its own recorder ring plus every
+//! connected backend's, clock-offset corrected onto the gateway's
+//! timeline; against a bare daemon, its single ring. `submit --timing`
+//! prints the per-request timing summary a v4 peer rides back on the
+//! verdict — trace id, winning backend, gateway time, failover/hedge
+//! counts, and per-stage pipeline milliseconds on a computed miss.
 //! Exit status: 0 on success (including a `done` job), 3 if the job
 //! was cancelled or failed, 1 on connection/daemon errors, 2 on usage
 //! errors.
@@ -49,7 +57,7 @@ fn usage() -> ! {
         "usage: c4 [--socket PATH | --tcp ADDR] [--connect-timeout MS] \
          [--retry N] <command>\n\
          commands:\n\
-         \x20 submit [--no-wait] [--budget S] [--threads N] [--max-k K] \
+         \x20 submit [--no-wait] [--timing] [--budget S] [--threads N] [--max-k K] \
          [--no-incremental] [--out FILE] FILE\n\
          \x20 status [--out FILE] JOB\n\
          \x20 cancel JOB\n\
@@ -58,6 +66,7 @@ fn usage() -> ! {
          \x20 metrics\n\
          \x20 trace [--budget S] [--threads N] [--max-k K] [--out FILE] \
          --trace-out FILE FILE\n\
+         \x20 trace --cluster --trace-out FILE\n\
          \x20 shutdown"
     );
     exit(2)
@@ -144,11 +153,13 @@ fn main() {
 fn submit(client: &Client, mut args: Vec<String>) {
     let mut features = AnalysisFeatures::default();
     let mut wait = true;
+    let mut timing = false;
     let mut out: Option<PathBuf> = None;
     let mut file: Option<String> = None;
     while let Some(a) = pop(&mut args) {
         match a.as_str() {
             "--no-wait" => wait = false,
+            "--timing" => timing = true,
             "--budget" => features.time_budget_secs = num(&mut args, "--budget"),
             "--threads" => features.parallelism = num(&mut args, "--threads"),
             "--max-k" => features.max_k = num(&mut args, "--max-k"),
@@ -165,6 +176,9 @@ fn submit(client: &Client, mut args: Vec<String>) {
         match client.submit_wait(&source, &features) {
             Ok((job_id, state)) => {
                 println!("job {job_id}");
+                if timing {
+                    print_timing(&state);
+                }
                 print_state(&state, out.as_deref());
             }
             Err(e) => fail(e),
@@ -177,13 +191,40 @@ fn submit(client: &Client, mut args: Vec<String>) {
     }
 }
 
+/// The `--timing` breakdown: the per-request summary a v4 peer rides
+/// back on the verdict. Older peers (or non-`Done` outcomes) simply
+/// have none to print.
+fn print_timing(state: &JobState) {
+    let timing = match state {
+        JobState::Done { timing: Some(t), .. } => t,
+        JobState::Done { timing: None, .. } => {
+            println!("timing: unavailable (pre-v4 peer)");
+            return;
+        }
+        _ => return,
+    };
+    let backend = if timing.backend.is_empty() { "direct" } else { &timing.backend };
+    println!(
+        "timing: trace {:#018x} via {backend} (gateway {} ms, retries {}, hedged {})",
+        timing.trace_id,
+        timing.gateway_ms,
+        timing.retries,
+        if timing.hedged { "yes" } else { "no" },
+    );
+    for (stage, ms) in &timing.stages {
+        println!("  {stage:<14} {ms} ms");
+    }
+}
+
 fn trace(client: &Client, mut args: Vec<String>) {
     let mut features = AnalysisFeatures::default();
+    let mut cluster = false;
     let mut out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut file: Option<String> = None;
     while let Some(a) = pop(&mut args) {
         match a.as_str() {
+            "--cluster" => cluster = true,
             "--budget" => features.time_budget_secs = num(&mut args, "--budget"),
             "--threads" => features.parallelism = num(&mut args, "--threads"),
             "--max-k" => features.max_k = num(&mut args, "--max-k"),
@@ -192,6 +233,20 @@ fn trace(client: &Client, mut args: Vec<String>) {
             other if !other.starts_with('-') && file.is_none() => file = Some(a),
             _ => usage(),
         }
+    }
+    if cluster {
+        if file.is_some() {
+            usage()
+        }
+        let trace_out = trace_out.unwrap_or_else(|| usage());
+        let trace = match client.cluster_trace() {
+            Ok(t) => t,
+            Err(e) => fail(e),
+        };
+        std::fs::write(&trace_out, &trace)
+            .unwrap_or_else(|e| fail(format!("writing {}: {e}", trace_out.display())));
+        println!("cluster trace: {} lines -> {}", trace.lines().count(), trace_out.display());
+        return;
     }
     let file = file.unwrap_or_else(|| usage());
     let trace_out = trace_out.unwrap_or_else(|| usage());
@@ -289,7 +344,7 @@ fn print_state(state: &JobState, out: Option<&std::path::Path>) {
     match state {
         JobState::Queued => println!("state: queued"),
         JobState::Running => println!("state: running"),
-        JobState::Done { tier, queue_ms, run_ms, report } => {
+        JobState::Done { tier, queue_ms, run_ms, report, .. } => {
             println!("state: done ({tier}, queued {queue_ms} ms, ran {run_ms} ms)");
             print_report(report, out);
         }

@@ -3,15 +3,21 @@
 //! ```text
 //! c4d [--socket PATH] [--tcp ADDR] [--cache-dir DIR]
 //!     [--jobs N] [--queue-cap N] [--mem-cache N]
-//!     [--metrics-addr ADDR]
+//!     [--metrics-addr ADDR] [--trace-ring]
+//!     [--flight-dir DIR] [--flight-cap N] [--flight-latency-ms MS]
 //! ```
 //!
 //! With no listener flag, listens on `$C4D_SOCKET` or `/tmp/c4d.sock`.
 //! `--metrics-addr` additionally serves the Prometheus text-format
 //! metrics page over HTTP at `/metrics` (`:0` picks a free port; the
-//! resolved address is printed at startup). Runs until a client sends
-//! `shutdown`; exits 0 after draining all admitted jobs and flushing
-//! the cache index.
+//! resolved address is printed at startup). `--trace-ring` keeps the
+//! recorder ring armed so sampled v4 requests leave pipeline spans
+//! behind for `RingDump`/`ClusterTrace` pulls. `--flight-dir` makes
+//! flight-recorder anomalies (busy rejections, over-threshold latency
+//! per `--flight-latency-ms`) dump the last `--flight-cap` request
+//! timelines as JSONL into DIR. Runs until a client sends `shutdown`;
+//! exits 0 after draining all admitted jobs and flushing the cache
+//! index.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -25,7 +31,9 @@ fn default_socket() -> PathBuf {
 fn usage() -> ! {
     eprintln!(
         "usage: c4d [--socket PATH] [--tcp ADDR] [--cache-dir DIR] \
-         [--jobs N] [--queue-cap N] [--mem-cache N] [--metrics-addr ADDR]"
+         [--jobs N] [--queue-cap N] [--mem-cache N] [--metrics-addr ADDR] \
+         [--trace-ring] [--flight-dir DIR] [--flight-cap N] \
+         [--flight-latency-ms MS]"
     );
     exit(2)
 }
@@ -53,6 +61,13 @@ fn main() {
             "--queue-cap" => cfg.queue_cap = parse_num(&value("--queue-cap"), "--queue-cap"),
             "--mem-cache" => cfg.mem_cache = parse_num(&value("--mem-cache"), "--mem-cache"),
             "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")),
+            "--trace-ring" => cfg.trace_ring = true,
+            "--flight-dir" => cfg.flight_dir = Some(PathBuf::from(value("--flight-dir"))),
+            "--flight-cap" => cfg.flight_cap = parse_num(&value("--flight-cap"), "--flight-cap"),
+            "--flight-latency-ms" => {
+                cfg.flight_latency_ms =
+                    parse_num(&value("--flight-latency-ms"), "--flight-latency-ms") as u64
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");

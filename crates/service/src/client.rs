@@ -179,6 +179,7 @@ impl Client {
             wait: true,
             features: features.clone(),
             source: source.to_string(),
+            ctx: None,
         };
         match self.roundtrip(&req)? {
             Response::Status { job_id, state } => Ok((job_id, state)),
@@ -196,6 +197,7 @@ impl Client {
             wait: false,
             features: features.clone(),
             source: source.to_string(),
+            ctx: None,
         };
         match self.roundtrip(&req)? {
             Response::Submitted { job_id } => Ok(job_id),
@@ -279,6 +281,34 @@ impl Client {
         let req = Request::Trace { features: features.clone(), source: source.to_string() };
         match self.roundtrip(&req)? {
             Response::Trace { report, trace } => Ok((report, trace)),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// A non-destructive snapshot of the peer's recorder ring (v4+):
+    /// its recorder clock at snapshot time and the ring as compact
+    /// JSONL (empty when the peer is not recording).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors (a pre-v4 peer rejects the request).
+    pub fn ring_dump(&self) -> io::Result<(u64, String)> {
+        match self.roundtrip(&Request::RingDump)? {
+            Response::RingDump { now_ns, trace } => Ok((now_ns, trace)),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// One merged cluster trace (v4+): a gateway assembles its own
+    /// ring with every backend's (clock-offset corrected); a bare
+    /// daemon answers with the single-process merge of its own ring.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol errors (a pre-v4 peer rejects the request).
+    pub fn cluster_trace(&self) -> io::Result<String> {
+        match self.roundtrip(&Request::ClusterTrace)? {
+            Response::Trace { trace, .. } => Ok(trace),
             other => Err(bad_reply(other)),
         }
     }

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use c4::{AnalysisFeatures, CancelToken};
 
-use crate::proto::JobState;
+use crate::proto::{JobState, TraceCtx};
 
 /// Outcome of a cancellation attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,19 +45,27 @@ pub struct Job {
     pub cancel: CancelToken,
     /// Admission time, for queue-latency accounting.
     pub submitted_at: Instant,
+    /// Distributed trace context the submission carried (v4+), if any.
+    pub ctx: Option<TraceCtx>,
     state: Mutex<JobState>,
     cv: Condvar,
 }
 
 impl Job {
     /// A freshly admitted job in the `Queued` state.
-    pub fn new(id: u64, source: String, features: AnalysisFeatures) -> Arc<Job> {
+    pub fn new(
+        id: u64,
+        source: String,
+        features: AnalysisFeatures,
+        ctx: Option<TraceCtx>,
+    ) -> Arc<Job> {
         Arc::new(Job {
             id,
             source,
             features,
             cancel: CancelToken::new(),
             submitted_at: Instant::now(),
+            ctx,
             state: Mutex::new(JobState::Queued),
             cv: Condvar::new(),
         })
@@ -213,7 +221,7 @@ mod tests {
     use super::*;
 
     fn job(id: u64) -> Arc<Job> {
-        Job::new(id, "store { map M; }".into(), AnalysisFeatures::default())
+        Job::new(id, "store { map M; }".into(), AnalysisFeatures::default(), None)
     }
 
     #[test]

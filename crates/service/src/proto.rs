@@ -23,13 +23,23 @@
 //! payloads inside [`Response::Status`] use the independent report wire
 //! format of `c4::report` (itself versioned), so a cache serving old
 //! bytes can never be misdecoded.
+//!
+//! Version 4 added the distributed-tracing surface: an optional
+//! [`TraceCtx`] rides at the tail of `Submit`/`Forward` (absent
+//! context encodes to the exact v3 bytes, so old peers parse
+//! v4-origin frames unchanged), [`JobState::Done`] may carry a
+//! [`ReqTiming`] breakdown (encoded for v4 peers only), [`HealthInfo`]
+//! reports the responder's recorder clock for clock-offset estimation,
+//! and [`Request::RingDump`]/[`Request::ClusterTrace`] pull recorder
+//! rings for cross-process trace assembly (`c4 trace --cluster`).
 
 use std::io::{self, Read, Write};
 
 use c4::{AnalysisFeatures, CacheTier};
+pub use c4_obs::ctx::TraceCtx;
 
 /// Protocol version spoken by this build.
-pub const PROTO_VERSION: u16 = 3;
+pub const PROTO_VERSION: u16 = 4;
 
 /// Oldest peer version the daemon still serves.
 pub const MIN_PROTO_VERSION: u16 = 1;
@@ -51,6 +61,9 @@ pub enum Request {
         features: AnalysisFeatures,
         /// CCL source text.
         source: String,
+        /// Distributed trace context (v4+; `None` encodes to the exact
+        /// pre-v4 bytes).
+        ctx: Option<TraceCtx>,
     },
     /// Query a job's state.
     Status {
@@ -93,7 +106,21 @@ pub enum Request {
         features: AnalysisFeatures,
         /// CCL source text.
         source: String,
+        /// Distributed trace context (v4+), minted or propagated by
+        /// the gateway.
+        ctx: Option<TraceCtx>,
     },
+    /// A non-destructive snapshot of this process's recorder ring
+    /// (v4+): the building block of cluster trace assembly. The
+    /// response carries the ring as compact JSONL plus the responder's
+    /// recorder clock.
+    RingDump,
+    /// Assemble one merged cluster trace (v4+): the gateway snapshots
+    /// its own ring, pulls each backend's via [`Request::RingDump`],
+    /// applies the probe-estimated clock offsets and answers with
+    /// [`Response::Trace`] (empty report, merged Chrome trace). A bare
+    /// daemon answers with the single-process merge of its own ring.
+    ClusterTrace,
 }
 
 /// A job's lifecycle state as reported over the wire.
@@ -113,6 +140,9 @@ pub enum JobState {
         run_ms: u64,
         /// The encoded report (`c4::AnalysisResult::encode_report`).
         report: Vec<u8>,
+        /// Per-request timing breakdown (v4+; truncated away for
+        /// older peers).
+        timing: Option<ReqTiming>,
     },
     /// Cancelled before completion (no verdict).
     Cancelled,
@@ -176,6 +206,31 @@ pub struct DaemonStats {
     pub run_max_ms: u64,
 }
 
+/// The compact per-request timing summary that rides back on
+/// [`JobState::Done`] for v4 peers — what `c4 submit --timing` prints.
+/// The daemon fills the stage breakdown; the gateway stamps the
+/// routing fields (winning backend, retries, hedging, its own
+/// residency time) as the status passes through it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReqTiming {
+    /// Cross-process trace id ([`TraceCtx`]), 0 if the request carried
+    /// no context.
+    pub trace_id: u64,
+    /// Winning backend address (empty when served directly by a
+    /// daemon).
+    pub backend: String,
+    /// Failover retries the gateway spent on this request.
+    pub retries: u32,
+    /// Whether a hedge was launched for this request.
+    pub hedged: bool,
+    /// Milliseconds the request spent inside the gateway, end to end
+    /// (0 when served directly).
+    pub gateway_ms: u64,
+    /// Per-stage milliseconds on a computed miss (`(stage, ms)` in
+    /// pipeline order); empty on cache hits.
+    pub stages: Vec<(String, u64)>,
+}
+
 /// A daemon's health snapshot (v3+), the payload of
 /// [`Response::Health`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -193,6 +248,11 @@ pub struct HealthInfo {
     pub workers: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: u64,
+    /// The responder's recorder clock (`c4_obs::now_ns`) when the
+    /// snapshot was taken (v4+, 0 from older peers). Paired with the
+    /// prober's own send/receive stamps this yields the clock-offset
+    /// estimate the merged cluster trace is built on.
+    pub now_ns: u64,
 }
 
 /// A daemon-to-client response.
@@ -252,6 +312,15 @@ pub enum Response {
     Forwarded {
         /// The id the follow-up [`Response::Status`] will carry.
         job_id: u64,
+    },
+    /// A recorder-ring snapshot (v4+), answering
+    /// [`Request::RingDump`].
+    RingDump {
+        /// The responder's recorder clock when the snapshot was taken.
+        now_ns: u64,
+        /// The ring in compact JSONL (`c4_obs::export::jsonl`); empty
+        /// when the responder is not recording.
+        trace: String,
     },
 }
 
@@ -420,6 +489,8 @@ pub const REQ_METRICS: u8 = 0x06;
 pub const REQ_TRACE: u8 = 0x07;
 pub const REQ_HEALTH: u8 = 0x08;
 pub const REQ_FORWARD: u8 = 0x09;
+pub const REQ_RING_DUMP: u8 = 0x0A;
+pub const REQ_CLUSTER_TRACE: u8 = 0x0B;
 
 pub const RESP_SUBMITTED: u8 = 0x81;
 pub const RESP_STATUS: u8 = 0x82;
@@ -432,6 +503,7 @@ pub const RESP_TRACE: u8 = 0x88;
 pub const RESP_BUSY: u8 = 0x89;
 pub const RESP_HEALTH: u8 = 0x8A;
 pub const RESP_FORWARDED: u8 = 0x8B;
+pub const RESP_RING_DUMP: u8 = 0x8C;
 
 const STATE_QUEUED: u8 = 0;
 const STATE_RUNNING: u8 = 1;
@@ -456,17 +528,41 @@ fn tier_of(code: u8) -> Result<CacheTier, ProtoError> {
     })
 }
 
+fn put_ctx(out: &mut Vec<u8>, c: &TraceCtx) {
+    put_u64(out, c.trace_id);
+    put_u64(out, c.parent_span);
+    out.push(c.sampled as u8);
+}
+
+fn read_ctx(r: &mut Reader<'_>) -> Result<TraceCtx, ProtoError> {
+    Ok(TraceCtx { trace_id: r.u64()?, parent_span: r.u64()?, sampled: r.bool()? })
+}
+
+// An absent context appends nothing, so a v4-origin frame without one
+// is byte-for-byte the v3 encoding — old peers parse it unchanged, and
+// the re-stamping compatibility tests rely on it.
+fn read_opt_ctx(r: &mut Reader<'_>, version: u16) -> Result<Option<TraceCtx>, ProtoError> {
+    if version >= 4 && r.remaining() > 0 {
+        Ok(Some(read_ctx(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
 impl Request {
     /// Encodes the request payload (version header included).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Submit { wait, features, source } => {
+            Request::Submit { wait, features, source, ctx } => {
                 out.push(REQ_SUBMIT);
                 out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
                 out.push(*wait as u8);
                 put_features(&mut out, features);
                 put_str(&mut out, source);
+                if let Some(c) = ctx {
+                    put_ctx(&mut out, c);
+                }
             }
             Request::Status { job_id } => {
                 out.push(REQ_STATUS);
@@ -500,11 +596,22 @@ impl Request {
                 out.push(REQ_HEALTH);
                 out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
             }
-            Request::Forward { features, source } => {
+            Request::Forward { features, source, ctx } => {
                 out.push(REQ_FORWARD);
                 out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
                 put_features(&mut out, features);
                 put_str(&mut out, source);
+                if let Some(c) = ctx {
+                    put_ctx(&mut out, c);
+                }
+            }
+            Request::RingDump => {
+                out.push(REQ_RING_DUMP);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
+            }
+            Request::ClusterTrace => {
+                out.push(REQ_CLUSTER_TRACE);
+                out.extend_from_slice(&PROTO_VERSION.to_be_bytes());
             }
         }
         out
@@ -543,6 +650,7 @@ impl Request {
                 wait: r.bool()?,
                 features: read_features(&mut r)?,
                 source: r.str()?,
+                ctx: read_opt_ctx(&mut r, version)?,
             },
             REQ_STATUS => Request::Status { job_id: r.u64()? },
             REQ_CANCEL => Request::Cancel { job_id: r.u64()? },
@@ -557,7 +665,10 @@ impl Request {
             REQ_FORWARD if version >= 3 => Request::Forward {
                 features: read_features(&mut r)?,
                 source: r.str()?,
+                ctx: read_opt_ctx(&mut r, version)?,
             },
+            REQ_RING_DUMP if version >= 4 => Request::RingDump,
+            REQ_CLUSTER_TRACE if version >= 4 => Request::ClusterTrace,
             _ => return Err(ProtoError("unknown request tag")),
         };
         r.finish()?;
@@ -565,16 +676,57 @@ impl Request {
     }
 }
 
-fn put_state(out: &mut Vec<u8>, s: &JobState) {
+fn put_timing(out: &mut Vec<u8>, t: &ReqTiming) {
+    put_u64(out, t.trace_id);
+    put_str(out, &t.backend);
+    put_u32(out, t.retries);
+    out.push(t.hedged as u8);
+    put_u64(out, t.gateway_ms);
+    put_u32(out, t.stages.len() as u32);
+    for (stage, ms) in &t.stages {
+        put_str(out, stage);
+        put_u64(out, *ms);
+    }
+}
+
+fn read_timing(r: &mut Reader<'_>) -> Result<ReqTiming, ProtoError> {
+    let trace_id = r.u64()?;
+    let backend = r.str()?;
+    let retries = r.u32()?;
+    let hedged = r.bool()?;
+    let gateway_ms = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > 4096 {
+        return Err(ProtoError("implausible stage count"));
+    }
+    let mut stages = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        stages.push((r.str()?, r.u64()?));
+    }
+    Ok(ReqTiming { trace_id, backend, retries, hedged, gateway_ms, stages })
+}
+
+fn put_state(out: &mut Vec<u8>, s: &JobState, version: u16) {
     match s {
         JobState::Queued => out.push(STATE_QUEUED),
         JobState::Running => out.push(STATE_RUNNING),
-        JobState::Done { tier, queue_ms, run_ms, report } => {
+        JobState::Done { tier, queue_ms, run_ms, report, timing } => {
             out.push(STATE_DONE);
             out.push(tier_code(*tier));
             put_u64(out, *queue_ms);
             put_u64(out, *run_ms);
             put_bytes(out, report);
+            // v4 appends a presence-tagged timing summary; the pre-v4
+            // encoding ends at the report, byte-for-byte as before.
+            if version >= 4 {
+                match timing {
+                    Some(t) => {
+                        out.push(1);
+                        put_timing(out, t);
+                    }
+                    None => out.push(0),
+                }
+            }
         }
         JobState::Cancelled => out.push(STATE_CANCELLED),
         JobState::Failed { message } => {
@@ -593,6 +745,18 @@ fn read_state(r: &mut Reader<'_>) -> Result<JobState, ProtoError> {
             queue_ms: r.u64()?,
             run_ms: r.u64()?,
             report: r.bytes()?,
+            // A v3 daemon's Done ends at the report; a v4 daemon
+            // appends a presence byte. The state is the final field of
+            // its message, so sniffing the remainder is unambiguous.
+            timing: if r.remaining() > 0 {
+                match r.u8()? {
+                    0 => None,
+                    1 => Some(read_timing(r)?),
+                    _ => return Err(ProtoError("bad timing presence byte")),
+                }
+            } else {
+                None
+            },
         },
         STATE_CANCELLED => JobState::Cancelled,
         STATE_FAILED => JobState::Failed { message: r.str()? },
@@ -630,7 +794,7 @@ impl Response {
             Response::Status { job_id, state } => {
                 out.push(RESP_STATUS);
                 put_u64(&mut out, *job_id);
-                put_state(&mut out, state);
+                put_state(&mut out, state, version);
             }
             Response::Cancelled { ok } => {
                 out.push(RESP_CANCELLED);
@@ -697,10 +861,18 @@ impl Response {
                 for v in [h.queue_len, h.queue_cap, h.running, h.workers, h.uptime_ms] {
                     put_u64(&mut out, v);
                 }
+                if version >= 4 {
+                    put_u64(&mut out, h.now_ns);
+                }
             }
             Response::Forwarded { job_id } => {
                 out.push(RESP_FORWARDED);
                 put_u64(&mut out, *job_id);
+            }
+            Response::RingDump { now_ns, trace } => {
+                out.push(RESP_RING_DUMP);
+                put_u64(&mut out, *now_ns);
+                put_str(&mut out, trace);
             }
         }
         out
@@ -769,8 +941,12 @@ impl Response {
                 running: r.u64()?,
                 workers: r.u64()?,
                 uptime_ms: r.u64()?,
+                // A v3 responder stops here; v4 appends its recorder
+                // clock. Absent means 0 (no offset estimation).
+                now_ns: if r.remaining() >= 8 { r.u64()? } else { 0 },
             }),
             RESP_FORWARDED => Response::Forwarded { job_id: r.u64()? },
+            RESP_RING_DUMP => Response::RingDump { now_ns: r.u64()?, trace: r.str()? },
             _ => return Err(ProtoError("unknown response tag")),
         };
         r.finish()?;
@@ -831,9 +1007,15 @@ mod tests {
         f.incremental_smt = false;
         f.max_k = 6;
         f.time_budget_secs = 17;
+        let ctx = TraceCtx { trace_id: 0xDEAD_BEEF_0123, parent_span: 7, sampled: true };
         let reqs = [
-            Request::Submit { wait: true, features: f.clone(), source: "store { map M; }".into() },
-            Request::Submit { wait: false, features: f, source: String::new() },
+            Request::Submit {
+                wait: true,
+                features: f.clone(),
+                source: "store { map M; }".into(),
+                ctx: None,
+            },
+            Request::Submit { wait: false, features: f, source: String::new(), ctx: Some(ctx) },
             Request::Status { job_id: 42 },
             Request::Cancel { job_id: u64::MAX },
             Request::Stats,
@@ -847,7 +1029,15 @@ mod tests {
             Request::Forward {
                 features: AnalysisFeatures::default(),
                 source: "store { map M; }".into(),
+                ctx: None,
             },
+            Request::Forward {
+                features: AnalysisFeatures::default(),
+                source: "store { map M; }".into(),
+                ctx: Some(ctx),
+            },
+            Request::RingDump,
+            Request::ClusterTrace,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -915,6 +1105,24 @@ mod tests {
                     queue_ms: 12,
                     run_ms: 3456,
                     report: vec![1, 2, 3],
+                    timing: None,
+                },
+            },
+            Response::Status {
+                job_id: 8,
+                state: JobState::Done {
+                    tier: CacheTier::Miss,
+                    queue_ms: 1,
+                    run_ms: 900,
+                    report: vec![4, 5],
+                    timing: Some(ReqTiming {
+                        trace_id: 0xABCD,
+                        backend: "127.0.0.1:4001".into(),
+                        retries: 1,
+                        hedged: true,
+                        gateway_ms: 912,
+                        stages: vec![("unfold".into(), 200), ("smt".into(), 650)],
+                    }),
                 },
             },
             Response::Status { job_id: 7, state: JobState::Cancelled },
@@ -942,8 +1150,13 @@ mod tests {
                 running: 1,
                 workers: 4,
                 uptime_ms: 9001,
+                now_ns: 123_456_789,
             }),
             Response::Forwarded { job_id: 31 },
+            Response::RingDump {
+                now_ns: 42,
+                trace: "{\"t_ns\":1,\"tid\":0,\"ph\":\"i\",\"name\":\"x\",\"arg\":0}\n".into(),
+            },
         ];
         for resp in resps {
             let bytes = resp.encode();
@@ -963,6 +1176,7 @@ mod tests {
                 Request::Forward {
                     features: AnalysisFeatures::default(),
                     source: "store { map M; }".into(),
+                    ctx: None,
                 },
             ] {
                 let mut bytes = req.encode();
@@ -983,6 +1197,84 @@ mod tests {
         // At v3 the typed form survives untouched.
         let v3 = Response::Busy { retry_after_ms: 40 }.encode_for_version(3);
         assert_eq!(Response::decode(&v3).unwrap(), Response::Busy { retry_after_ms: 40 });
+    }
+
+    /// v4 framing discipline: context-free frames are byte-identical
+    /// to v3 frames (old peers parse them unchanged), sampled frames
+    /// are v4-only, the ring tags are gated, and the v4 additions to
+    /// `Done`/`Health` are truncated away for older peers.
+    #[test]
+    fn v4_trace_context_is_invisible_to_older_peers() {
+        let f = AnalysisFeatures::default();
+        let src = "store { map M; }";
+        // No context: the v4 body is the v3 body.
+        for (req, tag) in [
+            (Request::Submit { wait: true, features: f.clone(), source: src.into(), ctx: None },
+             REQ_SUBMIT),
+            (Request::Forward { features: f.clone(), source: src.into(), ctx: None }, REQ_FORWARD),
+        ] {
+            let mut bytes = req.encode();
+            assert_eq!(bytes[0], tag);
+            bytes[1..3].copy_from_slice(&3u16.to_be_bytes());
+            let (decoded, version) = Request::decode_versioned(&bytes).unwrap();
+            assert_eq!(version, 3);
+            assert_eq!(decoded, req, "v3 re-stamp parses to the same request");
+        }
+        // A carried context appends exactly 17 bytes; re-stamped to v3
+        // those are trailing garbage, not a silent misparse.
+        let ctx = TraceCtx { trace_id: 9, parent_span: 2, sampled: true };
+        let with = Request::Forward { features: f.clone(), source: src.into(), ctx: Some(ctx) };
+        let without = Request::Forward { features: f, source: src.into(), ctx: None };
+        assert_eq!(with.encode().len(), without.encode().len() + 17);
+        let mut stamped = with.encode();
+        stamped[1..3].copy_from_slice(&3u16.to_be_bytes());
+        assert!(Request::decode_versioned(&stamped).is_err());
+        // The v4 request tags are gated below v4.
+        for req in [Request::RingDump, Request::ClusterTrace] {
+            for version in [1u16, 2, 3] {
+                let mut bytes = req.encode();
+                bytes[1..3].copy_from_slice(&version.to_be_bytes());
+                assert!(
+                    Request::decode_versioned(&bytes).is_err(),
+                    "v{version} peers must not reach the ring tags"
+                );
+            }
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        // Done for a v3 peer ends at the report — the exact pre-v4
+        // bytes — and decodes with the timing read as absent.
+        let done = Response::Status {
+            job_id: 5,
+            state: JobState::Done {
+                tier: CacheTier::Memory,
+                queue_ms: 3,
+                run_ms: 4,
+                report: vec![9, 9],
+                timing: Some(ReqTiming { trace_id: 11, ..ReqTiming::default() }),
+            },
+        };
+        let legacy = done.encode_for_version(3);
+        assert_eq!(legacy.len(), 1 + 8 + 1 + 1 + 8 + 8 + 4 + 2, "fixed pre-v4 layout");
+        match Response::decode(&legacy).unwrap() {
+            Response::Status { state: JobState::Done { timing, report, .. }, .. } => {
+                assert_eq!(timing, None, "summary truncated for v3");
+                assert_eq!(report, vec![9, 9]);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        // Health for a v3 peer drops the recorder clock.
+        let h = HealthInfo { accepting: true, now_ns: 77, ..HealthInfo::default() };
+        let legacy = Response::Health(h).encode_for_version(3);
+        assert_eq!(legacy.len(), 1 + 1 + 5 * 8);
+        match Response::decode(&legacy).unwrap() {
+            Response::Health(got) => assert_eq!(got.now_ns, 0, "clock truncated for v3"),
+            other => panic!("expected Health, got {other:?}"),
+        }
+        let full = Response::Health(h).encode();
+        match Response::decode(&full).unwrap() {
+            Response::Health(got) => assert_eq!(got, h),
+            other => panic!("expected Health, got {other:?}"),
+        }
     }
 
     #[test]

@@ -58,6 +58,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use c4::{CacheKey, CacheTier, VerdictCache};
+use c4_obs::flight::{FlightEntry, FlightRecorder};
 use c4_obs::hist::Histogram;
 use c4_obs::prom::PromPage;
 
@@ -65,7 +66,8 @@ use crate::conn::{FrameConn, NetStream, ReadOutcome};
 use crate::job::{CancelOutcome, Job, Scheduler};
 use crate::poll::{waker, Poller, WakeRx, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::proto::{
-    DaemonStats, HealthInfo, JobState, ProtoError, Request, Response, PROTO_VERSION,
+    DaemonStats, HealthInfo, JobState, ProtoError, ReqTiming, Request, Response, TraceCtx,
+    PROTO_VERSION,
 };
 
 /// Per-thread recorder capacity for daemon-side `Trace` requests.
@@ -96,6 +98,19 @@ pub struct ServerConfig {
     /// Optional HTTP listener address for the Prometheus `/metrics`
     /// page, e.g. `127.0.0.1:9434` (`:0` picks a port).
     pub metrics_addr: Option<String>,
+    /// Keep the process-global recorder ring armed for the daemon's
+    /// lifetime (`c4d --trace-ring`): sampled v4 submissions open
+    /// `request` spans and `RingDump` answers non-destructively, which
+    /// is what `c4 trace --cluster` assembles across processes.
+    pub trace_ring: bool,
+    /// Directory for flight-recorder anomaly dumps
+    /// (`c4d --flight-dir`); `None` keeps the ring in-memory only.
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity (last N request timelines).
+    pub flight_cap: usize,
+    /// Latency threshold (ms) above which a request is flagged as a
+    /// `latency` anomaly; 0 disables the threshold.
+    pub flight_latency_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +123,10 @@ impl Default for ServerConfig {
             workers: 1,
             queue_cap: 64,
             metrics_addr: None,
+            trace_ring: false,
+            flight_dir: None,
+            flight_cap: 256,
+            flight_latency_ms: 0,
         }
     }
 }
@@ -173,22 +192,35 @@ struct Daemon {
     metrics_addr: Option<String>,
     /// Transient side threads (trace runs, the drain), joined at exit.
     side_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Whether the recorder ring stays armed for the daemon's lifetime.
+    trace_ring: bool,
+    /// Per-request flight recorder (always on; dumps when configured).
+    flight: FlightRecorder,
 }
 
 impl Daemon {
     /// Admits a submission: allocates the job and enqueues it, or
     /// reports why not.
-    fn admit(&self, features: c4::AnalysisFeatures, source: String) -> Admit {
+    fn admit(&self, features: c4::AnalysisFeatures, source: String, ctx: Option<TraceCtx>) -> Admit {
         if self.shutdown.load(Ordering::SeqCst) {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Admit::Draining;
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = Job::new(id, source, features);
+        let job = Job::new(id, source, features, ctx);
         self.jobs.lock().unwrap().insert(id, Arc::clone(&job));
         if !self.sched.try_enqueue(job) {
             self.jobs.lock().unwrap().remove(&id);
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let (queue_len, _) = self.sched.lens();
+            let _ = self.flight.record(FlightEntry {
+                job_id: id,
+                trace_id: ctx.map_or(0, |c| c.trace_id),
+                outcome: "busy".into(),
+                anomaly: Some("busy".into()),
+                total_ms: 0,
+                marks: vec![("queue_len".into(), queue_len as u64)],
+            });
             return Admit::Busy(self.busy_retry_ms());
         }
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -240,6 +272,7 @@ impl Daemon {
             running: running as u64,
             workers: self.workers as u64,
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            now_ns: c4_obs::now_ns(),
         }
     }
 
@@ -296,6 +329,16 @@ impl Daemon {
             "c4d_cache_stale_drops_total",
             "Stale or corrupt disk entries dropped.",
             stats.cache_stale_drops,
+        );
+        page.counter(
+            "c4d_flight_recorded_total",
+            "Request timelines recorded by the flight recorder.",
+            self.flight.recorded(),
+        );
+        page.counter(
+            "c4d_flight_dumps_total",
+            "Flight-recorder anomaly dumps written.",
+            self.flight.dumped(),
         );
         page.counter_family(
             "c4d_cache_hits_total",
@@ -357,12 +400,41 @@ impl Daemon {
         c4_obs::enable(TRACE_CAPACITY);
         let result = crate::run_analysis_cancellable(&source, &features, None);
         let log = c4_obs::drain();
+        if self.trace_ring {
+            // The drain disarmed the recorder; re-arm the steady-state
+            // ring so later `RingDump` pulls keep working.
+            c4_obs::enable(TRACE_CAPACITY);
+        }
         match result {
             Ok(result) => Response::Trace {
                 report: result.encode_report(),
                 trace: c4_obs::export::jsonl(&log),
             },
             Err(e) => Response::Error { message: e.to_string() },
+        }
+    }
+
+    /// A non-destructive snapshot of this process's recorder ring as
+    /// compact JSONL, stamped with the recorder clock (v4 `RingDump`).
+    fn ring_dump(&self) -> Response {
+        Response::RingDump {
+            now_ns: c4_obs::now_ns(),
+            trace: c4_obs::export::jsonl(&c4_obs::snapshot()),
+        }
+    }
+
+    /// A bare daemon's `ClusterTrace`: the single-process merge of its
+    /// own ring (offset zero — it is its own reference clock).
+    fn cluster_trace(&self) -> Response {
+        let ring = c4_obs::merge::ProcessRing {
+            name: "c4d".into(),
+            jsonl: c4_obs::export::jsonl(&c4_obs::snapshot()),
+            offset_ns: 0,
+            uncertainty_ns: 0,
+        };
+        match c4_obs::merge::merge(&[ring]) {
+            Ok(trace) => Response::Trace { report: Vec::new(), trace },
+            Err(e) => Response::Error { message: format!("trace merge failed: {e}") },
         }
     }
 
@@ -380,13 +452,38 @@ impl Daemon {
 
     /// The per-job pipeline. The job is already in the `Running` state.
     fn process(&self, job: &Job) {
+        let trace_id = job.ctx.map_or(0, |c| c.trace_id);
+        // A sampled v4 context nests this job's pipeline spans
+        // (`abstract_interp`, `unfold`, `smt_query`, …) under a
+        // `request` span carrying the cluster-wide trace id, which is
+        // the cross-process edge `obs::merge` stitches on.
+        let _req_span = match job.ctx {
+            Some(c) if c.sampled && c4_obs::enabled() => {
+                if c.parent_span != 0 {
+                    c4_obs::instant("request_parent", c.parent_span);
+                }
+                Some(c4_obs::span_arg("request", c.trace_id))
+            }
+            _ => None,
+        };
         let queue_ms = job.submitted_at.elapsed().as_millis() as u64;
         self.wait_hist.observe(queue_ms);
         let run_start = Instant::now();
-        let done = |tier: CacheTier, report: Vec<u8>| {
+        let flight = |outcome: &str, marks: Vec<(String, u64)>| {
+            let _ = self.flight.record(FlightEntry {
+                job_id: job.id,
+                trace_id,
+                outcome: outcome.into(),
+                anomaly: None,
+                total_ms: job.submitted_at.elapsed().as_millis() as u64,
+                marks,
+            });
+        };
+        let done = |tier: CacheTier, report: Vec<u8>, stages: Vec<(String, u64)>| {
             let run_ms = run_start.elapsed().as_millis() as u64;
             self.run_hist.observe(run_ms);
-            JobState::Done { tier, queue_ms, run_ms, report }
+            let timing = ReqTiming { trace_id, stages, ..ReqTiming::default() };
+            JobState::Done { tier, queue_ms, run_ms, report, timing: Some(timing) }
         };
 
         let canon = match crate::canonical_source(&job.source) {
@@ -394,13 +491,20 @@ impl Daemon {
             Err(e) => {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
                 job.set_state(JobState::Failed { message: e.to_string() });
+                flight("failed", vec![("queue_ms".into(), queue_ms)]);
                 return;
             }
         };
         let key = CacheKey::derive(&canon, "program", &job.features);
         if let Some((bytes, tier)) = self.cache.lookup(&key) {
             self.counters.completed.fetch_add(1, Ordering::Relaxed);
-            job.set_state(done(tier, bytes));
+            job.set_state(done(tier, bytes, Vec::new()));
+            let tier_mark = match tier {
+                CacheTier::Miss => 0,
+                CacheTier::Memory => 1,
+                CacheTier::Disk => 2,
+            };
+            flight("done", vec![("queue_ms".into(), queue_ms), ("cache_tier".into(), tier_mark)]);
             return;
         }
 
@@ -413,6 +517,7 @@ impl Daemon {
             Err(e) => {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
                 job.set_state(JobState::Failed { message: e.to_string() });
+                flight("failed", vec![("queue_ms".into(), queue_ms)]);
                 return;
             }
         };
@@ -421,11 +526,15 @@ impl Daemon {
             // landed — discard it rather than serve or cache it.
             self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             job.set_state(JobState::Cancelled);
+            flight("cancelled", vec![("queue_ms".into(), queue_ms)]);
             return;
         }
         // Stage histograms cover computed jobs only: cache hits never
         // enter the pipeline, so their (absent) stages are not zeros.
+        // The same per-stage milliseconds become the `ReqTiming` stage
+        // breakdown and the flight-recorder marks.
         let t = &result.stats.timings;
+        let mut stages: Vec<(String, u64)> = Vec::with_capacity(STAGES.len());
         for (stage, d) in [
             ("unfold", t.unfold),
             ("ssg_filter", t.ssg_filter),
@@ -435,16 +544,22 @@ impl Daemon {
             ("validate", t.validate),
             ("merge", t.merge),
         ] {
+            let ms = d.as_millis() as u64;
             if let Some((_, hist)) = self.stage_hists.iter().find(|(s, _)| *s == stage) {
-                hist.observe(d.as_millis() as u64);
+                hist.observe(ms);
             }
+            stages.push((stage.to_string(), ms));
         }
         let bytes = result.encode_report();
         if !result.stats.deadline_hit {
             self.cache.store(&key, &bytes);
         }
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
-        job.set_state(done(CacheTier::Miss, bytes));
+        let run_ms = run_start.elapsed().as_millis() as u64;
+        let mut marks = vec![("queue_ms".into(), queue_ms), ("run_ms".into(), run_ms)];
+        marks.extend(stages.iter().cloned());
+        job.set_state(done(CacheTier::Miss, bytes, stages));
+        flight("done", marks);
     }
 }
 
@@ -689,8 +804,8 @@ impl EventLoop {
     fn dispatch(&mut self, token: u64, payload: &[u8]) {
         let daemon = Arc::clone(&self.daemon);
         let (reply, version) = match Request::decode_versioned(payload) {
-            Ok((Request::Submit { wait, features, source }, v)) => {
-                match daemon.admit(features, source) {
+            Ok((Request::Submit { wait, features, source, ctx }, v)) => {
+                match daemon.admit(features, source, ctx) {
                     Admit::Job(job_id) if wait => {
                         self.waiters
                             .entry(job_id)
@@ -711,23 +826,25 @@ impl EventLoop {
                     Admit::Busy(ms) => (Some(Response::Busy { retry_after_ms: ms }), v),
                 }
             }
-            Ok((Request::Forward { features, source }, v)) => match daemon.admit(features, source) {
-                Admit::Job(job_id) => {
-                    self.waiters
-                        .entry(job_id)
-                        .or_default()
-                        .push(JobWaiter { token, version: v, unblocks: false });
-                    // Forwarded jobs are usually terminal long after
-                    // this ack, but a cache hit can land instantly.
-                    self.queue_reply(token, &Response::Forwarded { job_id }, v);
-                    self.resolve_job(job_id);
-                    (None, v)
+            Ok((Request::Forward { features, source, ctx }, v)) => {
+                match daemon.admit(features, source, ctx) {
+                    Admit::Job(job_id) => {
+                        self.waiters
+                            .entry(job_id)
+                            .or_default()
+                            .push(JobWaiter { token, version: v, unblocks: false });
+                        // Forwarded jobs are usually terminal long after
+                        // this ack, but a cache hit can land instantly.
+                        self.queue_reply(token, &Response::Forwarded { job_id }, v);
+                        self.resolve_job(job_id);
+                        (None, v)
+                    }
+                    Admit::Draining => {
+                        (Some(Response::Error { message: "daemon is shutting down".into() }), v)
+                    }
+                    Admit::Busy(ms) => (Some(Response::Busy { retry_after_ms: ms }), v),
                 }
-                Admit::Draining => {
-                    (Some(Response::Error { message: "daemon is shutting down".into() }), v)
-                }
-                Admit::Busy(ms) => (Some(Response::Busy { retry_after_ms: ms }), v),
-            },
+            }
             Ok((Request::Status { job_id }, v)) => (Some(daemon.status(job_id)), v),
             Ok((Request::Cancel { job_id }, v)) => {
                 let reply = daemon.cancel(job_id);
@@ -742,6 +859,8 @@ impl EventLoop {
                 (Some(Response::Metrics { text: daemon.metrics_text() }), v)
             }
             Ok((Request::Health, v)) => (Some(Response::Health(daemon.health())), v),
+            Ok((Request::RingDump, v)) => (Some(daemon.ring_dump()), v),
+            Ok((Request::ClusterTrace, v)) => (Some(daemon.cluster_trace()), v),
             Ok((Request::Trace { features, source }, v)) => {
                 if let Some(e) = self.conns.get_mut(&token) {
                     e.blocked += 1;
@@ -976,6 +1095,9 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let (wake, wake_rx) = waker()?;
     let poller = Poller::new()?;
     let workers = cfg.workers.max(1);
+    if cfg.trace_ring {
+        c4_obs::enable(TRACE_CAPACITY);
+    }
     let daemon = Arc::new(Daemon {
         cache,
         sched: Scheduler::new(cfg.queue_cap),
@@ -992,6 +1114,8 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         unix_path: cfg.unix_socket.clone(),
         metrics_addr: metrics_addr.clone(),
         side_threads: Mutex::new(Vec::new()),
+        trace_ring: cfg.trace_ring,
+        flight: FlightRecorder::new(cfg.flight_cap, cfg.flight_latency_ms, cfg.flight_dir.clone()),
     });
 
     let worker_handles = (0..workers)
@@ -1281,7 +1405,8 @@ mod tests {
         let mut stream = TcpStream::connect(&addr).unwrap();
         let features = c4::AnalysisFeatures::default();
         let forward =
-            Request::Forward { features: features.clone(), source: PROG.into() }.encode();
+            Request::Forward { features: features.clone(), source: PROG.into(), ctx: None }
+                .encode();
         for _ in 0..2 {
             crate::proto::write_frame(&mut stream, &forward).unwrap();
         }
@@ -1330,7 +1455,8 @@ mod tests {
         let mut s = TcpStream::connect(&addr).unwrap();
         crate::proto::write_frame(
             &mut s,
-            &Request::Submit { wait: false, features: slow3, source: slow_prog.into() }.encode(),
+            &Request::Submit { wait: false, features: slow3, source: slow_prog.into(), ctx: None }
+                .encode(),
         )
         .unwrap();
         let payload = crate::proto::read_frame(&mut s).unwrap().expect("open");

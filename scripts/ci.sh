@@ -340,6 +340,67 @@ wait "$GD_PID" 2>/dev/null || true
 rm -rf "$GW_DIR"
 echo "==> c4-gateway cluster smoke OK"
 
+# Distributed-tracing smoke: two trace-ring backends behind a trace-ring
+# gateway with a flight recorder. A submission through the gateway must
+# ride a v4 timing summary back (`submit --timing`), `c4 trace --cluster`
+# must assemble one merged trace spanning all three processes that the
+# cluster checker accepts (monotone timelines, span nesting, and the
+# request → gw_forward causal edges), and killing a backend must make
+# the gateway's flight recorder dump its ring — with a backend_lost
+# anomaly — as valid JSONL into the flight dir.
+echo "==> distributed-tracing smoke"
+DT_DIR="$(mktemp -d)"
+trap 'kill "${DA_PID:-}" "${DB_PID:-}" "${DGW_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "$DT_DIR"' EXIT
+mkdir -p "$DT_DIR/flight"
+./target/release/c4d --tcp 127.0.0.1:0 --cache-dir "$DT_DIR/cache-a" \
+    --trace-ring > "$DT_DIR/a.log" & DA_PID=$!
+./target/release/c4d --tcp 127.0.0.1:0 --cache-dir "$DT_DIR/cache-b" \
+    --trace-ring > "$DT_DIR/b.log" & DB_PID=$!
+ADDR_DA=$(await_banner "$DT_DIR/a.log" c4d)
+ADDR_DB=$(await_banner "$DT_DIR/b.log" c4d)
+./target/release/c4-gateway --backend "$ADDR_DA" --backend "$ADDR_DB" \
+    --tcp 127.0.0.1:0 --hedge-ms 1 --health-ms 100 --trace-ring \
+    --flight-dir "$DT_DIR/flight" > "$DT_DIR/gw.log" & DGW_PID=$!
+ADDR_DGW=$(await_banner "$DT_DIR/gw.log" c4-gateway)
+
+./target/release/suite_src "Super Chat" > "$DT_DIR/a.ccl"
+./target/release/suite_src "cassandra-lock" > "$DT_DIR/b.ccl"
+./target/release/c4 --tcp "$ADDR_DGW" --connect-timeout 2000 --retry 2 \
+    submit --timing "$DT_DIR/a.ccl" > "$DT_DIR/t1.txt"
+grep -q "^timing: trace 0x" "$DT_DIR/t1.txt" \
+    || { echo "submit --timing printed no timing summary:" >&2; cat "$DT_DIR/t1.txt" >&2; exit 1; }
+./target/release/c4 --tcp "$ADDR_DGW" submit "$DT_DIR/b.ccl" > /dev/null
+
+# Assemble and validate the merged cluster trace.
+./target/release/c4 --tcp "$ADDR_DGW" trace --cluster --trace-out "$DT_DIR/cluster.json" \
+    | grep -q "^cluster trace: " || { echo "c4 trace --cluster failed" >&2; exit 1; }
+./target/release/trace_check --cluster "$DT_DIR/cluster.json" > "$DT_DIR/check.txt"
+cat "$DT_DIR/check.txt"
+grep -q "across 3 process(es)" "$DT_DIR/check.txt" \
+    || { echo "merged trace does not span gateway + 2 backends" >&2; exit 1; }
+
+# Kill one backend; the gateway's flight recorder must dump the ring
+# with a backend_lost anomaly, and the dump must be valid JSONL.
+kill "$DA_PID"; wait "$DA_PID" 2>/dev/null || true
+FLIGHT=""
+for _ in $(seq 1 100); do
+    FLIGHT=$(grep -ls backend_lost "$DT_DIR"/flight/flight-*.jsonl 2>/dev/null | head -n 1)
+    [ -n "$FLIGHT" ] && break
+    sleep 0.1
+done
+[ -n "$FLIGHT" ] || { echo "no backend_lost flight dump after killing a backend" >&2; exit 1; }
+./target/release/trace_check "$FLIGHT"
+# The cluster keeps serving (failover to the survivor), traced end to end.
+./target/release/c4 --tcp "$ADDR_DGW" --retry 3 submit --timing "$DT_DIR/a.ccl" \
+    | grep -q "^timing: trace 0x" || { echo "post-failover submit lost its timing" >&2; exit 1; }
+
+./target/release/c4 --tcp "$ADDR_DGW" shutdown
+wait "$DGW_PID"
+./target/release/c4 --tcp "$ADDR_DB" shutdown
+wait "$DB_PID" 2>/dev/null || true
+rm -rf "$DT_DIR"
+echo "==> distributed-tracing smoke OK"
+
 # The event-loop connection-scaling property (1000 idle connections,
 # O(workers) threads) runs under `cargo test` above; re-run it by name
 # so the CI log shows the verdict explicitly.

@@ -1,19 +1,23 @@
-//! Protocol compatibility across the v1 → v3 wire evolution: a
-//! hand-crafted v1 or v2 client talking to a v3 daemon — or to the
-//! gateway, which speaks the same protocol — gets byte-compatible
+//! Protocol compatibility across the v1 → v4 wire evolution: a
+//! hand-crafted v1 or v2 client talking to a current daemon — or to
+//! the gateway, which speaks the same protocol — gets byte-compatible
 //! legacy payloads (the fixed 18-`u64` stats shape for v1, the
-//! queue-full `Error` in place of the typed `Busy`), the v3-only
-//! frames are cleanly rejected for old peers, and the new v3 frames
-//! round-trip losslessly under property testing.
+//! queue-full `Error` in place of the typed `Busy`), the newer frames
+//! are cleanly rejected for old peers, and the v3/v4 frames round-trip
+//! losslessly under property testing. The v4 additions (trace context
+//! on `Submit`/`Forward`, the timing summary on `Done`, the recorder
+//! clock on `Health`) are append-only: a frame that doesn't carry them
+//! is byte-for-byte its v3 encoding, and the carried forms are
+//! truncated away for pre-v4 peers rather than leaking.
 
 use std::net::TcpStream;
 use std::time::Duration;
 
-use c4::AnalysisFeatures;
+use c4::{AnalysisFeatures, CacheTier};
 use c4_gateway::{serve as serve_gateway, GatewayConfig};
 use c4_service::proto::{
-    read_frame, write_frame, JobState, Request, Response, HealthInfo, PROTO_VERSION,
-    REQ_FORWARD, REQ_HEALTH, RESP_STATS,
+    read_frame, write_frame, JobState, ReqTiming, Request, Response, HealthInfo,
+    TraceCtx, PROTO_VERSION, REQ_FORWARD, REQ_HEALTH, RESP_STATS,
 };
 use c4_service::server::{serve, ServerConfig};
 use proptest::prelude::*;
@@ -62,6 +66,7 @@ fn v1_and_v2_clients_get_legacy_payloads_from_daemon_and_gateway() {
         wait: true,
         features: features.clone(),
         source: bench.source.to_string(),
+        ctx: None,
     }
     .encode();
 
@@ -101,6 +106,7 @@ fn v1_and_v2_clients_get_legacy_payloads_from_daemon_and_gateway() {
                         Request::Forward {
                             features: features.clone(),
                             source: bench.source.to_string(),
+                            ctx: None,
                         }
                         .encode(),
                         version,
@@ -178,7 +184,7 @@ proptest! {
     /// encode → decode_versioned at the current version.
     #[test]
     fn new_request_frames_roundtrip(features in arb_features(), source in arb_source()) {
-        for req in [Request::Health, Request::Forward { features, source }] {
+        for req in [Request::Health, Request::Forward { features, source, ctx: None }] {
             let (back, version) = Request::decode_versioned(&req.encode())
                 .expect("own encoding decodes");
             prop_assert_eq!(version, PROTO_VERSION);
@@ -193,7 +199,7 @@ proptest! {
         retry_after_ms in any::<u64>(),
         job_id in any::<u64>(),
         accepting in any::<bool>(),
-        vals in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        vals in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     ) {
         let frames = [
             Response::Busy { retry_after_ms },
@@ -205,10 +211,144 @@ proptest! {
                 running: vals.2,
                 workers: vals.3,
                 uptime_ms: vals.4,
+                now_ns: vals.5,
             }),
         ];
         for resp in frames {
             prop_assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
         }
     }
+
+    /// The v4 trace context round-trips on `Submit` and `Forward`,
+    /// present or absent, at the current version.
+    #[test]
+    fn v4_trace_context_roundtrips(
+        features in arb_features(),
+        source in arb_source(),
+        wait in any::<bool>(),
+        ctx in arb_ctx(),
+    ) {
+        let frames = [
+            Request::Submit { wait, features: features.clone(), source: source.clone(), ctx },
+            Request::Forward { features, source, ctx },
+        ];
+        for req in frames {
+            let (back, version) = Request::decode_versioned(&req.encode())
+                .expect("own encoding decodes");
+            prop_assert_eq!(version, PROTO_VERSION);
+            prop_assert_eq!(back, req);
+        }
+    }
+
+    /// v4 frames downgrade byte-for-byte: without a context the
+    /// encoding is exactly what a v3 peer sends (re-stamped to every
+    /// older version it decodes to the same fields), and attaching a
+    /// context costs exactly the 17 appended bytes that older decoders
+    /// never see.
+    #[test]
+    fn ctxless_v4_frames_downgrade_byte_for_byte(
+        features in arb_features(),
+        source in arb_source(),
+        wait in any::<bool>(),
+        ids in (any::<u64>(), any::<u64>(), any::<bool>()),
+    ) {
+        let ctx = TraceCtx { trace_id: ids.0, parent_span: ids.1, sampled: ids.2 };
+        let bare_submit = Request::Submit {
+            wait,
+            features: features.clone(),
+            source: source.clone(),
+            ctx: None,
+        }
+        .encode();
+        let full_submit = Request::Submit {
+            wait,
+            features: features.clone(),
+            source: source.clone(),
+            ctx: Some(ctx),
+        }
+        .encode();
+        prop_assert_eq!(full_submit.len(), bare_submit.len() + 17, "ctx is a 17-byte suffix");
+        prop_assert_eq!(&full_submit[..bare_submit.len()], &bare_submit[..]);
+
+        // Submit exists since v1; Forward since v3.
+        for version in [1u16, 2, 3] {
+            let (back, v) = Request::decode_versioned(&at_version(bare_submit.clone(), version))
+                .expect("older re-stamp decodes");
+            prop_assert_eq!(v, version);
+            prop_assert_eq!(back, Request::Submit {
+                wait,
+                features: features.clone(),
+                source: source.clone(),
+                ctx: None,
+            });
+        }
+        let bare_forward =
+            Request::Forward { features: features.clone(), source: source.clone(), ctx: None }
+                .encode();
+        let (back, v) = Request::decode_versioned(&at_version(bare_forward, 3))
+            .expect("v3 forward decodes");
+        prop_assert_eq!(v, 3);
+        prop_assert_eq!(back, Request::Forward { features, source, ctx: None });
+    }
+
+    /// The `Done` timing summary (v4) round-trips at the current
+    /// version and is truncated away — byte-for-byte — for pre-v4
+    /// peers, so old clients parse exactly what they always parsed.
+    #[test]
+    fn done_timing_roundtrips_and_downgrades(
+        job_id in any::<u64>(),
+        trace_id in any::<u64>(),
+        gateway_ms in any::<u64>(),
+        retries in any::<u32>(),
+        hedged in any::<bool>(),
+        queue_ms in any::<u64>(),
+        run_ms in any::<u64>(),
+        stage_ms in proptest::collection::vec(0u64..1_000_000, 0..4),
+    ) {
+        let timing = ReqTiming {
+            trace_id,
+            backend: "127.0.0.1:4344".to_string(),
+            retries,
+            hedged,
+            gateway_ms,
+            stages: stage_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| (format!("stage{i}"), ms))
+                .collect(),
+        };
+        let done = |timing: Option<ReqTiming>| Response::Status {
+            job_id,
+            state: JobState::Done {
+                tier: CacheTier::Miss,
+                queue_ms,
+                run_ms,
+                report: vec![1, 2, 3],
+                timing,
+            },
+        };
+        let timed = done(Some(timing));
+        prop_assert_eq!(
+            Response::decode(&timed.encode()).expect("v4 decodes"),
+            timed.clone()
+        );
+        prop_assert_eq!(
+            timed.encode_for_version(3),
+            done(None).encode_for_version(3),
+            "pre-v4 encodings must not depend on the timing summary"
+        );
+        prop_assert_eq!(
+            Response::decode(&timed.encode_for_version(3)).expect("v3 decodes"),
+            done(None),
+            "pre-v4 peers see the classic Done"
+        );
+    }
+}
+
+fn arb_ctx() -> impl Strategy<Value = Option<TraceCtx>> {
+    (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+        |(trace_id, parent_span, sampled, present)| {
+            present.then_some(TraceCtx { trace_id, parent_span, sampled })
+        },
+    )
 }

@@ -155,6 +155,90 @@ fn query_events_sum_to_speculative_smt_queries() {
     }
 }
 
+/// Distributed tracing must be invisible to the verdict through the
+/// cluster path too: reports served through a 2-backend gateway with
+/// the trace ring armed end to end (gateway mints sampled contexts,
+/// backends open `request` spans, timing summaries ride back on
+/// `Done`) are byte-identical to untraced direct runs, at 1 and 4
+/// workers — and the assembled cluster trace passes the merged-trace
+/// checker.
+#[test]
+fn cluster_tracing_is_verdict_neutral_through_the_gateway() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    use c4_gateway::{serve as serve_gateway, GatewayConfig};
+    use c4_service::client::{Client, Endpoint};
+    use c4_service::proto::JobState;
+    use c4_service::server::{serve, ServerConfig};
+
+    let b = &selection()[0];
+    let h = history(b);
+    // Untraced direct baselines, before any ring is armed.
+    let plain: Vec<(usize, Vec<u8>)> =
+        [1usize, 4].iter().map(|&w| (w, run(&h, w).encode_report())).collect();
+
+    let daemon = |_: usize| {
+        serve(ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 2,
+            trace_ring: true,
+            ..ServerConfig::default()
+        })
+        .expect("daemon starts")
+    };
+    let (d1, d2) = (daemon(1), daemon(2));
+    let gateway = serve_gateway(GatewayConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        backends: vec![
+            d1.tcp_addr.clone().expect("tcp bound"),
+            d2.tcp_addr.clone().expect("tcp bound"),
+        ],
+        trace_ring: true,
+        ..GatewayConfig::default()
+    })
+    .expect("gateway starts");
+    let client = Client::new(Endpoint::Tcp(gateway.tcp_addr.clone().expect("tcp bound")));
+
+    for (workers, expected) in &plain {
+        let features = AnalysisFeatures { parallelism: *workers, ..AnalysisFeatures::default() };
+        let (_, state) = client.submit_wait(b.source, &features).expect("submit through gateway");
+        match state {
+            JobState::Done { report, timing, .. } => {
+                assert_eq!(
+                    &report, expected,
+                    "{} at {workers} workers: cluster tracing changed the report",
+                    b.name
+                );
+                let t = timing.expect("v4 gateway rides a timing summary on Done");
+                assert_ne!(t.trace_id, 0, "sampled submissions carry a trace id");
+                assert!(!t.backend.is_empty(), "the winning backend is named");
+            }
+            other => panic!("{}: expected a verdict, got {other:?}", b.name),
+        }
+    }
+
+    // The assembled cluster trace spans all three processes and passes
+    // the merged-trace checks (monotone timelines, span nesting, and
+    // the request → gw_forward causal edges).
+    let doc = client.cluster_trace().expect("cluster trace assembles");
+    let summary = c4_obs::merge::check(&doc)
+        .unwrap_or_else(|e| panic!("merged cluster trace fails its checker: {e}"));
+    assert_eq!(summary.processes, 3, "gateway + 2 backends");
+    assert!(summary.events > 0, "cluster trace is empty");
+    assert!(summary.edges > 0, "no cross-process request edges resolved");
+
+    let shutdown = |addr: &str| {
+        Client::new(Endpoint::Tcp(addr.to_string())).shutdown().expect("shutdown");
+    };
+    shutdown(gateway.tcp_addr.as_ref().unwrap());
+    gateway.wait();
+    shutdown(d1.tcp_addr.as_ref().unwrap());
+    d1.wait();
+    shutdown(d2.tcp_addr.as_ref().unwrap());
+    d2.wait();
+    // Leave the process-global recorder disarmed for the other tests.
+    let _ = c4_obs::drain();
+}
+
 /// Both exporters emit exactly one record per ledger event, as valid
 /// JSON: the Chrome trace's `traceEvents` array length and the JSONL
 /// line count both equal `event_count()`.
